@@ -1,0 +1,168 @@
+package repro_test
+
+import (
+	"os"
+	"os/exec"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// End-to-end coverage of the command-line tools and examples: each is
+// compiled and executed, and its output checked for the load-bearing
+// claims. These tests need the go tool; they are skipped under -short.
+
+func runGo(t *testing.T, args ...string) string {
+	t.Helper()
+	cmd := exec.Command("go", args...)
+	cmd.Dir = repoRoot(t)
+	out, err := cmd.CombinedOutput()
+	if err != nil {
+		t.Fatalf("go %s: %v\n%s", strings.Join(args, " "), err, out)
+	}
+	return string(out)
+}
+
+func repoRoot(t *testing.T) string {
+	t.Helper()
+	wd, err := os.Getwd()
+	if err != nil {
+		t.Fatal(err)
+	}
+	return wd
+}
+
+func TestCLIStarring(t *testing.T) {
+	if testing.Short() {
+		t.Skip("spawns the go tool")
+	}
+	out := runGo(t, "run", "./cmd/starring", "-n", "6", "-fv", "213456,312456")
+	if !strings.Contains(out, "ring length=716") || !strings.Contains(out, "verified=ok") {
+		t.Fatalf("unexpected output:\n%s", out)
+	}
+}
+
+func TestCLIStarringSaveAndPathMode(t *testing.T) {
+	if testing.Short() {
+		t.Skip("spawns the go tool")
+	}
+	dir := t.TempDir()
+	file := filepath.Join(dir, "ring.srg")
+	out := runGo(t, "run", "./cmd/starring", "-n", "5", "-random", "2", "-seed", "3", "-save", file)
+	if !strings.Contains(out, "saved 116-vertex ring") {
+		t.Fatalf("save output:\n%s", out)
+	}
+	if fi, err := os.Stat(file); err != nil || fi.Size() == 0 {
+		t.Fatalf("saved file missing: %v", err)
+	}
+
+	out = runGo(t, "run", "./cmd/starring", "-n", "6", "-random", "2", "-seed", "1",
+		"-path-from", "123456", "-path-to", "654321")
+	if !strings.Contains(out, "longest path") || !strings.Contains(out, "verified=ok") {
+		t.Fatalf("path output:\n%s", out)
+	}
+}
+
+func TestCLIStarringBaselines(t *testing.T) {
+	if testing.Short() {
+		t.Skip("spawns the go tool")
+	}
+	out := runGo(t, "run", "./cmd/starring", "-n", "6", "-fv", "213456,312456", "-algo", "tseng")
+	if !strings.Contains(out, "ring length=712") { // 720 - 4*2
+		t.Fatalf("tseng output:\n%s", out)
+	}
+	out = runGo(t, "run", "./cmd/starring", "-n", "6", "-fv", "213456,312456", "-algo", "latifi")
+	if !strings.Contains(out, "verified=ok") {
+		t.Fatalf("latifi output:\n%s", out)
+	}
+}
+
+func TestCLIStarsweepQuick(t *testing.T) {
+	if testing.Short() {
+		t.Skip("spawns the go tool")
+	}
+	out := runGo(t, "run", "./cmd/starsweep", "-quick", "-exp", "T2")
+	if !strings.Contains(out, "achieved=ceiling") || strings.Contains(out, "NO") {
+		t.Fatalf("T2 output:\n%s", out)
+	}
+}
+
+func TestCLIStarinfo(t *testing.T) {
+	if testing.Short() {
+		t.Skip("spawns the go tool")
+	}
+	out := runGo(t, "run", "./cmd/starinfo", "-n", "5", "-from", "12345", "-to", "52341")
+	if !strings.Contains(out, "distance(12345, 52341) = 1") {
+		t.Fatalf("starinfo output:\n%s", out)
+	}
+}
+
+func TestCLIStarviz(t *testing.T) {
+	if testing.Short() {
+		t.Skip("spawns the go tool")
+	}
+	out := runGo(t, "run", "./cmd/starviz", "-n", "4")
+	if !strings.Contains(out, "graph S {") || !strings.Contains(out, "--") {
+		t.Fatalf("starviz output:\n%s", out)
+	}
+	out = runGo(t, "run", "./cmd/starviz", "-n", "6", "-random", "3", "-mode", "ring")
+	if !strings.Contains(out, "digraph R4 {") || !strings.Contains(out, "indianred") {
+		t.Fatalf("starviz ring output:\n%s", out)
+	}
+}
+
+func TestExamplesRun(t *testing.T) {
+	if testing.Short() {
+		t.Skip("spawns the go tool")
+	}
+	checks := map[string]string{
+		"quickstart":     "independent verification: ok",
+		"faulttolerance": "best-effort",
+		"tokenring":      "all-reduce complete",
+		"comparison":     "latifi",
+		"resilience":     "campaign summary",
+		"scheduler":      "stale embedding rejected",
+	}
+	for example, want := range checks {
+		out := runGo(t, "run", "./examples/"+example)
+		if !strings.Contains(out, want) {
+			t.Errorf("example %s: missing %q in output:\n%s", example, want, out)
+		}
+	}
+}
+
+func TestCLIStarverify(t *testing.T) {
+	if testing.Short() {
+		t.Skip("spawns the go tool")
+	}
+	dir := t.TempDir()
+	file := filepath.Join(dir, "ring.srg")
+	runGo(t, "run", "./cmd/starring", "-n", "5", "-fv", "21345", "-save", file)
+
+	// Valid against the same fault set.
+	out := runGo(t, "run", "./cmd/starverify", "-ring", file, "-fv", "21345", "-minlen", "118")
+	if !strings.Contains(out, "starverify: ok") {
+		t.Fatalf("verify output:\n%s", out)
+	}
+
+	// A new fault on the ring must be rejected (non-zero exit).
+	cmd := exec.Command("go", "run", "./cmd/starverify", "-ring", file, "-fv", "21345,12345")
+	cmd.Dir = repoRoot(t)
+	combined, err := cmd.CombinedOutput()
+	if err == nil {
+		t.Fatalf("stale embedding accepted:\n%s", combined)
+	}
+	if !strings.Contains(string(combined), "REJECTED") {
+		t.Fatalf("missing rejection message:\n%s", combined)
+	}
+}
+
+func TestCLIStarinfoDisjoint(t *testing.T) {
+	if testing.Short() {
+		t.Skip("spawns the go tool")
+	}
+	out := runGo(t, "run", "./cmd/starinfo", "-n", "5", "-from", "12345", "-to", "54321", "-disjoint")
+	if !strings.Contains(out, "4 node-disjoint paths (connectivity 4)") {
+		t.Fatalf("disjoint output:\n%s", out)
+	}
+}

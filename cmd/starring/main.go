@@ -1,0 +1,187 @@
+// Command starring embeds one fault-free ring instance and reports it.
+//
+// Usage:
+//
+//	starring -n 6 -fv 213456,312456                 # explicit faults
+//	starring -n 7 -random 4 -seed 1                 # random faults
+//	starring -n 6 -fe "123456-213456"               # an edge fault
+//	starring -n 6 -random 3 -algo tseng             # run a baseline
+//	starring -n 6 -random 3 -print                  # dump the ring
+//
+// The embedded ring is always re-verified; the command exits nonzero on
+// any failure.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"math/rand"
+	"os"
+	"strings"
+
+	"repro/internal/baseline"
+	"repro/internal/check"
+	"repro/internal/core"
+	"repro/internal/faults"
+	"repro/internal/perm"
+	"repro/internal/ringio"
+	"repro/internal/star"
+)
+
+func main() {
+	var (
+		n       = flag.Int("n", 6, "star-graph dimension (>= 3)")
+		fv      = flag.String("fv", "", "comma-separated faulty vertices, e.g. 213456,312456")
+		fe      = flag.String("fe", "", "comma-separated faulty edges as u-v pairs, e.g. 123456-213456")
+		random  = flag.Int("random", 0, "add this many uniformly random vertex faults")
+		seed    = flag.Int64("seed", 1, "seed for -random")
+		algo    = flag.String("algo", "paper", "paper | tseng | latifi")
+		pathSrc = flag.String("path-from", "", "embed a longest s-t path instead of a ring: source vertex")
+		pathDst = flag.String("path-to", "", "path mode: target vertex")
+		print   = flag.Bool("print", false, "print the full ring, one vertex per line")
+		save    = flag.String("save", "", "write the ring to this file (binary ringio format)")
+		best    = flag.Bool("best-effort", false, "accept fault sets beyond the n-3 budget (no guarantee)")
+		workers = flag.Int("workers", 0, "parallel block-routing workers (0 = GOMAXPROCS)")
+	)
+	flag.Parse()
+
+	fs := faults.NewSet(*n)
+	if *fv != "" {
+		for _, s := range strings.Split(*fv, ",") {
+			if err := fs.AddVertexString(strings.TrimSpace(s)); err != nil {
+				fatal(err)
+			}
+		}
+	}
+	if *fe != "" {
+		for _, s := range strings.Split(*fe, ",") {
+			uv := strings.SplitN(strings.TrimSpace(s), "-", 2)
+			if len(uv) != 2 {
+				fatal(fmt.Errorf("bad edge %q, want u-v", s))
+			}
+			u, err := perm.Parse(uv[0])
+			if err != nil {
+				fatal(err)
+			}
+			v, err := perm.Parse(uv[1])
+			if err != nil {
+				fatal(err)
+			}
+			if err := fs.AddEdge(perm.Pack(u), perm.Pack(v)); err != nil {
+				fatal(err)
+			}
+		}
+	}
+	if *random > 0 {
+		rng := rand.New(rand.NewSource(*seed))
+		for _, v := range faults.RandomVertices(*n, *random, rng).Vertices() {
+			fs.AddVertex(v)
+		}
+	}
+
+	cfg := core.Config{Workers: *workers, BestEffort: *best}
+
+	if *pathSrc != "" || *pathDst != "" {
+		runPathMode(*n, fs, *pathSrc, *pathDst, cfg, *print)
+		return
+	}
+
+	var (
+		ring      []perm.Code
+		guarantee int
+		extra     string
+	)
+	switch *algo {
+	case "paper":
+		res, err := core.Embed(*n, fs, cfg)
+		if err != nil {
+			fatal(err)
+		}
+		ring, guarantee = res.Ring, res.Guarantee
+		extra = fmt.Sprintf("blocks=%d faulty-blocks=%d positions=%v upper-bound=%d",
+			res.Blocks, res.FaultyBlocks, res.Positions, res.UpperBound)
+	case "tseng":
+		res, err := baseline.Tseng(*n, fs, cfg)
+		if err != nil {
+			fatal(err)
+		}
+		ring, guarantee = res.Ring, res.Guarantee
+	case "latifi":
+		res, err := baseline.Latifi(*n, fs, cfg)
+		if err != nil {
+			fatal(err)
+		}
+		ring, guarantee = res.Ring, res.Guarantee
+		extra = fmt.Sprintf("cluster=%v m=%d", res.Cluster, res.M)
+	default:
+		fatal(fmt.Errorf("unknown -algo %q", *algo))
+	}
+
+	g := star.New(*n)
+	if err := check.Ring(g, ring, fs, 0); err != nil {
+		fatal(fmt.Errorf("verification failed: %w", err))
+	}
+
+	fmt.Printf("S_%d: %d vertices, |Fv|=%d, |Fe|=%d\n", *n, g.Order(), fs.NumVertices(), fs.NumEdges())
+	fmt.Printf("algorithm=%s ring length=%d guarantee=%d verified=ok\n", *algo, len(ring), guarantee)
+	if extra != "" {
+		fmt.Println(extra)
+	}
+	if *print {
+		for _, v := range ring {
+			fmt.Println(v.StringN(*n))
+		}
+	}
+	if *save != "" {
+		f, err := os.Create(*save)
+		if err != nil {
+			fatal(err)
+		}
+		if err := ringio.WriteBinary(f, *n, ring); err != nil {
+			f.Close()
+			fatal(err)
+		}
+		if err := f.Close(); err != nil {
+			fatal(err)
+		}
+		fmt.Printf("saved %d-vertex ring to %s\n", len(ring), *save)
+	}
+}
+
+// runPathMode embeds and reports a longest s-t path.
+func runPathMode(n int, fs *faults.Set, from, to string, cfg core.Config, printAll bool) {
+	parseV := func(str string) perm.Code {
+		p, err := perm.Parse(str)
+		if err != nil || p.N() != n {
+			fatal(fmt.Errorf("%q is not a vertex of S_%d", str, n))
+		}
+		return perm.Pack(p)
+	}
+	if from == "" || to == "" {
+		fatal(fmt.Errorf("path mode needs both -path-from and -path-to"))
+	}
+	s, t := parseV(from), parseV(to)
+	res, err := core.EmbedPath(n, fs, s, t, cfg)
+	if err != nil {
+		fatal(err)
+	}
+	if err := check.Path(star.New(n), res.Path, fs); err != nil {
+		fatal(fmt.Errorf("verification failed: %w", err))
+	}
+	side := "different partite sets"
+	if s.Parity(n) == t.Parity(n) {
+		side = "same partite set"
+	}
+	fmt.Printf("S_%d longest path %s -> %s (%s): %d vertices (guarantee %d) verified=ok\n",
+		n, s.StringN(n), t.StringN(n), side, res.Len(), res.Guarantee)
+	if printAll {
+		for _, v := range res.Path {
+			fmt.Println(v.StringN(n))
+		}
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "starring:", err)
+	os.Exit(1)
+}

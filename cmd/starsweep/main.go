@@ -1,0 +1,52 @@
+// Command starsweep regenerates the evaluation tables and series of
+// EXPERIMENTS.md: each experiment validates one quantitative claim of
+// the paper (see DESIGN.md's experiment index).
+//
+// Usage:
+//
+//	starsweep [-exp T1|T2|T3|T4|T5|T6|F1|F2|F3|all] [-maxn N] [-seeds K]
+//	          [-quick] [-markdown]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"repro/internal/harness"
+)
+
+func main() {
+	var (
+		exp      = flag.String("exp", "all", "experiment id (T1..T6, F1..F3, or all)")
+		maxN     = flag.Int("maxn", 8, "largest star-graph dimension to sweep")
+		seeds    = flag.Int("seeds", 10, "random fault sets per configuration")
+		quick    = flag.Bool("quick", false, "shrink the sweep for a fast smoke run")
+		markdown = flag.Bool("markdown", false, "emit GitHub-flavored markdown instead of aligned text")
+	)
+	flag.Parse()
+
+	cfg := harness.SweepConfig{MaxN: *maxN, Seeds: *seeds, Quick: *quick}
+	if !*markdown {
+		if err := harness.Run(os.Stdout, *exp, cfg); err != nil {
+			fmt.Fprintln(os.Stderr, "starsweep:", err)
+			os.Exit(1)
+		}
+		return
+	}
+
+	cfg = cfg.Defaults()
+	for _, e := range harness.All() {
+		if *exp != "all" && e.ID != *exp {
+			continue
+		}
+		tables, err := e.Run(cfg)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "starsweep:", err)
+			os.Exit(1)
+		}
+		for _, t := range tables {
+			t.Markdown(os.Stdout)
+		}
+	}
+}

@@ -1,0 +1,73 @@
+// Command starverify validates a persisted ring embedding against a
+// fault set: structure (simple, closed, adjacency over real star-graph
+// edges), healthiness, and an optional minimum length. It is the
+// trust-nothing gate a scheduler runs before mapping a job onto a
+// stored embedding.
+//
+// Usage:
+//
+//	starring -n 6 -random 3 -save ring.srg
+//	starverify -ring ring.srg -fv <faults> [-minlen 714]
+//
+// Exit status 0 means the embedding is safe to use.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"repro/internal/check"
+	"repro/internal/faults"
+	"repro/internal/ringio"
+	"repro/internal/star"
+)
+
+func main() {
+	var (
+		ringPath = flag.String("ring", "", "ring file written by starring -save (binary ringio format)")
+		fv       = flag.String("fv", "", "comma-separated faulty vertices to verify against")
+		minLen   = flag.Int("minlen", 0, "required minimum ring length (0 = structure only)")
+		quiet    = flag.Bool("q", false, "suppress output; report via exit status only")
+	)
+	flag.Parse()
+
+	if *ringPath == "" {
+		fatal(fmt.Errorf("need -ring"))
+	}
+	f, err := os.Open(*ringPath)
+	if err != nil {
+		fatal(err)
+	}
+	n, ring, err := ringio.ReadBinary(f)
+	f.Close()
+	if err != nil {
+		fatal(err)
+	}
+
+	fs := faults.NewSet(n)
+	if *fv != "" {
+		for _, s := range strings.Split(*fv, ",") {
+			if err := fs.AddVertexString(strings.TrimSpace(s)); err != nil {
+				fatal(err)
+			}
+		}
+	}
+
+	if err := check.Ring(star.New(n), ring, fs, *minLen); err != nil {
+		if !*quiet {
+			fmt.Fprintf(os.Stderr, "starverify: REJECTED: %v\n", err)
+		}
+		os.Exit(1)
+	}
+	if !*quiet {
+		fmt.Printf("starverify: ok — S_%d ring of %d vertices, %d faults avoided, min length %d satisfied\n",
+			n, len(ring), fs.NumVertices(), *minLen)
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "starverify:", err)
+	os.Exit(1)
+}

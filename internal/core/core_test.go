@@ -1,0 +1,278 @@
+package core
+
+import (
+	"errors"
+	"math/rand"
+	"testing"
+
+	"repro/internal/check"
+	"repro/internal/faults"
+	"repro/internal/perm"
+	"repro/internal/star"
+)
+
+func TestEmbedValidation(t *testing.T) {
+	if _, err := Embed(2, nil, Config{}); err == nil {
+		t.Error("n=2 accepted")
+	}
+	if _, err := Embed(17, nil, Config{}); err == nil {
+		t.Error("n=17 accepted")
+	}
+	fs := faults.NewSet(5)
+	if _, err := Embed(6, fs, Config{}); err == nil {
+		t.Error("dimension mismatch accepted")
+	}
+}
+
+func TestEmbedBudgetEnforced(t *testing.T) {
+	rng := rand.New(rand.NewSource(17))
+	fs := faults.RandomVertices(6, 4, rng) // budget is 3
+	_, err := Embed(6, fs, Config{})
+	if !errors.Is(err, ErrBudget) {
+		t.Fatalf("want ErrBudget, got %v", err)
+	}
+	// Best effort proceeds and the result is verified but unguaranteed.
+	res, err := Embed(6, fs, Config{BestEffort: true})
+	if err != nil {
+		t.Fatalf("best effort failed: %v", err)
+	}
+	if res.Guaranteed {
+		t.Fatal("over-budget result claims a guarantee")
+	}
+	if err := check.Ring(star.New(6), res.Ring, fs, 0); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestEmbedS3(t *testing.T) {
+	res, err := Embed(3, nil, Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Len() != 6 {
+		t.Fatalf("S_3 ring length %d", res.Len())
+	}
+	fs := faults.NewSet(3)
+	fs.AddVertexString("213")
+	if _, err := Embed(3, fs, Config{BestEffort: true}); !errors.Is(err, ErrNoRing) {
+		t.Fatalf("faulty S_3: want ErrNoRing, got %v", err)
+	}
+}
+
+// TestEmbedS4Exhaustive covers the n = 4 base case of Theorem 1 for
+// every possible fault: ring of exactly 22 = 4! - 2.
+func TestEmbedS4Exhaustive(t *testing.T) {
+	g := star.New(4)
+	for r := 0; r < 24; r++ {
+		fs := faults.NewSet(4)
+		fs.AddVertex(perm.Pack(perm.Unrank(4, r)))
+		res, err := Embed(4, fs, Config{})
+		if err != nil {
+			t.Fatalf("fault %d: %v", r, err)
+		}
+		if res.Len() != 22 {
+			t.Fatalf("fault %d: length %d", r, res.Len())
+		}
+		if err := check.Ring(g, res.Ring, fs, 22); err != nil {
+			t.Fatalf("fault %d: %v", r, err)
+		}
+	}
+}
+
+// TestEmbedS4EdgeFaultExhaustive: every single edge fault leaves S4
+// Hamiltonian (the |Fe| <= n-3 = 1 companion result).
+func TestEmbedS4EdgeFaultExhaustive(t *testing.T) {
+	g := star.New(4)
+	g.Vertices(func(u perm.Code) bool {
+		g.VisitNeighbors(u, func(w perm.Code, _ int) bool {
+			if w < u {
+				return true
+			}
+			fs := faults.NewSet(4)
+			fs.AddEdge(u, w)
+			res, err := Embed(4, fs, Config{})
+			if err != nil {
+				t.Fatalf("edge %s-%s: %v", u.StringN(4), w.StringN(4), err)
+			}
+			if res.Len() != 24 {
+				t.Fatalf("edge %s-%s: length %d", u.StringN(4), w.StringN(4), res.Len())
+			}
+			if err := check.Ring(g, res.Ring, fs, 24); err != nil {
+				t.Fatal(err)
+			}
+			return true
+		})
+		return true
+	})
+}
+
+// TestEmbedS5ExhaustiveSingles: every single-fault position in S_5
+// yields a verified ring of exactly 118.
+func TestEmbedS5ExhaustiveSingles(t *testing.T) {
+	g := star.New(5)
+	for r := 0; r < 120; r++ {
+		fs := faults.NewSet(5)
+		fs.AddVertex(perm.Pack(perm.Unrank(5, r)))
+		res, err := Embed(5, fs, Config{})
+		if err != nil {
+			t.Fatalf("fault %d: %v", r, err)
+		}
+		if res.Len() < 118 {
+			t.Fatalf("fault %d: length %d", r, res.Len())
+		}
+		if err := check.Ring(g, res.Ring, fs, 118); err != nil {
+			t.Fatalf("fault %d: %v", r, err)
+		}
+	}
+}
+
+// TestEmbedS5ExhaustivePairs sweeps all C(120,2) = 7140 fault pairs in
+// S_5, the full budget: the strongest exhaustive witness of Theorem 1
+// this suite affords.
+func TestEmbedS5ExhaustivePairs(t *testing.T) {
+	if testing.Short() {
+		t.Skip("exhaustive pair sweep")
+	}
+	for a := 0; a < 120; a++ {
+		va := perm.Pack(perm.Unrank(5, a))
+		for b := a + 1; b < 120; b++ {
+			fs := faults.NewSet(5)
+			fs.AddVertex(va)
+			fs.AddVertex(perm.Pack(perm.Unrank(5, b)))
+			res, err := Embed(5, fs, Config{})
+			if err != nil {
+				t.Fatalf("faults (%d,%d): %v", a, b, err)
+			}
+			if res.Len() < 116 {
+				t.Fatalf("faults (%d,%d): length %d", a, b, res.Len())
+			}
+		}
+	}
+}
+
+func TestEmbedDeterministic(t *testing.T) {
+	rng := rand.New(rand.NewSource(18))
+	fs := faults.RandomVertices(7, 4, rng)
+	a, err := Embed(7, fs, Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Embed(7, fs, Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(a.Ring) != len(b.Ring) {
+		t.Fatal("non-deterministic length")
+	}
+	for i := range a.Ring {
+		if a.Ring[i] != b.Ring[i] {
+			t.Fatalf("rings diverge at %d", i)
+		}
+	}
+}
+
+func TestEmbedWorkersAgree(t *testing.T) {
+	rng := rand.New(rand.NewSource(19))
+	fs := faults.RandomVertices(7, 4, rng)
+	a, err := Embed(7, fs, Config{Workers: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Embed(7, fs, Config{Workers: 8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range a.Ring {
+		if a.Ring[i] != b.Ring[i] {
+			t.Fatalf("worker counts disagree at %d", i)
+		}
+	}
+}
+
+func TestEmbedFaultFreeIsHamiltonian(t *testing.T) {
+	for n := 3; n <= 8; n++ {
+		res, err := Embed(n, nil, Config{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if res.Len() != perm.Factorial(n) {
+			t.Fatalf("S_%d: length %d", n, res.Len())
+		}
+	}
+}
+
+func TestEmbedResultMetadata(t *testing.T) {
+	rng := rand.New(rand.NewSource(20))
+	fs := faults.RandomVertices(7, 3, rng)
+	res, err := Embed(7, fs, Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.N != 7 || res.VertexFaults != 3 || res.EdgeFaults != 0 {
+		t.Fatal("metadata wrong")
+	}
+	if res.Blocks != perm.Factorial(7)/24 {
+		t.Fatalf("blocks %d", res.Blocks)
+	}
+	if res.FaultyBlocks < 1 || res.FaultyBlocks > 3 {
+		t.Fatalf("faulty blocks %d", res.FaultyBlocks)
+	}
+	if len(res.Positions) != 3 {
+		t.Fatalf("positions %v", res.Positions)
+	}
+	if !res.Guaranteed || res.Guarantee != 5040-6 {
+		t.Fatal("guarantee wrong")
+	}
+}
+
+// TestWorstCaseMatchesCeiling: same-partite faults make the algorithm
+// provably optimal; confirm equality achieved across dimensions.
+func TestWorstCaseMatchesCeiling(t *testing.T) {
+	rng := rand.New(rand.NewSource(21))
+	for n := 5; n <= 8; n++ {
+		for parity := 0; parity <= 1; parity++ {
+			fs := faults.SamePartiteVertices(n, faults.MaxTolerated(n), parity, rng)
+			res, err := Embed(n, fs, Config{})
+			if err != nil {
+				t.Fatal(err)
+			}
+			if res.Len() != res.UpperBound {
+				t.Fatalf("S_%d parity %d: len %d != ceiling %d", n, parity, res.Len(), res.UpperBound)
+			}
+		}
+	}
+}
+
+// TestBuildSpecValidation exercises the exported plumbing directly.
+func TestBuildSpecValidation(t *testing.T) {
+	fs := faults.NewSet(6)
+	if _, err := BuildR4(6, fs, BuildSpec{Positions: []int{2}}); err == nil {
+		t.Fatal("wrong position count accepted")
+	}
+	r4, err := BuildR4(6, fs, BuildSpec{Positions: []int{2, 3}, VerifyP1: true, VerifyP2: true, VerifyP3: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r4.Len() != 30 || r4.Order() != 4 {
+		t.Fatalf("R4: len=%d order=%d", r4.Len(), r4.Order())
+	}
+}
+
+// TestEmbedS6ExhaustiveSingles: every single-fault position in S_6
+// yields a verified ring of at least 718.
+func TestEmbedS6ExhaustiveSingles(t *testing.T) {
+	if testing.Short() {
+		t.Skip("exhaustive sweep")
+	}
+	for r := 0; r < 720; r++ {
+		fs := faults.NewSet(6)
+		fs.AddVertex(perm.Pack(perm.Unrank(6, r)))
+		res, err := Embed(6, fs, Config{})
+		if err != nil {
+			t.Fatalf("fault %d: %v", r, err)
+		}
+		if res.Len() < 718 {
+			t.Fatalf("fault %d: length %d", r, res.Len())
+		}
+	}
+}

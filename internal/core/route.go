@@ -1,0 +1,231 @@
+package core
+
+import (
+	"fmt"
+	"sync"
+
+	"repro/internal/faults"
+	"repro/internal/pathsearch"
+	"repro/internal/perm"
+	"repro/internal/superring"
+)
+
+// blockOrder is the number of vertices per S4 block.
+const blockOrder = pathsearch.BlockOrder
+
+// blockPlan collects everything needed to route one block of the R4.
+type blockPlan struct {
+	block   *pathsearch.Block
+	avoidV  []perm.Code    // faulty vertices inside the block
+	avoidE  [][2]perm.Code // faulty edges interior to the block
+	targets []int          // acceptable path lengths, best first
+
+	// Chosen by the junction search:
+	entry, exit perm.Code
+	length      int // the target that succeeded
+}
+
+// junction is one candidate crossing edge between consecutive blocks:
+// exit u in block k, entry w in block k+1.
+type junction struct {
+	u, w perm.Code
+}
+
+// RouteR4 is the executable Lemma 7: given an R4 with (P1)(P2)(P3), it
+// selects a healthy junction edge across every superedge and threads a
+// healthy path of the per-block target length through every block,
+// producing the final ring. Junction selection is a sequential scan with
+// backtracking; (P2) guarantees (via Lemmas 1, 5 and 6) that a valid
+// combination exists, and the exact block search makes each feasibility
+// test cheap and memoized.
+//
+// targetsFor maps a block's vertex-fault count to the acceptable path
+// lengths, best first. RouteR4 is exported for internal/baseline, which
+// routes its own R4 variants through the same engine; library users
+// should call Embed.
+func RouteR4(r4 *superring.Ring, fs *faults.Set, targetsFor func(int) []int, cfg Config) ([]perm.Code, error) {
+	return routeR4x(r4, fs, func(_, vf int) []int { return targetsFor(vf) }, nil, cfg)
+}
+
+// routeR4x is RouteR4 with two extra degrees of freedom used by the
+// opportunistic mode: per-block-index target policies and, when
+// exitParity is non-nil, a forced partite side for every block's exit
+// vertex (which pins the global parity chain that odd-length block
+// paths require).
+func routeR4x(r4 *superring.Ring, fs *faults.Set, targetsFor func(blockIdx, vf int) []int, exitParity []int, cfg Config) ([]perm.Code, error) {
+	m := r4.Len()
+	plans := make([]*blockPlan, m)
+	for k := 0; k < m; k++ {
+		pat := r4.At(k)
+		b, err := pathsearch.NewBlock(pat)
+		if err != nil {
+			return nil, fmt.Errorf("core: internal: %w", err)
+		}
+		plan := &blockPlan{block: b}
+		plan.avoidV = fs.FaultyIn(pat, nil)
+		for _, e := range fs.IntraEdgesIn(pat, nil) {
+			plan.avoidE = append(plan.avoidE, [2]perm.Code{e.U, e.V})
+		}
+		plan.targets = targetsFor(k, len(plan.avoidV))
+		plans[k] = plan
+	}
+
+	// Candidate junctions per superedge: healthy endpoints, healthy
+	// crossing edges, and (in opportunistic mode) the forced exit side.
+	n := r4.N()
+	cands := make([][]junction, m)
+	for k := 0; k < m; k++ {
+		us, ws := r4.At(k).CrossEdges(r4.At(k+1), nil, nil)
+		var js []junction
+		for i := range us {
+			u, w := us[i], ws[i]
+			if fs.HasVertex(u) || fs.HasVertex(w) || fs.HasEdge(u, w) {
+				continue
+			}
+			if exitParity != nil && u.Parity(n) != exitParity[k] {
+				continue
+			}
+			js = append(js, junction{u: u, w: w})
+		}
+		if len(js) == 0 {
+			return nil, fmt.Errorf("core: superedge %d has no healthy crossing edge", k)
+		}
+		cands[k] = js
+	}
+
+	if err := chooseJunctions(plans, cands); err != nil {
+		return nil, err
+	}
+	return assemble(plans, cfg)
+}
+
+// chooseJunctions assigns one junction per superedge such that every
+// block admits a path of one of its target lengths between its entry
+// (from the previous junction) and exit (from its own junction).
+// Junction k joins block k to block k+1; block k is validated once
+// junctions k-1 and k are set, and block 0 closes the cycle when the
+// final junction is chosen.
+func chooseJunctions(plans []*blockPlan, cands [][]junction) error {
+	m := len(plans)
+	idx := make([]int, m)
+	chosen := make([]junction, m)
+
+	// blockFeasible reports whether block k supports one of its target
+	// lengths between entry and exit, recording the first that works.
+	blockFeasible := func(k int, entry, exit perm.Code) bool {
+		p := plans[k]
+		for _, t := range p.targets {
+			_, ok := p.block.Path(pathsearch.PathSpec{
+				From: entry, To: exit,
+				AvoidV: p.avoidV, AvoidE: p.avoidE,
+				Target: t,
+			})
+			if ok {
+				p.entry, p.exit, p.length = entry, exit, t
+				return true
+			}
+		}
+		return false
+	}
+
+	const maxSteps = 1 << 21
+	steps := 0
+	k := 0
+	for k < m {
+		if steps++; steps > maxSteps {
+			return fmt.Errorf("core: junction search exceeded %d steps (blocks=%d)", maxSteps, m)
+		}
+		if idx[k] >= len(cands[k]) {
+			idx[k] = 0
+			k--
+			if k < 0 {
+				return fmt.Errorf("core: no junction assignment routes the ring")
+			}
+			idx[k]++
+			continue
+		}
+		chosen[k] = cands[k][idx[k]]
+		ok := true
+		if k >= 1 && !blockFeasible(k, chosen[k-1].w, chosen[k].u) {
+			ok = false
+		}
+		if ok && k == m-1 && !blockFeasible(0, chosen[m-1].w, chosen[0].u) {
+			ok = false
+		}
+		if !ok {
+			idx[k]++
+			continue
+		}
+		k++
+	}
+
+	// Feasibility calls above recorded entry/exit for blocks 1..m-1 and
+	// finally block 0; but intermediate backtracking may have left stale
+	// state, so re-record the final assignment.
+	for k := 0; k < m; k++ {
+		prev := (k - 1 + m) % m
+		if !blockFeasible(k, chosen[prev].w, chosen[k].u) {
+			return fmt.Errorf("core: internal: block %d lost feasibility on replay", k)
+		}
+	}
+	return nil
+}
+
+// assemble materializes every block path and concatenates them into the
+// ring. Path extraction per block is independent given the junctions, so
+// it is fanned out over a worker pool; results land directly in their
+// precomputed segment of the output slice.
+func assemble(plans []*blockPlan, cfg Config) ([]perm.Code, error) {
+	m := len(plans)
+	offsets := make([]int, m+1)
+	for k, p := range plans {
+		offsets[k+1] = offsets[k] + p.length
+	}
+	ring := make([]perm.Code, offsets[m])
+
+	workers := cfg.workers()
+	if workers > m {
+		workers = m
+	}
+	if workers < 1 {
+		workers = 1
+	}
+	var (
+		wg     sync.WaitGroup
+		mu     sync.Mutex
+		outErr error
+	)
+	next := make(chan int, m)
+	for k := 0; k < m; k++ {
+		next <- k
+	}
+	close(next)
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for k := range next {
+				p := plans[k]
+				path, ok := p.block.Path(pathsearch.PathSpec{
+					From: p.entry, To: p.exit,
+					AvoidV: p.avoidV, AvoidE: p.avoidE,
+					Target: p.length,
+				})
+				if !ok {
+					mu.Lock()
+					if outErr == nil {
+						outErr = fmt.Errorf("core: internal: block %d path vanished", k)
+					}
+					mu.Unlock()
+					continue
+				}
+				copy(ring[offsets[k]:offsets[k+1]], path)
+			}
+		}()
+	}
+	wg.Wait()
+	if outErr != nil {
+		return nil, outErr
+	}
+	return ring, nil
+}

@@ -1,0 +1,37 @@
+package faults
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+
+	"repro/internal/substar"
+)
+
+func BenchmarkSeparatingPositions(b *testing.B) {
+	for n := 6; n <= 9; n++ {
+		rng := rand.New(rand.NewSource(int64(n)))
+		fs := RandomVertices(n, MaxTolerated(n), rng)
+		b.Run(fmt.Sprintf("n=%d", n), func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				if _, ok := fs.SeparatingPositions(); !ok {
+					b.Fatal("separation failed")
+				}
+			}
+		})
+	}
+}
+
+func BenchmarkCountIn(b *testing.B) {
+	rng := rand.New(rand.NewSource(3))
+	fs := RandomVertices(8, 5, rng)
+	positions, _ := fs.SeparatingPositions()
+	// One representative block pattern.
+	blocks := substar.Whole(8).PartitionSeq(positions)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_ = fs.CountIn(blocks[i%len(blocks)])
+	}
+}

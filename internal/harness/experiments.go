@@ -1,0 +1,714 @@
+package harness
+
+import (
+	"fmt"
+	"math/rand"
+	"time"
+
+	"repro/internal/baseline"
+	"repro/internal/check"
+	"repro/internal/core"
+	"repro/internal/faults"
+	"repro/internal/pathsearch"
+	"repro/internal/perm"
+	"repro/internal/sim"
+	"repro/internal/substar"
+)
+
+// distribution names a fault generator used in the sweeps.
+type distribution struct {
+	name string
+	gen  func(n, k int, rng *rand.Rand) *faults.Set
+}
+
+func distributions() []distribution {
+	return []distribution{
+		{"uniform", func(n, k int, rng *rand.Rand) *faults.Set {
+			return faults.RandomVertices(n, k, rng)
+		}},
+		{"same-partite", func(n, k int, rng *rand.Rand) *faults.Set {
+			return faults.SamePartiteVertices(n, k, 0, rng)
+		}},
+		{"clustered", func(n, k int, rng *rand.Rand) *faults.Set {
+			m := 3
+			for perm.Factorial(m) < k {
+				m++
+			}
+			fs, _, err := faults.ClusteredVertices(n, k, m, rng)
+			if err != nil {
+				panic(err)
+			}
+			return fs
+		}},
+	}
+}
+
+// T1 validates Theorem 1: every embedding meets n! - 2|Fv|, for every
+// dimension, fault count and distribution; small configurations are
+// swept exhaustively over all fault positions.
+func T1(cfg SweepConfig) ([]*Table, error) {
+	t := &Table{
+		ID:    "T1",
+		Title: "Theorem 1: healthy ring of length >= n!-2|Fv| (|Fv| <= n-3)",
+		Caption: "Every trial re-verified: simple, closed, fault-free, length >= guarantee. " +
+			"min/max lengths are across trials; 'exhaustive' sweeps every fault placement.",
+		Headers: []string{"n", "|Fv|", "distribution", "trials", "min len", "max len", "guarantee", "ok"},
+	}
+	// Exhaustive: S4 with every single fault; S5 with every fault pair
+	// (its complete budget); S6 with every single fault.
+	if err := t1Exhaustive(t, 4, 1); err != nil {
+		return nil, err
+	}
+	for k := 1; k <= 2; k++ {
+		if err := t1Exhaustive(t, 5, k); err != nil {
+			return nil, err
+		}
+	}
+	if err := t1Exhaustive(t, 6, 1); err != nil {
+		return nil, err
+	}
+	for n := 6; n <= cfg.MaxN; n++ {
+		for k := 0; k <= faults.MaxTolerated(n); k++ {
+			for _, d := range distributions() {
+				if d.name == "clustered" && k == 0 {
+					continue
+				}
+				minLen, maxLen := 1<<62, 0
+				want := perm.Factorial(n) - 2*k
+				for seed := 0; seed < cfg.Seeds; seed++ {
+					rng := rand.New(rand.NewSource(int64(seed + 7919*n + 104729*k)))
+					fs := d.gen(n, k, rng)
+					res, err := core.Embed(n, fs, core.Config{})
+					if err != nil {
+						return nil, fmt.Errorf("n=%d k=%d %s: %w", n, k, d.name, err)
+					}
+					if res.Len() < want {
+						return nil, fmt.Errorf("n=%d k=%d %s: len %d < %d", n, k, d.name, res.Len(), want)
+					}
+					if res.Len() < minLen {
+						minLen = res.Len()
+					}
+					if res.Len() > maxLen {
+						maxLen = res.Len()
+					}
+				}
+				t.AddRow(n, k, d.name, cfg.Seeds, minLen, maxLen, want, "yes")
+			}
+		}
+	}
+	return []*Table{t}, nil
+}
+
+// t1Exhaustive sweeps every k-subset of vertex faults in S_n (only
+// sensible for tiny n).
+func t1Exhaustive(t *Table, n, k int) error {
+	total := perm.Factorial(n)
+	want := total - 2*k
+	minLen, maxLen, trials := 1<<62, 0, 0
+	var rec func(start int, picked []int) error
+	rec = func(start int, picked []int) error {
+		if len(picked) == k {
+			fs := faults.NewSet(n)
+			for _, r := range picked {
+				fs.AddVertex(perm.Pack(perm.Unrank(n, r)))
+			}
+			res, err := core.Embed(n, fs, core.Config{})
+			if err != nil {
+				return fmt.Errorf("exhaustive n=%d %v: %w", n, picked, err)
+			}
+			if res.Len() < want {
+				return fmt.Errorf("exhaustive n=%d %v: len %d < %d", n, picked, res.Len(), want)
+			}
+			trials++
+			if res.Len() < minLen {
+				minLen = res.Len()
+			}
+			if res.Len() > maxLen {
+				maxLen = res.Len()
+			}
+			return nil
+		}
+		for r := start; r < total; r++ {
+			if err := rec(r+1, append(picked, r)); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+	if err := rec(0, nil); err != nil {
+		return err
+	}
+	t.AddRow(n, k, "exhaustive", trials, minLen, maxLen, want, "yes")
+	return nil
+}
+
+// T2 certifies worst-case optimality: with all faults in one partite
+// set the bipartite ceiling equals n! - 2|Fv| and the algorithm attains
+// it exactly; on S4 an exhaustive longest-cycle search independently
+// confirms that no longer cycle exists for any fault placement.
+func T2(cfg SweepConfig) ([]*Table, error) {
+	t := &Table{
+		ID:    "T2",
+		Title: "Optimality: same-partite faults meet the bipartite ceiling exactly",
+		Caption: "ceiling = n! - 2*max(f_even, f_odd) bounds ANY healthy cycle. With all " +
+			"faults on one side it equals the guarantee, so the embedded ring is longest " +
+			"possible. The S4 row is certified by exhaustive longest-cycle search.",
+		Headers: []string{"n", "|Fv|", "achieved", "ceiling", "achieved=ceiling", "certification"},
+	}
+	// Exhaustive S4 certification: for every vertex fault, the longest
+	// cycle found by unbounded search is exactly 22.
+	worst := 0
+	best := 1 << 62
+	for f := 0; f < pathsearch.BlockOrder; f++ {
+		_, l := pathsearch.Canon.LongestCycleAvoiding(1<<uint(f), nil)
+		if l > worst {
+			worst = l
+		}
+		if l < best {
+			best = l
+		}
+	}
+	if best != 22 || worst != 22 {
+		return nil, fmt.Errorf("T2: S4 exhaustive longest cycle in [%d,%d], want 22", best, worst)
+	}
+	t.AddRow(4, 1, 22, 22, "yes", "exhaustive search, all 24 fault positions")
+
+	for n := 5; n <= cfg.MaxN; n++ {
+		k := faults.MaxTolerated(n)
+		rng := rand.New(rand.NewSource(int64(n)))
+		fs := faults.SamePartiteVertices(n, k, 0, rng)
+		res, err := core.Embed(n, fs, core.Config{})
+		if err != nil {
+			return nil, err
+		}
+		ceiling := check.BipartiteUpperBound(n, fs)
+		eq := "yes"
+		if res.Len() != ceiling {
+			eq = "NO"
+		}
+		t.AddRow(n, k, res.Len(), ceiling, eq, "bipartite counting bound")
+	}
+	return []*Table{t}, nil
+}
+
+// T3 compares against Tseng-Chang-Sheu on identical fault sets.
+func T3(cfg SweepConfig) ([]*Table, error) {
+	t := &Table{
+		ID:    "T3",
+		Title: "Paper (n!-2|Fv|) vs Tseng et al. (n!-4|Fv|) on identical fault sets",
+		Caption: "Both algorithms run on the same fault sets; lengths are means over seeds. " +
+			"The guarantee gap is exactly 2|Fv|; the measured gap matches because both " +
+			"constructions realize their bounds.",
+		Headers: []string{"n", "|Fv|", "paper len", "tseng len", "paper guar", "tseng guar", "gap"},
+	}
+	for n := 5; n <= cfg.MaxN; n++ {
+		for k := 1; k <= faults.MaxTolerated(n); k++ {
+			var sumP, sumT int
+			for seed := 0; seed < cfg.Seeds; seed++ {
+				rng := rand.New(rand.NewSource(int64(31*seed + n*1000 + k)))
+				fs := faults.RandomVertices(n, k, rng)
+				p, err := core.Embed(n, fs, core.Config{})
+				if err != nil {
+					return nil, err
+				}
+				q, err := baseline.Tseng(n, fs, core.Config{})
+				if err != nil {
+					return nil, err
+				}
+				if p.Len() < p.Guarantee {
+					return nil, fmt.Errorf("T3: paper under its guarantee (n=%d k=%d)", n, k)
+				}
+				if len(q.Ring) < q.Guarantee {
+					return nil, fmt.Errorf("T3: baseline under its guarantee (n=%d k=%d)", n, k)
+				}
+				sumP += p.Len()
+				sumT += len(q.Ring)
+			}
+			meanP := float64(sumP) / float64(cfg.Seeds)
+			meanT := float64(sumT) / float64(cfg.Seeds)
+			t.AddRow(n, k, meanP, meanT,
+				perm.Factorial(n)-2*k, perm.Factorial(n)-4*k, meanP-meanT)
+		}
+	}
+	return []*Table{t}, nil
+}
+
+// T4 charts the clustered regime: guarantee gap m! - 2|Fv| flips sign at
+// the crossover 2|Fv| = m!.
+func T4(cfg SweepConfig) ([]*Table, error) {
+	t := &Table{
+		ID:    "T4",
+		Title: "Clustered faults: paper vs Latifi-Bagherzadeh (n!-m!)",
+		Caption: "All faults inside one S_m. The guarantee gap is m!-2|Fv|: the paper wins " +
+			"whenever faults do not pack into a tiny cluster (2|Fv| < m!), and the clustered " +
+			"bound wins below the crossover 2|Fv| = m! — the regime it was designed for.",
+		Headers: []string{"n", "m", "|Fv|", "paper len", "latifi len", "paper guar", "latifi guar", "winner"},
+	}
+	for n := 5; n <= cfg.MaxN; n++ {
+		for _, m := range []int{2, 3, 4} {
+			if m >= n {
+				continue
+			}
+			k := faults.MaxTolerated(n)
+			if f := perm.Factorial(m); k > f {
+				k = f
+			}
+			rng := rand.New(rand.NewSource(int64(n*100 + m)))
+			fs, _, err := faults.ClusteredVertices(n, k, m, rng)
+			if err != nil {
+				return nil, err
+			}
+			p, err := core.Embed(n, fs, core.Config{})
+			if err != nil {
+				return nil, err
+			}
+			q, err := baseline.Latifi(n, fs, core.Config{})
+			if err != nil {
+				return nil, err
+			}
+			winner := "paper"
+			switch {
+			case q.Guarantee > p.Guarantee:
+				winner = "latifi"
+			case q.Guarantee == p.Guarantee:
+				winner = "tie"
+			}
+			t.AddRow(n, q.M, k, p.Len(), len(q.Ring), p.Guarantee, q.Guarantee, winner)
+		}
+	}
+	return []*Table{t}, nil
+}
+
+// T5 checks the edge-fault companion: |Fe| <= n-3 leaves the ring
+// Hamiltonian.
+func T5(cfg SweepConfig) ([]*Table, error) {
+	t := &Table{
+		ID:      "T5",
+		Title:   "Edge faults only: Hamiltonian ring (length n!) with |Fe| <= n-3",
+		Caption: "Vertex count is unreduced: the block search routes around faulty edges and junction selection avoids faulty crossing edges.",
+		Headers: []string{"n", "|Fe|", "trials", "min len", "n!", "hamiltonian"},
+	}
+	for n := 4; n <= cfg.MaxN; n++ {
+		for k := 1; k <= faults.MaxTolerated(n); k++ {
+			minLen := 1 << 62
+			for seed := 0; seed < cfg.Seeds; seed++ {
+				rng := rand.New(rand.NewSource(int64(17*seed + n*100 + k)))
+				fs := faults.RandomEdges(n, k, rng)
+				res, err := core.Embed(n, fs, core.Config{})
+				if err != nil {
+					return nil, fmt.Errorf("T5 n=%d k=%d: %w", n, k, err)
+				}
+				if res.Len() < minLen {
+					minLen = res.Len()
+				}
+			}
+			ok := "yes"
+			if minLen != perm.Factorial(n) {
+				ok = "NO"
+			}
+			t.AddRow(n, k, cfg.Seeds, minLen, perm.Factorial(n), ok)
+		}
+	}
+	return []*Table{t}, nil
+}
+
+// T6 checks the mixed-fault extension from the concluding remarks.
+func T6(cfg SweepConfig) ([]*Table, error) {
+	t := &Table{
+		ID:      "T6",
+		Title:   "Mixed faults: length >= n!-2|Fv| whenever |Fv|+|Fe| <= n-3",
+		Caption: "Every split of the budget between vertex and edge faults; the loss depends only on |Fv|.",
+		Headers: []string{"n", "|Fv|", "|Fe|", "trials", "min len", "guarantee", "ok"},
+	}
+	for n := 5; n <= cfg.MaxN; n++ {
+		budget := faults.MaxTolerated(n)
+		for kv := 0; kv <= budget; kv++ {
+			ke := budget - kv
+			minLen := 1 << 62
+			want := perm.Factorial(n) - 2*kv
+			for seed := 0; seed < cfg.Seeds; seed++ {
+				rng := rand.New(rand.NewSource(int64(13*seed + n*50 + kv)))
+				fs := faults.Mixed(n, kv, ke, rng)
+				res, err := core.Embed(n, fs, core.Config{})
+				if err != nil {
+					return nil, fmt.Errorf("T6 n=%d kv=%d ke=%d: %w", n, kv, ke, err)
+				}
+				if res.Len() < minLen {
+					minLen = res.Len()
+				}
+			}
+			ok := "yes"
+			if minLen < want {
+				ok = "NO"
+			}
+			t.AddRow(n, kv, ke, cfg.Seeds, minLen, want, ok)
+		}
+	}
+	return []*Table{t}, nil
+}
+
+// F1 produces the headline series: ring length vs |Fv| for each
+// algorithm at n=7, plus the bipartite ceiling.
+func F1(cfg SweepConfig) ([]*Table, error) {
+	n := 7
+	if cfg.MaxN < 7 {
+		n = cfg.MaxN
+	}
+	t := &Table{
+		ID:    "F1",
+		Title: fmt.Sprintf("Ring length vs |Fv| per algorithm (n=%d, uniform faults, mean of %d seeds)", n, cfg.Seeds),
+		Caption: "The data behind the paper's comparison: the paper tracks the ceiling at " +
+			"distance 2|Fv| from n!, Tseng at 4|Fv|; the clustered baseline depends on how " +
+			"tightly the random faults happen to cluster (here: not at all, so m is large and " +
+			"its guarantee collapses).",
+		Headers: []string{"|Fv|", "ceiling(worst)", "paper", "tseng", "latifi"},
+	}
+	for k := 0; k <= faults.MaxTolerated(n); k++ {
+		var sumP, sumT float64
+		latifi := "n/a"
+		var sumL float64
+		latifiOK := 0
+		for seed := 0; seed < cfg.Seeds; seed++ {
+			rng := rand.New(rand.NewSource(int64(97*seed + k)))
+			fs := faults.RandomVertices(n, k, rng)
+			p, err := core.Embed(n, fs, core.Config{})
+			if err != nil {
+				return nil, err
+			}
+			sumP += float64(p.Len())
+			q, err := baseline.Tseng(n, fs, core.Config{})
+			if err != nil {
+				return nil, err
+			}
+			sumT += float64(len(q.Ring))
+			if k > 0 {
+				if l, err := baseline.Latifi(n, fs, core.Config{}); err == nil {
+					sumL += float64(len(l.Ring))
+					latifiOK++
+				}
+			}
+		}
+		if latifiOK > 0 {
+			latifi = fmt.Sprintf("%.2f", sumL/float64(latifiOK))
+		}
+		t.AddRow(k, perm.Factorial(n)-2*k,
+			sumP/float64(cfg.Seeds), sumT/float64(cfg.Seeds), latifi)
+	}
+	return []*Table{t}, nil
+}
+
+// F2 measures construction cost vs dimension at the maximum fault
+// budget.
+func F2(cfg SweepConfig) ([]*Table, error) {
+	t := &Table{
+		ID:    "F2",
+		Title: "Construction time and output size vs n (|Fv| = n-3)",
+		Caption: "Wall time for one embedding including self-verification; the algorithm is " +
+			"near-linear in the output (n! ring entries of 8 bytes).",
+		Headers: []string{"n", "|Fv|", "ring len", "blocks", "time", "ring MiB"},
+	}
+	top := cfg.MaxN + 1
+	if top > 10 {
+		top = 10
+	}
+	for n := 4; n <= top; n++ {
+		k := faults.MaxTolerated(n)
+		rng := rand.New(rand.NewSource(int64(n)))
+		fs := faults.RandomVertices(n, k, rng)
+		start := time.Now()
+		res, err := core.Embed(n, fs, core.Config{})
+		if err != nil {
+			return nil, err
+		}
+		elapsed := time.Since(start).Round(10 * time.Microsecond)
+		t.AddRow(n, k, res.Len(), res.Blocks, elapsed.String(),
+			fmt.Sprintf("%.2f", float64(res.Len()*8)/(1<<20)))
+	}
+	return []*Table{t}, nil
+}
+
+// F3 sweeps the fault parity mix: the algorithm always loses exactly
+// 2|Fv|, while the ceiling n! - 2*max(f0, f1) relaxes as faults split
+// across the bipartition — quantifying the gap Theorem 1 leaves open
+// outside the worst case.
+func F3(cfg SweepConfig) ([]*Table, error) {
+	n := 7
+	if cfg.MaxN < 7 {
+		n = cfg.MaxN
+	}
+	k := faults.MaxTolerated(n)
+	t := &Table{
+		ID:    "F3",
+		Title: fmt.Sprintf("Fault parity mix (n=%d, |Fv|=%d): achieved vs ceiling", n, k),
+		Caption: "With j faults even / k-j odd the ceiling is n! - 2*max(j, k-j); the paper's " +
+			"construction pays 2 per fault regardless, so it is exactly optimal at the " +
+			"extremes (all faults one side) and leaves a gap in between. The opportunistic " +
+			"extension (this library, beyond the paper) recovers the gap by routing one " +
+			"faulty block per fault-parity run with 23 vertices instead of 22.",
+		Headers: []string{"even faults", "odd faults", "paper", "opportunistic", "guarantee", "ceiling"},
+	}
+	for j := 0; j <= k; j++ {
+		rng := rand.New(rand.NewSource(int64(41*j + 5)))
+		fs := faults.NewSet(n)
+		for fs.NumVertices() < j {
+			v := perm.Pack(perm.Unrank(n, rng.Intn(perm.Factorial(n))))
+			if v.Parity(n) == 0 {
+				fs.AddVertex(v)
+			}
+		}
+		for fs.NumVertices() < k {
+			v := perm.Pack(perm.Unrank(n, rng.Intn(perm.Factorial(n))))
+			if v.Parity(n) == 1 {
+				fs.AddVertex(v)
+			}
+		}
+		res, err := core.Embed(n, fs, core.Config{})
+		if err != nil {
+			return nil, err
+		}
+		opp, err := core.Embed(n, fs, core.Config{Opportunistic: true})
+		if err != nil {
+			return nil, err
+		}
+		ceiling := check.BipartiteUpperBound(n, fs)
+		t.AddRow(j, k-j, res.Len(), opp.Len(), res.Guarantee, ceiling)
+	}
+	return []*Table{t}, nil
+}
+
+// F4 charts the longest-path extension: guaranteed and measured path
+// lengths between endpoints of equal and opposite parity.
+func F4(cfg SweepConfig) ([]*Table, error) {
+	n := 7
+	if cfg.MaxN < 7 {
+		n = cfg.MaxN
+	}
+	t := &Table{
+		ID:    "F4",
+		Title: fmt.Sprintf("Longest s-t paths (n=%d): measured vs guarantee by endpoint parity", n),
+		Caption: "Extension beyond the paper (the authors' follow-up problem): a healthy s-t " +
+			"path of n!-2|Fv| vertices when s, t lie in different partite sets, one fewer when " +
+			"they share one — and one MORE when a faulty block can shed only its fault " +
+			"(same-side endpoints, opposite-side fault).",
+		Headers: []string{"|Fv|", "parity", "trials", "min len", "max len", "guarantee"},
+	}
+	for k := 0; k <= faults.MaxTolerated(n); k++ {
+		for _, same := range []bool{false, true} {
+			minLen, maxLen := 1<<62, 0
+			want := perm.Factorial(n) - 2*k
+			label := "opposite"
+			if same {
+				want--
+				label = "same"
+			}
+			trials := 0
+			for seed := 0; seed < cfg.Seeds; seed++ {
+				rng := rand.New(rand.NewSource(int64(59*seed + 10*n + k)))
+				fs := faults.RandomVertices(n, k, rng)
+				var s, tt perm.Code
+				for {
+					s = perm.Pack(perm.Unrank(n, rng.Intn(perm.Factorial(n))))
+					tt = perm.Pack(perm.Unrank(n, rng.Intn(perm.Factorial(n))))
+					if s == tt || fs.HasVertex(s) || fs.HasVertex(tt) {
+						continue
+					}
+					if (s.Parity(n) == tt.Parity(n)) == same {
+						break
+					}
+				}
+				res, err := core.EmbedPath(n, fs, s, tt, core.Config{})
+				if err != nil {
+					return nil, fmt.Errorf("F4 k=%d seed=%d: %w", k, seed, err)
+				}
+				if res.Len() < want {
+					return nil, fmt.Errorf("F4 k=%d: path %d < %d", k, res.Len(), want)
+				}
+				trials++
+				if res.Len() < minLen {
+					minLen = res.Len()
+				}
+				if res.Len() > maxLen {
+					maxLen = res.Len()
+				}
+			}
+			t.AddRow(k, label, trials, minLen, maxLen, want)
+		}
+	}
+	return []*Table{t}, nil
+}
+
+// F5 runs the operational campaign on the machine simulator: processors
+// fail between work phases, the ring is re-embedded online, and the
+// table reports availability and capacity — the system-level view of
+// the paper's per-failure cost.
+func F5(cfg SweepConfig) ([]*Table, error) {
+	t := &Table{
+		ID:    "F5",
+		Title: "Operational campaign (internal/sim): availability under failures",
+		Caption: "Each row is a deterministic campaign: work laps interleaved with on-ring " +
+			"failures and online re-embedding (re-embed cost: 4 ticks/block). Within the " +
+			"budget every failure costs exactly 2 ring slots (guarantee column); beyond it " +
+			"the machine continues best-effort.",
+		Headers: []string{"n", "failures", "laps", "final ring", "availability", "reembeds", "guarantee held"},
+	}
+	for _, n := range []int{5, 6, 7} {
+		if n > cfg.MaxN {
+			continue
+		}
+		budget := faults.MaxTolerated(n)
+		for _, failures := range []int{budget, budget + 2} {
+			rep, err := sim.RunCampaign(sim.CampaignConfig{
+				Machine: sim.Config{
+					N:                   n,
+					HopCost:             1,
+					ReembedCostPerBlock: 4,
+					Embed:               core.Config{BestEffort: true},
+				},
+				Failures:    failures,
+				LapsBetween: 2,
+				Seed:        int64(100*n + failures),
+			})
+			if err != nil {
+				return nil, fmt.Errorf("F5 n=%d failures=%d: %w", n, failures, err)
+			}
+			held := "yes"
+			if !rep.GuaranteeHeld {
+				held = "NO"
+			}
+			if failures > budget {
+				held = "n/a (beyond budget)"
+			}
+			t.AddRow(n, failures, rep.Laps, rep.FinalRing,
+				fmt.Sprintf("%.2f%%", 100*rep.Availability), rep.Reembeds, held)
+		}
+	}
+	return []*Table{t}, nil
+}
+
+// A1 tabulates the ablations DESIGN.md calls out: the canonical-block
+// result cache, the Warnsdorff branch ordering in the block DFS, and
+// Lemma 2's greedy separation vs naive fixed positions. Timings are
+// wall-clock for a fixed workload; the structural column shows what the
+// greedy protects (zero (P1) violations).
+func A1(cfg SweepConfig) ([]*Table, error) {
+	t := &Table{
+		ID:    "A1",
+		Title: "Ablations: block-search cache, branch ordering, greedy separation",
+		Caption: "Workload for the first two rows: a full Lemma 4 sweep (every fault, every " +
+			"adjacent healthy pair, 22-vertex target). The separation rows embed one " +
+			"adversarially clustered instance in S_7; naive positions leave a multi-fault " +
+			"block, so the n!-2|Fv| GUARANTEE no longer applies even when the measured " +
+			"length survives via degraded routing.",
+		Headers: []string{"variant", "workload time", "(P1) violations", "note"},
+	}
+
+	sweep := func(noCache, noHeuristic bool) time.Duration {
+		start := time.Now()
+		for f := 0; f < pathsearch.BlockOrder; f++ {
+			forb := uint32(1) << uint(f)
+			for u := 0; u < pathsearch.BlockOrder; u++ {
+				if u == f {
+					continue
+				}
+				for a := pathsearch.Canon.Adjacency(uint8(u)) &^ forb; a != 0; a &= a - 1 {
+					v := uint8(trailingZeros32(a))
+					q := pathsearch.Query{From: uint8(u), To: v, ForbidV: forb, Target: 22,
+						NoCache: noCache, NoHeuristic: noHeuristic}
+					if _, ok := pathsearch.Canon.FindPath(q); !ok {
+						panic("Lemma 4 sweep failed")
+					}
+				}
+			}
+		}
+		return time.Since(start)
+	}
+	sweep(false, false) // populate the cache
+	t.AddRow("full engine, warm cache", sweep(false, false).Round(10*time.Microsecond).String(), "-", "steady state: map lookups only")
+	t.AddRow("no cache", sweep(true, false).Round(10*time.Microsecond).String(), "-", "every query re-searched")
+	t.AddRow("no cache, no heuristic", sweep(true, true).Round(10*time.Microsecond).String(), "-", "plain DFS ordering")
+
+	// Separation ablation.
+	n := 7
+	fs := faults.NewSet(n)
+	base := []uint8{1, 2, 3, 4, 5, 6, 7}
+	for _, p := range []int{0, 4, 5, 6} {
+		v := append([]uint8{}, base...)
+		v[0], v[p] = v[p], v[0]
+		pp, err := perm.New(v)
+		if err != nil {
+			return nil, err
+		}
+		fs.AddVertex(perm.Pack(pp))
+	}
+	countViolations := func(positions []int) int {
+		k := 0
+		for _, blk := range substar.Whole(n).PartitionSeq(positions) {
+			if fs.CountIn(blk) > 1 {
+				k++
+			}
+		}
+		return k
+	}
+	greedy, _ := fs.SeparatingPositions()
+	naive := []int{2, 3, 4}
+	t.AddRow("Lemma 2 greedy positions", "-", countViolations(greedy), fmt.Sprintf("positions %v", greedy))
+	t.AddRow("naive positions 2..n-3", "-", countViolations(naive), "guarantee lost: one block holds all faults")
+	return []*Table{t}, nil
+}
+
+func trailingZeros32(x uint32) int {
+	k := 0
+	for x&1 == 0 {
+		x >>= 1
+		k++
+	}
+	return k
+}
+
+// F6 probes beyond the proven edge-fault budget: the theorem guarantees
+// Hamiltonian rings only for |Fe| <= n-3, but the exact block search
+// and junction backtracking often absorb many more faulty edges. The
+// table reports, for random edge-fault sets past the budget, how often
+// a full n! ring still comes out (best-effort mode, so the run cannot
+// fail outright).
+func F6(cfg SweepConfig) ([]*Table, error) {
+	t := &Table{
+		ID:    "F6",
+		Title: "Empirical edge-fault tolerance beyond the proven budget |Fe| <= n-3",
+		Caption: "Strictly beyond the paper: measured behavior, not a guarantee. 'hamiltonian' " +
+			"counts trials whose best-effort ring still reached n!; 'min len' is the worst " +
+			"observed. Failures concentrate when faults gang up on one block or superedge.",
+		Headers: []string{"n", "|Fe|", "budget", "trials", "hamiltonian", "min len", "n!"},
+	}
+	for _, n := range []int{6, 7} {
+		if n > cfg.MaxN {
+			continue
+		}
+		budget := faults.MaxTolerated(n)
+		seen := map[int]bool{}
+		for _, ke := range []int{budget, budget + 2, 2*n - 7, 3 * budget} {
+			if seen[ke] {
+				continue
+			}
+			seen[ke] = true
+			ham, minLen := 0, 1<<62
+			for seed := 0; seed < cfg.Seeds; seed++ {
+				rng := rand.New(rand.NewSource(int64(7*seed + 100*n + ke)))
+				fs := faults.RandomEdges(n, ke, rng)
+				res, err := core.Embed(n, fs, core.Config{BestEffort: true})
+				if err != nil {
+					return nil, fmt.Errorf("F6 n=%d ke=%d seed=%d: %w", n, ke, seed, err)
+				}
+				if res.Len() == perm.Factorial(n) {
+					ham++
+				}
+				if res.Len() < minLen {
+					minLen = res.Len()
+				}
+			}
+			t.AddRow(n, ke, budget, cfg.Seeds,
+				fmt.Sprintf("%d/%d", ham, cfg.Seeds), minLen, perm.Factorial(n))
+		}
+	}
+	return []*Table{t}, nil
+}

@@ -1,0 +1,198 @@
+// Package harness drives the evaluation suite. The paper is a theory
+// paper without experimental tables, so the harness reproduces each of
+// its quantitative claims as a table or data series (experiments T1-T6,
+// F1-F5 and the A1 ablations, indexed in DESIGN.md): Theorem 1's length guarantee and its
+// worst-case optimality, the improvements over the Tseng-Chang-Sheu and
+// Latifi-Bagherzadeh baselines, the edge-fault and mixed-fault
+// extensions, and the scaling of the construction itself.
+package harness
+
+import (
+	"fmt"
+	"io"
+	"strings"
+)
+
+// Table is a rendered experiment result: a titled grid plus the
+// commentary tying it back to the paper's claim.
+type Table struct {
+	ID      string
+	Title   string
+	Caption string
+	Headers []string
+	Rows    [][]string
+}
+
+// AddRow appends a row of cells, formatting each value with %v.
+func (t *Table) AddRow(cells ...interface{}) {
+	row := make([]string, len(cells))
+	for i, c := range cells {
+		switch v := c.(type) {
+		case float64:
+			row[i] = fmt.Sprintf("%.2f", v)
+		default:
+			row[i] = fmt.Sprintf("%v", c)
+		}
+	}
+	t.Rows = append(t.Rows, row)
+}
+
+// Fprint renders the table as aligned text.
+func (t *Table) Fprint(w io.Writer) {
+	fmt.Fprintf(w, "== %s: %s ==\n", t.ID, t.Title)
+	widths := make([]int, len(t.Headers))
+	for i, h := range t.Headers {
+		widths[i] = len(h)
+	}
+	for _, row := range t.Rows {
+		for i, c := range row {
+			if i < len(widths) && len(c) > widths[i] {
+				widths[i] = len(c)
+			}
+		}
+	}
+	line := func(cells []string) {
+		parts := make([]string, len(cells))
+		for i, c := range cells {
+			parts[i] = pad(c, widths[i])
+		}
+		fmt.Fprintln(w, strings.TrimRight(strings.Join(parts, "  "), " "))
+	}
+	line(t.Headers)
+	rule := make([]string, len(t.Headers))
+	for i := range rule {
+		rule[i] = strings.Repeat("-", widths[i])
+	}
+	line(rule)
+	for _, row := range t.Rows {
+		line(row)
+	}
+	if t.Caption != "" {
+		fmt.Fprintf(w, "\n%s\n", wrap(t.Caption, 72))
+	}
+	fmt.Fprintln(w)
+}
+
+// Markdown renders the table as GitHub-flavored markdown (used to
+// regenerate EXPERIMENTS.md).
+func (t *Table) Markdown(w io.Writer) {
+	fmt.Fprintf(w, "### %s: %s\n\n", t.ID, t.Title)
+	fmt.Fprintf(w, "| %s |\n", strings.Join(t.Headers, " | "))
+	sep := make([]string, len(t.Headers))
+	for i := range sep {
+		sep[i] = "---"
+	}
+	fmt.Fprintf(w, "| %s |\n", strings.Join(sep, " | "))
+	for _, row := range t.Rows {
+		fmt.Fprintf(w, "| %s |\n", strings.Join(row, " | "))
+	}
+	if t.Caption != "" {
+		fmt.Fprintf(w, "\n%s\n", t.Caption)
+	}
+	fmt.Fprintln(w)
+}
+
+func pad(s string, w int) string {
+	if len(s) >= w {
+		return s
+	}
+	return s + strings.Repeat(" ", w-len(s))
+}
+
+func wrap(s string, width int) string {
+	words := strings.Fields(s)
+	var b strings.Builder
+	col := 0
+	for i, w := range words {
+		if col+len(w)+1 > width && col > 0 {
+			b.WriteByte('\n')
+			col = 0
+		} else if i > 0 {
+			b.WriteByte(' ')
+			col++
+		}
+		b.WriteString(w)
+		col += len(w)
+	}
+	return b.String()
+}
+
+// SweepConfig sizes the sweeps. The zero value is upgraded by Defaults.
+type SweepConfig struct {
+	// MaxN bounds the largest dimension swept (experiments use smaller
+	// ranges where exhaustiveness demands it). Default 8; F2 scales to
+	// MaxN+1.
+	MaxN int
+	// Seeds is the number of random fault sets per configuration.
+	Seeds int
+	// Quick shrinks everything for smoke runs.
+	Quick bool
+}
+
+// Defaults fills unset fields.
+func (c SweepConfig) Defaults() SweepConfig {
+	if c.MaxN == 0 {
+		c.MaxN = 8
+	}
+	if c.Seeds == 0 {
+		c.Seeds = 10
+	}
+	if c.Quick {
+		if c.MaxN > 7 {
+			c.MaxN = 7
+		}
+		c.Seeds = 3
+	}
+	return c
+}
+
+// Experiment couples an identifier with its runner.
+type Experiment struct {
+	ID    string
+	Title string
+	Run   func(cfg SweepConfig) ([]*Table, error)
+}
+
+// All lists every experiment in DESIGN.md's index order.
+func All() []Experiment {
+	return []Experiment{
+		{"T1", "Theorem 1 length guarantee across fault distributions", T1},
+		{"T2", "Worst-case optimality against the bipartite bound", T2},
+		{"T3", "Improvement over Tseng-Chang-Sheu (n!-4|Fv|)", T3},
+		{"T4", "Clustered faults vs Latifi-Bagherzadeh (n!-m!)", T4},
+		{"T5", "Edge faults: Hamiltonian rings with |Fe| <= n-3", T5},
+		{"T6", "Mixed faults: n!-2|Fv| with |Fv|+|Fe| <= n-3", T6},
+		{"F1", "Series: ring length vs |Fv| per algorithm (n=7)", F1},
+		{"F2", "Series: construction time and memory vs n", F2},
+		{"F3", "Beyond worst case: fault parity mix (n=7)", F3},
+		{"F4", "Extension: longest s-t paths by endpoint parity (n=7)", F4},
+		{"F5", "Operational campaign on the machine simulator", F5},
+		{"F6", "Empirical edge-fault tolerance beyond the budget", F6},
+		{"A1", "Ablations: cache, branch ordering, greedy separation", A1},
+	}
+}
+
+// Run executes the named experiment (or all of them for "all") and
+// prints its tables to w.
+func Run(w io.Writer, id string, cfg SweepConfig) error {
+	cfg = cfg.Defaults()
+	for _, e := range All() {
+		if id != "all" && !strings.EqualFold(id, e.ID) {
+			continue
+		}
+		tables, err := e.Run(cfg)
+		if err != nil {
+			return fmt.Errorf("experiment %s: %w", e.ID, err)
+		}
+		for _, t := range tables {
+			t.Fprint(w)
+		}
+		if id != "all" {
+			return nil
+		}
+	}
+	if id == "all" {
+		return nil
+	}
+	return fmt.Errorf("harness: unknown experiment %q", id)
+}

@@ -1,0 +1,101 @@
+package harness
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+// TestAllExperimentsQuick runs every experiment end to end in quick
+// mode; each experiment self-checks its claims and errors on violation,
+// so a pass here certifies the full evaluation once more.
+func TestAllExperimentsQuick(t *testing.T) {
+	cfg := SweepConfig{Quick: true}.Defaults()
+	for _, e := range All() {
+		e := e
+		t.Run(e.ID, func(t *testing.T) {
+			tables, err := e.Run(cfg)
+			if err != nil {
+				t.Fatalf("%s: %v", e.ID, err)
+			}
+			if len(tables) == 0 {
+				t.Fatalf("%s produced no tables", e.ID)
+			}
+			for _, tab := range tables {
+				if len(tab.Rows) == 0 {
+					t.Fatalf("%s produced an empty table", e.ID)
+				}
+				if len(tab.Headers) == 0 {
+					t.Fatalf("%s has no headers", e.ID)
+				}
+				for _, row := range tab.Rows {
+					if len(row) != len(tab.Headers) {
+						t.Fatalf("%s: ragged row %v", e.ID, row)
+					}
+				}
+				// No experiment may report a violation marker.
+				for _, row := range tab.Rows {
+					for _, cell := range row {
+						if cell == "NO" {
+							t.Fatalf("%s reports a violated claim: %v", e.ID, row)
+						}
+					}
+				}
+			}
+		})
+	}
+}
+
+func TestRunByID(t *testing.T) {
+	var buf bytes.Buffer
+	if err := Run(&buf, "T2", SweepConfig{Quick: true}); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	if !strings.Contains(out, "== T2") {
+		t.Fatalf("missing header in output: %q", out[:80])
+	}
+	if err := Run(&buf, "nope", SweepConfig{Quick: true}); err == nil {
+		t.Fatal("unknown experiment accepted")
+	}
+}
+
+func TestTableRendering(t *testing.T) {
+	tab := &Table{
+		ID:      "X",
+		Title:   "demo",
+		Caption: "a caption that should wrap when it grows long enough to need it",
+		Headers: []string{"a", "long-header"},
+	}
+	tab.AddRow(1, 2.5)
+	tab.AddRow("wide-cell-value", "x")
+
+	var buf bytes.Buffer
+	tab.Fprint(&buf)
+	text := buf.String()
+	if !strings.Contains(text, "== X: demo ==") || !strings.Contains(text, "2.50") {
+		t.Fatalf("text rendering wrong:\n%s", text)
+	}
+	lines := strings.Split(text, "\n")
+	if !strings.HasPrefix(lines[1], "a ") {
+		t.Fatalf("header row wrong: %q", lines[1])
+	}
+
+	buf.Reset()
+	tab.Markdown(&buf)
+	md := buf.String()
+	if !strings.Contains(md, "### X: demo") || !strings.Contains(md, "| a | long-header |") {
+		t.Fatalf("markdown rendering wrong:\n%s", md)
+	}
+}
+
+func TestSweepConfigDefaults(t *testing.T) {
+	c := SweepConfig{}.Defaults()
+	if c.MaxN != 8 || c.Seeds != 10 {
+		t.Fatalf("defaults: %+v", c)
+	}
+	q := SweepConfig{Quick: true, MaxN: 9}.Defaults()
+	if q.MaxN != 7 || q.Seeds != 3 {
+		t.Fatalf("quick defaults: %+v", q)
+	}
+}

@@ -1,0 +1,67 @@
+package pathsearch
+
+import (
+	"testing"
+)
+
+// Ablation benchmarks for the two design choices DESIGN.md calls out in
+// the block engine: the shared canonical result cache and the
+// Warnsdorff branch ordering. Run with
+//
+//	go test -bench=Ablation ./internal/pathsearch
+//
+// Expected shape: the cache turns repeat queries into map hits (orders
+// of magnitude), and the heuristic cuts the cold Hamiltonian search by
+// keeping the branching factor near one.
+
+func lemma4Sweep(b *testing.B, noCache, noHeuristic bool) {
+	b.Helper()
+	for i := 0; i < b.N; i++ {
+		for f := 0; f < BlockOrder; f++ {
+			forb := uint32(1) << uint(f)
+			for u := 0; u < BlockOrder; u += 3 { // subsample: identical work per variant
+				if u == f {
+					continue
+				}
+				for a := Canon.Adjacency(uint8(u)) &^ forb; a != 0; a &= a - 1 {
+					v := trailingZeros(a)
+					q := Query{From: uint8(u), To: v, ForbidV: forb, Target: 22,
+						NoCache: noCache, NoHeuristic: noHeuristic}
+					if _, ok := Canon.FindPath(q); !ok {
+						b.Fatal("path missing")
+					}
+				}
+			}
+		}
+	}
+}
+
+func BenchmarkAblationBaseline(b *testing.B)    { lemma4Sweep(b, false, false) }
+func BenchmarkAblationNoCache(b *testing.B)     { lemma4Sweep(b, true, false) }
+func BenchmarkAblationNoHeuristic(b *testing.B) { lemma4Sweep(b, true, true) }
+
+// TestAblationVariantsAgree pins correctness: all switch combinations
+// find paths for exactly the same queries.
+func TestAblationVariantsAgree(t *testing.T) {
+	for f := 0; f < BlockOrder; f++ {
+		forb := uint32(1) << uint(f)
+		for u := 0; u < BlockOrder; u += 5 {
+			for v := 0; v < BlockOrder; v += 3 {
+				if u == f || v == f || u == v {
+					continue
+				}
+				base := Query{From: uint8(u), To: uint8(v), ForbidV: forb, Target: 22}
+				_, ok1 := Canon.FindPath(base)
+				noCache := base
+				noCache.NoCache = true
+				_, ok2 := Canon.FindPath(noCache)
+				plain := base
+				plain.NoCache, plain.NoHeuristic = true, true
+				_, ok3 := Canon.FindPath(plain)
+				if ok1 != ok2 || ok2 != ok3 {
+					t.Fatalf("variants disagree at f=%d u=%d v=%d: %v %v %v", f, u, v, ok1, ok2, ok3)
+				}
+			}
+		}
+	}
+}

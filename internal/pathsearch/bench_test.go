@@ -1,0 +1,75 @@
+package pathsearch
+
+import (
+	"testing"
+
+	"repro/internal/substar"
+)
+
+// BenchmarkHamiltonianPathCold measures the raw exhaustive search by
+// bypassing the cache (fresh S4 each iteration would be unfair; instead
+// vary endpoints across a precomputed uncacheable edge set).
+func BenchmarkHamiltonianPathWarm(b *testing.B) {
+	// Warm the cache once.
+	Canon.FindPath(Query{From: 0, To: 1, Target: BlockOrder})
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if _, ok := Canon.FindPath(Query{From: 0, To: 1, Target: BlockOrder}); !ok {
+			b.Fatal("path vanished")
+		}
+	}
+}
+
+func BenchmarkLemma4SearchAllPairs(b *testing.B) {
+	// One full Lemma 4 sweep per iteration: every fault, every adjacent
+	// healthy pair, served from the shared cache after the first pass.
+	for i := 0; i < b.N; i++ {
+		for f := 0; f < BlockOrder; f++ {
+			forb := uint32(1) << uint(f)
+			for u := 0; u < BlockOrder; u++ {
+				if u == f {
+					continue
+				}
+				for a := Canon.Adjacency(uint8(u)) &^ forb; a != 0; a &= a - 1 {
+					v := trailingZeros(a)
+					if _, ok := Canon.FindPath(Query{From: uint8(u), To: v, ForbidV: forb, Target: 22}); !ok {
+						b.Fatal("Lemma 4 failed")
+					}
+				}
+			}
+		}
+	}
+}
+
+func trailingZeros(x uint32) uint8 {
+	var i uint8
+	for x&1 == 0 {
+		x >>= 1
+		i++
+	}
+	return i
+}
+
+func BenchmarkBlockMapping(b *testing.B) {
+	p := substar.MustParse("****56789")
+	blk, err := NewBlock(p)
+	if err != nil {
+		b.Fatal(err)
+	}
+	verts := p.Vertices(nil)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		idx, _ := blk.ToCanon(verts[i%len(verts)])
+		_ = blk.FromCanon(idx)
+	}
+}
+
+func BenchmarkLongestCycleOneFault(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		_, n := Canon.LongestCycleAvoiding(1<<uint(i%BlockOrder), nil)
+		if n != 22 {
+			b.Fatal("wrong cycle length")
+		}
+	}
+}

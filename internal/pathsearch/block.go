@@ -1,0 +1,165 @@
+package pathsearch
+
+import (
+	"fmt"
+
+	"repro/internal/perm"
+	"repro/internal/substar"
+)
+
+// Block is one embedded S4 of S_n, equipped with the isomorphism onto
+// the canonical S4: free positions map to positions 1..4 in increasing
+// order (position 1 is always free and maps to position 1) and free
+// symbols map to symbols 1..4 in increasing order. The isomorphism
+// preserves adjacency because every intra-block edge swaps position 1
+// with a free position.
+type Block struct {
+	pat     substar.Pattern
+	freePos [4]int
+	freeSym [4]uint8
+	symIdx  [perm.MaxN + 1]uint8 // ambient symbol -> canonical symbol (1..4)
+}
+
+// NewBlock builds the isomorphism for an order-4 pattern.
+func NewBlock(pat substar.Pattern) (*Block, error) {
+	if pat.R() != 4 {
+		return nil, fmt.Errorf("pathsearch: pattern %v has order %d, want 4", pat, pat.R())
+	}
+	b := &Block{pat: pat}
+	fp := pat.FreePositions(make([]int, 0, 4))
+	fs := pat.FreeSymbols(make([]uint8, 0, 4))
+	copy(b.freePos[:], fp)
+	copy(b.freeSym[:], fs)
+	for i, s := range b.freeSym {
+		b.symIdx[s] = uint8(i + 1)
+	}
+	return b, nil
+}
+
+// Pattern returns the block's substar pattern.
+func (b *Block) Pattern() substar.Pattern { return b.pat }
+
+// Contains reports whether ambient vertex v lies in the block.
+func (b *Block) Contains(v perm.Code) bool { return b.pat.Contains(v) }
+
+// ToCanon maps an ambient vertex of the block to its canonical S4
+// index. The boolean is false when v is not in the block.
+func (b *Block) ToCanon(v perm.Code) (uint8, bool) {
+	if !b.pat.Contains(v) {
+		return 0, false
+	}
+	var c perm.Code
+	for j, pos := range b.freePos {
+		sym := b.symIdx[v.Symbol(pos)]
+		c = c.WithSymbol(j+1, sym)
+	}
+	return Canon.Index(c), true
+}
+
+// FromCanon maps a canonical S4 index back to the ambient vertex.
+func (b *Block) FromCanon(idx uint8) perm.Code {
+	canon := Canon.Code(idx)
+	// Start from the pattern's fixed symbols and fill free positions.
+	var v perm.Code
+	for i := 1; i <= b.pat.N(); i++ {
+		if s := b.pat.SymbolAt(i); s != substar.Star {
+			v = v.WithSymbol(i, s)
+		}
+	}
+	for j, pos := range b.freePos {
+		v = v.WithSymbol(pos, b.freeSym[canon.Symbol(j+1)-1])
+	}
+	return v
+}
+
+// CanonEdge maps an ambient intra-block edge to a canonical Edge. The
+// boolean is false when either endpoint lies outside the block or the
+// endpoints are not adjacent within it.
+func (b *Block) CanonEdge(u, v perm.Code) (Edge, bool) {
+	a, ok := b.ToCanon(u)
+	if !ok {
+		return Edge{}, false
+	}
+	c, ok := b.ToCanon(v)
+	if !ok {
+		return Edge{}, false
+	}
+	if Canon.Adjacency(a)&(1<<uint(c)) == 0 {
+		return Edge{}, false
+	}
+	return normEdge(Edge{A: a, B: c}), true
+}
+
+// PathSpec is a block routing request in ambient coordinates.
+type PathSpec struct {
+	From, To perm.Code
+	AvoidV   []perm.Code    // faulty vertices inside the block
+	AvoidE   [][2]perm.Code // faulty intra-block edges
+	Target   int            // exact number of vertices to visit
+}
+
+// Path solves the routing request, returning the path in ambient
+// coordinates (a fresh slice), or ok=false when no such path exists.
+func (b *Block) Path(spec PathSpec) ([]perm.Code, bool) {
+	from, ok := b.ToCanon(spec.From)
+	if !ok {
+		return nil, false
+	}
+	to, ok := b.ToCanon(spec.To)
+	if !ok {
+		return nil, false
+	}
+	var forbV uint32
+	for _, v := range spec.AvoidV {
+		idx, ok := b.ToCanon(v)
+		if !ok {
+			continue // faults outside the block do not constrain it
+		}
+		forbV |= 1 << uint(idx)
+	}
+	var forbE []Edge
+	for _, e := range spec.AvoidE {
+		if ce, ok := b.CanonEdge(e[0], e[1]); ok {
+			forbE = append(forbE, ce)
+		}
+	}
+	path, ok := Canon.FindPath(Query{From: from, To: to, ForbidV: forbV, ForbidE: forbE, Target: spec.Target})
+	if !ok {
+		return nil, false
+	}
+	out := make([]perm.Code, len(path))
+	for i, idx := range path {
+		out[i] = b.FromCanon(idx)
+	}
+	return out, true
+}
+
+// MaxPathLen returns the number of vertices on the longest From-To path
+// under the spec's avoidance sets (Target is ignored).
+func (b *Block) MaxPathLen(spec PathSpec) int {
+	from, ok := b.ToCanon(spec.From)
+	if !ok {
+		return 0
+	}
+	to, ok := b.ToCanon(spec.To)
+	if !ok {
+		return 0
+	}
+	var forbV uint32
+	for _, v := range spec.AvoidV {
+		if idx, ok := b.ToCanon(v); ok {
+			forbV |= 1 << uint(idx)
+		}
+	}
+	var forbE []Edge
+	for _, e := range spec.AvoidE {
+		if ce, ok := b.CanonEdge(e[0], e[1]); ok {
+			forbE = append(forbE, ce)
+		}
+	}
+	_, n, ok := Canon.MaxPath(Query{From: from, To: to, ForbidV: forbV, ForbidE: forbE})
+	if !ok {
+		return 0
+	}
+	return n
+}

@@ -1,0 +1,177 @@
+package perm
+
+import "fmt"
+
+// Code is a permutation packed into a single machine word: position i
+// (0-based) occupies bits [4i, 4i+4) and stores symbol-1. It supports
+// the same operations as Perm without allocating, which matters on the
+// embedder's hot paths where rings of millions of vertices are built.
+//
+// The zero Code is the (invalid as a permutation, but useful as a
+// sentinel) all-symbol-1 word; use None for an explicit sentinel.
+type Code uint64
+
+// None is a sentinel Code that cannot equal any valid permutation code
+// for n <= MaxN (it decodes to symbol 16 in every position).
+const None Code = ^Code(0)
+
+// Pack converts a Perm to its Code. The dimension is not stored; all
+// Code operations take n explicitly.
+func Pack(p Perm) Code {
+	var c Code
+	for i, s := range p {
+		c |= Code(s-1) << (4 * uint(i))
+	}
+	return c
+}
+
+// Unpack converts a Code back to a Perm of dimension n.
+func (c Code) Unpack(n int) Perm {
+	p := make(Perm, n)
+	for i := 0; i < n; i++ {
+		p[i] = uint8(c>>(4*uint(i))&0xF) + 1
+	}
+	return p
+}
+
+// Symbol returns the symbol (1..n) in 1-based position i.
+func (c Code) Symbol(i int) uint8 {
+	return uint8(c>>(4*uint(i-1))&0xF) + 1
+}
+
+// WithSymbol returns a copy of c with 1-based position i set to symbol s.
+func (c Code) WithSymbol(i int, s uint8) Code {
+	shift := 4 * uint(i-1)
+	return c&^(Code(0xF)<<shift) | Code(s-1)<<shift
+}
+
+// SwapFirst returns the neighbor of c along dimension i (2 <= i <= n):
+// the code with positions 1 and i exchanged.
+func (c Code) SwapFirst(i int) Code {
+	shift := 4 * uint(i-1)
+	a := c & 0xF
+	b := (c >> shift) & 0xF
+	return c ^ (a ^ b) ^ ((a ^ b) << shift)
+}
+
+// Valid reports whether c encodes a permutation of 1..n.
+func (c Code) Valid(n int) bool {
+	if n < 1 || n > MaxN {
+		return false
+	}
+	var seen uint32
+	for i := 0; i < n; i++ {
+		s := c >> (4 * uint(i)) & 0xF
+		if int(s) >= n {
+			return false
+		}
+		bit := uint32(1) << s
+		if seen&bit != 0 {
+			return false
+		}
+		seen |= bit
+	}
+	// Higher positions must be zero so that equal permutations have
+	// equal codes.
+	if n < MaxN && c>>(4*uint(n)) != 0 {
+		return false
+	}
+	return true
+}
+
+// Parity returns 0 for even and 1 for odd permutation codes, matching
+// Perm.Parity.
+func (c Code) Parity(n int) int {
+	var visited uint32
+	cycles := 0
+	for i := 0; i < n; i++ {
+		if visited&(1<<uint(i)) != 0 {
+			continue
+		}
+		cycles++
+		for j := i; visited&(1<<uint(j)) == 0; j = int(c >> (4 * uint(j)) & 0xF) {
+			visited |= 1 << uint(j)
+		}
+	}
+	return (n - cycles) & 1
+}
+
+// PositionOf returns the 1-based position of symbol s in c, or 0 if the
+// symbol does not occur among the first n positions.
+func (c Code) PositionOf(n int, s uint8) int {
+	want := Code(s - 1)
+	for i := 0; i < n; i++ {
+		if c>>(4*uint(i))&0xF == want {
+			return i + 1
+		}
+	}
+	return 0
+}
+
+// String renders the code as a dimension-n permutation string.
+func (c Code) StringN(n int) string {
+	return c.Unpack(n).String()
+}
+
+// IdentityCode returns Pack(Identity(n)).
+func IdentityCode(n int) Code {
+	var c Code
+	for i := 0; i < n; i++ {
+		c |= Code(i) << (4 * uint(i))
+	}
+	return c
+}
+
+// RankCode returns the lexicographic rank of c among permutations of
+// 1..n, equivalent to c.Unpack(n).Rank() without allocating.
+func (c Code) Rank(n int) int {
+	rank := 0
+	for i := 0; i < n; i++ {
+		si := c >> (4 * uint(i)) & 0xF
+		smaller := 0
+		for j := i + 1; j < n; j++ {
+			if c>>(4*uint(j))&0xF < si {
+				smaller++
+			}
+		}
+		rank = rank*(n-i) + smaller
+	}
+	return rank
+}
+
+// DimOf returns the dimension i (2 <= i <= n) such that b == a.SwapFirst(i),
+// or 0 when a and b are not adjacent in S_n.
+func DimOf(a, b Code, n int) int {
+	if a == b {
+		return 0
+	}
+	x := a ^ b
+	// Adjacent codes differ in exactly two nibbles, one of them nibble 0,
+	// and the differing nibbles hold swapped symbols.
+	if x&0xF == 0 {
+		return 0
+	}
+	dim := 0
+	for i := 1; i < n; i++ {
+		if x>>(4*uint(i))&0xF != 0 {
+			if dim != 0 {
+				return 0 // more than two nibbles differ
+			}
+			dim = i + 1
+		}
+	}
+	if dim == 0 {
+		return 0
+	}
+	if a.SwapFirst(dim) != b {
+		return 0
+	}
+	return dim
+}
+
+// Adjacent reports whether a and b are neighbors in S_n.
+func Adjacent(a, b Code, n int) bool { return DimOf(a, b, n) != 0 }
+
+// Format implements fmt.Formatter-ish debugging support: %v prints the
+// raw word, use StringN for permutation notation.
+func (c Code) GoString() string { return fmt.Sprintf("perm.Code(%#x)", uint64(c)) }

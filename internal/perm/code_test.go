@@ -1,0 +1,165 @@
+package perm
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestPackUnpackRoundtrip(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	for n := 1; n <= MaxN; n++ {
+		for trial := 0; trial < 50; trial++ {
+			p := randomPerm(rng, min(n, 10)) // Factorial beyond 10 overflows rng.Intn usage ranges slowly; stay modest
+			if p.N() != min(n, 10) {
+				t.Fatal("bad test setup")
+			}
+			c := Pack(p)
+			if !c.Valid(p.N()) {
+				t.Fatalf("Pack(%s) invalid", p)
+			}
+			if !c.Unpack(p.N()).Equal(p) {
+				t.Fatalf("roundtrip failed for %s", p)
+			}
+		}
+	}
+}
+
+func TestCodeSymbolOps(t *testing.T) {
+	c := Pack(MustParse("35142"))
+	want := []uint8{3, 5, 1, 4, 2}
+	for i, w := range want {
+		if got := c.Symbol(i + 1); got != w {
+			t.Errorf("Symbol(%d) = %d, want %d", i+1, got, w)
+		}
+	}
+	c2 := c.WithSymbol(2, 9)
+	if c2.Symbol(2) != 9 {
+		t.Error("WithSymbol did not set")
+	}
+	if c2.Symbol(1) != 3 || c2.Symbol(3) != 1 {
+		t.Error("WithSymbol disturbed neighbors")
+	}
+}
+
+func TestCodeSwapFirstMatchesPerm(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	for n := 2; n <= 10; n++ {
+		for trial := 0; trial < 100; trial++ {
+			p := randomPerm(rng, n)
+			dim := rng.Intn(n-1) + 2
+			if Pack(p).SwapFirst(dim) != Pack(p.SwapFirst(dim)) {
+				t.Fatalf("SwapFirst mismatch at %s dim %d", p, dim)
+			}
+		}
+	}
+}
+
+func TestCodeValid(t *testing.T) {
+	if !Pack(MustParse("123")).Valid(3) {
+		t.Error("valid code rejected")
+	}
+	if Pack(MustParse("123")).Valid(4) {
+		t.Error("wrong dimension accepted")
+	}
+	if Code(0).Valid(2) {
+		t.Error("duplicate-symbol code accepted")
+	}
+	if None.Valid(16) {
+		t.Error("None accepted as a permutation")
+	}
+	// High bits must be clear.
+	c := Pack(MustParse("123")) | Code(5)<<32
+	if c.Valid(3) {
+		t.Error("code with dirty high bits accepted")
+	}
+}
+
+func TestCodeParityMatchesPerm(t *testing.T) {
+	rng := rand.New(rand.NewSource(4))
+	for n := 1; n <= 10; n++ {
+		for trial := 0; trial < 100; trial++ {
+			p := randomPerm(rng, n)
+			if Pack(p).Parity(n) != p.Parity() {
+				t.Fatalf("parity mismatch at %s", p)
+			}
+		}
+	}
+}
+
+func TestCodeRankMatchesPerm(t *testing.T) {
+	for n := 1; n <= 6; n++ {
+		for r := 0; r < Factorial(n); r++ {
+			p := Unrank(n, r)
+			if Pack(p).Rank(n) != r {
+				t.Fatalf("Code.Rank mismatch at %s", p)
+			}
+		}
+	}
+}
+
+func TestCodePositionOf(t *testing.T) {
+	c := Pack(MustParse("4213"))
+	for i := 1; i <= 4; i++ {
+		s := c.Symbol(i)
+		if got := c.PositionOf(4, s); got != i {
+			t.Errorf("PositionOf(%d) = %d, want %d", s, got, i)
+		}
+	}
+	if c.PositionOf(4, 9) != 0 {
+		t.Error("PositionOf(absent) != 0")
+	}
+}
+
+func TestDimOfExhaustiveS4(t *testing.T) {
+	// Every pair of S4 codes: DimOf agrees with explicit SwapFirst
+	// construction, and is 0 exactly for non-neighbors.
+	var codes []Code
+	for r := 0; r < 24; r++ {
+		codes = append(codes, Pack(Unrank(4, r)))
+	}
+	for _, a := range codes {
+		neighbors := map[Code]int{}
+		for dim := 2; dim <= 4; dim++ {
+			neighbors[a.SwapFirst(dim)] = dim
+		}
+		for _, b := range codes {
+			want := neighbors[b] // 0 when absent
+			if got := DimOf(a, b, 4); got != want {
+				t.Fatalf("DimOf(%s, %s) = %d, want %d", a.StringN(4), b.StringN(4), got, want)
+			}
+			if Adjacent(a, b, 4) != (want != 0) {
+				t.Fatalf("Adjacent(%s, %s) inconsistent", a.StringN(4), b.StringN(4))
+			}
+		}
+	}
+}
+
+func TestIdentityCode(t *testing.T) {
+	for n := 1; n <= MaxN; n++ {
+		if IdentityCode(n) != Pack(Identity(n)) {
+			t.Fatalf("IdentityCode(%d) mismatch", n)
+		}
+	}
+}
+
+func TestQuickCodeStringRoundtrip(t *testing.T) {
+	f := func(seed int64, nRaw uint8) bool {
+		n := int(nRaw)%10 + 1
+		rng := rand.New(rand.NewSource(seed))
+		p := randomPerm(rng, n)
+		c := Pack(p)
+		q, err := Parse(c.StringN(n))
+		return err == nil && Pack(q) == c
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func min(a, b int) int {
+	if a < b {
+		return a
+	}
+	return b
+}

@@ -1,0 +1,304 @@
+// Package perm implements the permutation kernel underlying the star
+// graph S_n: permutations of the symbols 1..n as both a friendly slice
+// type (Perm) and a packed 4-bit word type (Code) for hot paths.
+//
+// Conventions follow the paper "Embed Longest Rings onto Star Graphs
+// with Vertex Faults" (Hsieh, Chen, Ho; ICPP 1998): a vertex of S_n is
+// written a1 a2 ... an, a permutation of 1..n, and the i-th dimensional
+// star operation swaps the leftmost symbol a1 with ai (2 <= i <= n).
+package perm
+
+import (
+	"errors"
+	"fmt"
+	"strings"
+)
+
+// MaxN is the largest supported dimension. A Code packs one symbol into
+// four bits, so 16 positions fill a uint64 exactly.
+const MaxN = 16
+
+// Perm is a permutation of the symbols 1..n, stored one symbol per
+// element: p[i] is the symbol in position i+1 (positions are 1-based in
+// the paper, 0-based in this slice).
+type Perm []uint8
+
+// ErrNotPermutation reports that a slice or string does not denote a
+// permutation of 1..n.
+var ErrNotPermutation = errors.New("perm: not a permutation of 1..n")
+
+// Identity returns the identity permutation 1 2 ... n.
+func Identity(n int) Perm {
+	if n < 1 || n > MaxN {
+		panic(fmt.Sprintf("perm: dimension %d out of range [1,%d]", n, MaxN))
+	}
+	p := make(Perm, n)
+	for i := range p {
+		p[i] = uint8(i + 1)
+	}
+	return p
+}
+
+// New validates and copies the given symbols into a Perm. It returns
+// ErrNotPermutation if the symbols are not a permutation of 1..n.
+func New(symbols []uint8) (Perm, error) {
+	p := make(Perm, len(symbols))
+	copy(p, symbols)
+	if !p.Valid() {
+		return nil, fmt.Errorf("%w: %v", ErrNotPermutation, symbols)
+	}
+	return p, nil
+}
+
+// MustNew is New, panicking on invalid input. For tests and literals.
+func MustNew(symbols ...uint8) Perm {
+	p, err := New(symbols)
+	if err != nil {
+		panic(err)
+	}
+	return p
+}
+
+// Valid reports whether p is a permutation of 1..len(p) with
+// 1 <= len(p) <= MaxN.
+func (p Perm) Valid() bool {
+	n := len(p)
+	if n < 1 || n > MaxN {
+		return false
+	}
+	var seen uint32
+	for _, s := range p {
+		if s < 1 || int(s) > n {
+			return false
+		}
+		bit := uint32(1) << (s - 1)
+		if seen&bit != 0 {
+			return false
+		}
+		seen |= bit
+	}
+	return true
+}
+
+// N returns the dimension of the permutation.
+func (p Perm) N() int { return len(p) }
+
+// Clone returns a fresh copy of p.
+func (p Perm) Clone() Perm {
+	q := make(Perm, len(p))
+	copy(q, p)
+	return q
+}
+
+// Equal reports whether p and q are the same permutation.
+func (p Perm) Equal(q Perm) bool {
+	if len(p) != len(q) {
+		return false
+	}
+	for i := range p {
+		if p[i] != q[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// symbolRunes maps symbol values 1..16 to their single-character
+// spelling: 1..9 then a..g, matching the paper's digit strings for
+// n <= 9 and extending them compactly beyond.
+const symbolRunes = "123456789abcdefg"
+
+// String renders p in the paper's notation, e.g. "2134" for n=4 and
+// "123a56789" style strings (with letters) for n >= 10.
+func (p Perm) String() string {
+	var b strings.Builder
+	b.Grow(len(p))
+	for _, s := range p {
+		if s < 1 || int(s) > MaxN {
+			b.WriteByte('?')
+			continue
+		}
+		b.WriteByte(symbolRunes[s-1])
+	}
+	return b.String()
+}
+
+// Parse reads a permutation written as one character per symbol
+// (digits 1..9 then letters a..g), the inverse of String.
+func Parse(s string) (Perm, error) {
+	p := make(Perm, 0, len(s))
+	for _, r := range s {
+		idx := strings.IndexRune(symbolRunes, r)
+		if idx < 0 {
+			return nil, fmt.Errorf("%w: bad symbol %q in %q", ErrNotPermutation, r, s)
+		}
+		p = append(p, uint8(idx+1))
+	}
+	if !p.Valid() {
+		return nil, fmt.Errorf("%w: %q", ErrNotPermutation, s)
+	}
+	return p, nil
+}
+
+// MustParse is Parse, panicking on invalid input.
+func MustParse(s string) Perm {
+	p, err := Parse(s)
+	if err != nil {
+		panic(err)
+	}
+	return p
+}
+
+// SwapFirst returns the neighbor of p along dimension i: the permutation
+// obtained by exchanging the symbol in position 1 with the symbol in
+// position i. Positions are 1-based as in the paper, so 2 <= i <= n.
+func (p Perm) SwapFirst(i int) Perm {
+	if i < 2 || i > len(p) {
+		panic(fmt.Sprintf("perm: SwapFirst dimension %d out of range [2,%d]", i, len(p)))
+	}
+	q := p.Clone()
+	q[0], q[i-1] = q[i-1], q[0]
+	return q
+}
+
+// SwapFirstInPlace applies the dimension-i star operation to p itself.
+func (p Perm) SwapFirstInPlace(i int) {
+	if i < 2 || i > len(p) {
+		panic(fmt.Sprintf("perm: SwapFirst dimension %d out of range [2,%d]", i, len(p)))
+	}
+	p[0], p[i-1] = p[i-1], p[0]
+}
+
+// PositionOf returns the 1-based position holding symbol s, or 0 if s
+// does not occur in p.
+func (p Perm) PositionOf(s uint8) int {
+	for i, t := range p {
+		if t == s {
+			return i + 1
+		}
+	}
+	return 0
+}
+
+// Compose returns the permutation r with r(i) = p(q(i)), where a
+// permutation is read as the function position -> symbol. Both operands
+// must have the same dimension.
+func (p Perm) Compose(q Perm) Perm {
+	if len(p) != len(q) {
+		panic("perm: Compose dimension mismatch")
+	}
+	r := make(Perm, len(p))
+	for i := range r {
+		r[i] = p[q[i]-1]
+	}
+	return r
+}
+
+// Inverse returns p^-1 under Compose: Inverse(p).Compose(p) is the
+// identity.
+func (p Perm) Inverse() Perm {
+	r := make(Perm, len(p))
+	for i, s := range p {
+		r[s-1] = uint8(i + 1)
+	}
+	return r
+}
+
+// Parity returns 0 for even permutations and 1 for odd ones. The two
+// values index the two partite sets of the bipartite graph S_n, which
+// have equal size n!/2 (Jwo, Lakshmivarahan, Dhall).
+func (p Perm) Parity() int {
+	// Count inversions via cycle decomposition: a permutation is even
+	// iff n minus the number of cycles is even.
+	var visited uint32
+	cycles := 0
+	for i := 0; i < len(p); i++ {
+		if visited&(1<<uint(i)) != 0 {
+			continue
+		}
+		cycles++
+		for j := i; visited&(1<<uint(j)) == 0; j = int(p[j]) - 1 {
+			visited |= 1 << uint(j)
+		}
+	}
+	return (len(p) - cycles) & 1
+}
+
+// Transpositions returns the minimum number of arbitrary transpositions
+// needed to sort p, i.e. n minus the number of cycles of p.
+func (p Perm) Transpositions() int {
+	var visited uint32
+	cycles := 0
+	for i := 0; i < len(p); i++ {
+		if visited&(1<<uint(i)) != 0 {
+			continue
+		}
+		cycles++
+		for j := i; visited&(1<<uint(j)) == 0; j = int(p[j]) - 1 {
+			visited |= 1 << uint(j)
+		}
+	}
+	return len(p) - cycles
+}
+
+// Factorial returns n! as an int. It panics if the product overflows a
+// 64-bit int (n > 20), far beyond MaxN.
+func Factorial(n int) int {
+	if n < 0 || n > 20 {
+		panic(fmt.Sprintf("perm: Factorial(%d) out of range", n))
+	}
+	f := 1
+	for i := 2; i <= n; i++ {
+		f *= i
+	}
+	return f
+}
+
+// Rank returns the lexicographic rank of p among all permutations of
+// 1..n, in the range [0, n!). Rank(Identity(n)) == 0.
+func (p Perm) Rank() int {
+	n := len(p)
+	rank := 0
+	// Lehmer code with an O(n^2) scan; n <= 16 keeps this trivial.
+	for i := 0; i < n; i++ {
+		smaller := 0
+		for j := i + 1; j < n; j++ {
+			if p[j] < p[i] {
+				smaller++
+			}
+		}
+		rank = rank*(n-i) + smaller
+	}
+	return rank
+}
+
+// Unrank returns the permutation of 1..n with the given lexicographic
+// rank. It is the inverse of Rank.
+func Unrank(n, rank int) Perm {
+	if n < 1 || n > MaxN {
+		panic(fmt.Sprintf("perm: dimension %d out of range [1,%d]", n, MaxN))
+	}
+	total := Factorial(n)
+	if rank < 0 || rank >= total {
+		panic(fmt.Sprintf("perm: rank %d out of range [0,%d)", rank, total))
+	}
+	// Decode the factorial-number-system digits, most significant first:
+	// rank = sum(digits[i] * (n-1-i)!).
+	var digits [MaxN]int
+	for i := 0; i < n; i++ {
+		f := Factorial(n - 1 - i)
+		digits[i] = rank / f
+		rank %= f
+	}
+	avail := make([]uint8, n)
+	for i := range avail {
+		avail[i] = uint8(i + 1)
+	}
+	p := make(Perm, n)
+	for i := 0; i < n; i++ {
+		d := digits[i]
+		p[i] = avail[d]
+		avail = append(avail[:d], avail[d+1:]...)
+	}
+	return p
+}

@@ -1,0 +1,79 @@
+package sim
+
+import (
+	"fmt"
+	"math/rand"
+
+	"repro/internal/perm"
+)
+
+// CampaignConfig scripts a failure scenario: the machine alternates
+// work phases (full ring laps) with processor failures drawn from a
+// seeded stream, always targeting processors currently on the ring (the
+// harshest choice — off-ring failures are free).
+type CampaignConfig struct {
+	Machine     Config
+	Failures    int
+	LapsBetween int
+	Seed        int64
+}
+
+// CampaignReport summarizes a finished campaign.
+type CampaignReport struct {
+	Stats
+	FinalRing    int
+	Clock        int64
+	Availability float64 // uptime / (uptime + downtime)
+	// GuaranteeHeld reports whether, within the fault budget, every
+	// re-embedding met the paper's n! - 2|Fv| bound.
+	GuaranteeHeld bool
+}
+
+// RunCampaign executes the scenario and reports. The run is fully
+// deterministic in (config, seed).
+func RunCampaign(cfg CampaignConfig) (*CampaignReport, error) {
+	if cfg.LapsBetween <= 0 {
+		cfg.LapsBetween = 1
+	}
+	m, err := New(cfg.Machine)
+	if err != nil {
+		return nil, err
+	}
+	rng := rand.New(rand.NewSource(cfg.Seed))
+	held := true
+	total := perm.Factorial(cfg.Machine.N)
+
+	if err := m.Circulate(cfg.LapsBetween); err != nil {
+		return nil, err
+	}
+	for f := 1; f <= cfg.Failures; f++ {
+		victim := m.Ring()[rng.Intn(m.RingLength())]
+		if err := m.FailVertex(victim); err != nil {
+			return nil, fmt.Errorf("failure %d: %w", f, err)
+		}
+		if g := m.GuaranteedLength(); g > 0 {
+			if m.RingLength() < g {
+				held = false
+			}
+			if m.RingLength() != total-2*m.Faults() {
+				held = false
+			}
+		}
+		if err := m.Circulate(cfg.LapsBetween); err != nil {
+			return nil, err
+		}
+	}
+
+	st := m.Stats()
+	var avail float64
+	if st.Uptime+st.Downtime > 0 {
+		avail = float64(st.Uptime) / float64(st.Uptime+st.Downtime)
+	}
+	return &CampaignReport{
+		Stats:         st,
+		FinalRing:     m.RingLength(),
+		Clock:         m.Clock(),
+		Availability:  avail,
+		GuaranteeHeld: held,
+	}, nil
+}

@@ -1,0 +1,71 @@
+package sim
+
+import (
+	"errors"
+	"fmt"
+
+	"repro/internal/perm"
+)
+
+// Ring collectives: the classic communication patterns a virtual ring
+// interconnect exists to serve, executed hop by hop on the embedded
+// ring with full accounting. Each collective validates its own
+// round-trip so a broken embedding can never produce a silently wrong
+// result.
+
+// ErrNotParticipant reports data keyed by a processor that is not on
+// the current ring.
+var ErrNotParticipant = errors.New("sim: processor is not on the current ring")
+
+// AllReduce sums one int per participating processor by circulating an
+// accumulator token (one lap) and broadcasting the total (a second
+// lap). It returns the global sum. Data must contain exactly the
+// processors currently on the ring; missing entries contribute zero,
+// unknown entries are an error.
+func (m *Machine) AllReduce(data map[perm.Code]int) (int, error) {
+	for v := range data {
+		if _, ok := m.index[v]; !ok {
+			return 0, fmt.Errorf("%w: %s", ErrNotParticipant, v.StringN(m.cfg.N))
+		}
+	}
+	sum := 0
+	if err := m.Visit(func(v perm.Code) { sum += data[v] }); err != nil {
+		return 0, err
+	}
+	// Broadcast lap: every processor learns the sum (modeled as one
+	// more circulation; the per-processor delivery is implicit).
+	if err := m.Circulate(1); err != nil {
+		return 0, err
+	}
+	return sum, nil
+}
+
+// Broadcast delivers a payload marker from the current token holder to
+// every participant in one lap, returning the number of deliveries.
+func (m *Machine) Broadcast() (int, error) {
+	delivered := 0
+	if err := m.Visit(func(perm.Code) { delivered++ }); err != nil {
+		return 0, err
+	}
+	return delivered, nil
+}
+
+// PrefixSums computes, for every ring position, the sum of the data at
+// positions 0..i in ring order — the scan primitive of systolic ring
+// algorithms. One lap of hops.
+func (m *Machine) PrefixSums(data map[perm.Code]int) (map[perm.Code]int, error) {
+	for v := range data {
+		if _, ok := m.index[v]; !ok {
+			return nil, fmt.Errorf("%w: %s", ErrNotParticipant, v.StringN(m.cfg.N))
+		}
+	}
+	out := make(map[perm.Code]int, m.RingLength())
+	acc := 0
+	if err := m.Visit(func(v perm.Code) {
+		acc += data[v]
+		out[v] = acc
+	}); err != nil {
+		return nil, err
+	}
+	return out, nil
+}

@@ -1,0 +1,213 @@
+// Package sim is a deterministic discrete-time simulator for a
+// star-graph multiprocessor whose processes communicate over an
+// embedded ring. It executes ring protocols hop by hop on the physical
+// topology (every hop is checked against real star-graph adjacency and
+// the live fault set), injects fail-stop vertex faults at runtime, and
+// re-embeds the ring online using the paper's algorithm — accounting
+// for the downtime each re-embedding costs.
+//
+// The simulator is the operational counterpart of the paper's
+// motivation: a ring-structured computation that keeps running as
+// processors die, paying exactly two ring slots per failure while the
+// fault budget lasts. It backs the examples and the failure-injection
+// tests.
+package sim
+
+import (
+	"errors"
+	"fmt"
+
+	"repro/internal/core"
+	"repro/internal/faults"
+	"repro/internal/perm"
+	"repro/internal/star"
+)
+
+// Config sizes a simulated machine. Costs are in abstract ticks.
+type Config struct {
+	// N is the star-graph dimension (>= 3).
+	N int
+	// HopCost is the latency of moving the token across one physical
+	// link; 0 means 1.
+	HopCost int64
+	// ReembedCostPerBlock models the scheduler recomputing the
+	// embedding: ticks per R4 block (n!/24 blocks); 0 means 1.
+	ReembedCostPerBlock int64
+	// Embed configures the underlying embedder. BestEffort additionally
+	// lets the machine outlive its formal fault budget.
+	Embed core.Config
+}
+
+// Stats accumulates over a machine's lifetime.
+type Stats struct {
+	Hops      int64 // physical link traversals
+	Laps      int64 // completed ring circulations
+	Reembeds  int   // ring reconstructions triggered by failures
+	Downtime  int64 // ticks spent re-embedding
+	Uptime    int64 // ticks spent moving the token
+	TokenLost int   // failures that hit the current token holder
+	// RingLengths records the ring length after the initial embedding
+	// and after every re-embedding.
+	RingLengths []int
+}
+
+// Machine is one simulated multiprocessor.
+type Machine struct {
+	cfg   Config
+	g     star.Graph
+	fs    *faults.Set
+	ring  []perm.Code
+	index map[perm.Code]int // ring position per vertex
+	token int               // ring position of the token holder
+	clock int64
+	stats Stats
+}
+
+// ErrHalted reports that no ring survives the current fault set.
+var ErrHalted = errors.New("sim: machine halted, no healthy ring remains")
+
+// New boots a machine and embeds its initial ring.
+func New(cfg Config) (*Machine, error) {
+	if cfg.HopCost <= 0 {
+		cfg.HopCost = 1
+	}
+	if cfg.ReembedCostPerBlock <= 0 {
+		cfg.ReembedCostPerBlock = 1
+	}
+	m := &Machine{
+		cfg: cfg,
+		g:   star.New(cfg.N),
+		fs:  faults.NewSet(cfg.N),
+	}
+	if err := m.reembed(); err != nil {
+		return nil, err
+	}
+	m.stats.Reembeds = 0 // the boot embedding is not a re-embedding
+	return m, nil
+}
+
+// Clock returns the current simulated time in ticks.
+func (m *Machine) Clock() int64 { return m.clock }
+
+// Stats returns a copy of the accumulated statistics.
+func (m *Machine) Stats() Stats { return m.stats }
+
+// RingLength returns the current ring length.
+func (m *Machine) RingLength() int { return len(m.ring) }
+
+// Ring returns the current embedded ring; callers must not modify it.
+func (m *Machine) Ring() []perm.Code { return m.ring }
+
+// Faults returns the number of failed processors so far.
+func (m *Machine) Faults() int { return m.fs.NumVertices() }
+
+// TokenHolder returns the processor currently holding the token.
+func (m *Machine) TokenHolder() perm.Code { return m.ring[m.token] }
+
+// reembed recomputes the ring for the current fault set and charges the
+// downtime. The token restarts at ring position 0.
+func (m *Machine) reembed() error {
+	res, err := core.Embed(m.cfg.N, m.fs, m.cfg.Embed)
+	if err != nil {
+		return fmt.Errorf("%w: %v", ErrHalted, err)
+	}
+	m.ring = res.Ring
+	m.index = make(map[perm.Code]int, len(res.Ring))
+	for i, v := range res.Ring {
+		m.index[v] = i
+	}
+	m.token = 0
+	blocks := res.Blocks
+	if blocks == 0 {
+		blocks = 1
+	}
+	cost := m.cfg.ReembedCostPerBlock * int64(blocks)
+	m.clock += cost
+	m.stats.Downtime += cost
+	m.stats.Reembeds++
+	m.stats.RingLengths = append(m.stats.RingLengths, len(res.Ring))
+	return nil
+}
+
+// Step moves the token to the next processor on the ring, validating
+// the hop against the physical topology and the live fault set.
+func (m *Machine) Step() error {
+	from := m.ring[m.token]
+	next := (m.token + 1) % len(m.ring)
+	to := m.ring[next]
+	if !m.g.Adjacent(from, to) {
+		return fmt.Errorf("sim: internal: ring hop %s -> %s is not a physical link",
+			from.StringN(m.cfg.N), to.StringN(m.cfg.N))
+	}
+	if m.fs.HasVertex(from) || m.fs.HasVertex(to) {
+		return fmt.Errorf("sim: internal: token touched a failed processor")
+	}
+	m.token = next
+	m.clock += m.cfg.HopCost
+	m.stats.Uptime += m.cfg.HopCost
+	m.stats.Hops++
+	if m.token == 0 {
+		m.stats.Laps++
+	}
+	return nil
+}
+
+// Circulate completes the given number of full ring laps.
+func (m *Machine) Circulate(laps int) error {
+	for l := 0; l < laps; l++ {
+		for i := 0; i < len(m.ring); i++ {
+			if err := m.Step(); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}
+
+// Visit runs one lap, calling f at every processor the token reaches
+// (starting with the current holder). It is the building block for
+// reductions and broadcasts over the virtual ring.
+func (m *Machine) Visit(f func(v perm.Code)) error {
+	for i := 0; i < len(m.ring); i++ {
+		f(m.ring[m.token])
+		if err := m.Step(); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// FailVertex marks a processor failed at the current instant and, if
+// the ring used it, re-embeds. Failing the token holder additionally
+// counts a lost token (the protocol above it would have to recover by
+// regeneration, which the simulator models as restarting the lap).
+func (m *Machine) FailVertex(v perm.Code) error {
+	if m.fs.HasVertex(v) {
+		return nil
+	}
+	if !v.Valid(m.cfg.N) {
+		return fmt.Errorf("sim: %#v is not a processor of S_%d", v, m.cfg.N)
+	}
+	if v == m.ring[m.token] {
+		m.stats.TokenLost++
+	}
+	if err := m.fs.AddVertex(v); err != nil {
+		return err
+	}
+	if _, onRing := m.index[v]; !onRing {
+		// A spare processor died; the ring — which must still avoid it
+		// in the future — survives as-is only if it never used it, which
+		// is exactly the onRing check. Nothing to do.
+		return nil
+	}
+	return m.reembed()
+}
+
+// GuaranteedLength returns the paper's bound for the current fault
+// count, when still within budget; otherwise 0.
+func (m *Machine) GuaranteedLength() int {
+	if m.fs.NumVertices() > faults.MaxTolerated(m.cfg.N) {
+		return 0
+	}
+	return perm.Factorial(m.cfg.N) - 2*m.fs.NumVertices()
+}

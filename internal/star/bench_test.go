@@ -1,0 +1,49 @@
+package star
+
+import (
+	"testing"
+
+	"repro/internal/perm"
+)
+
+func BenchmarkNeighbors(b *testing.B) {
+	g := New(9)
+	v := perm.IdentityCode(9)
+	buf := make([]perm.Code, 0, 8)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		buf = g.Neighbors(v, buf[:0])
+	}
+	_ = buf
+}
+
+func BenchmarkDistanceFormula(b *testing.B) {
+	g := New(9)
+	u := perm.Pack(perm.MustParse("351724698"))
+	v := perm.Pack(perm.MustParse("987654321"[:9]))
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		_ = g.Distance(u, v)
+	}
+}
+
+func BenchmarkRoute(b *testing.B) {
+	g := New(9)
+	u := perm.Pack(perm.MustParse("351724698"))
+	v := perm.Pack(perm.MustParse("987654321"[:9]))
+	for i := 0; i < b.N; i++ {
+		_ = g.Route(u, v)
+	}
+}
+
+func BenchmarkVerticesEnumeration(b *testing.B) {
+	g := New(8)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		count := 0
+		g.Vertices(func(perm.Code) bool { count++; return true })
+		if count != g.Order() {
+			b.Fatal("bad count")
+		}
+	}
+}

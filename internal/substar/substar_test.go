@@ -1,0 +1,352 @@
+package substar
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/perm"
+	"repro/internal/star"
+)
+
+func TestWholeAndBasics(t *testing.T) {
+	p := Whole(5)
+	if p.N() != 5 || p.R() != 5 || p.Order() != 120 {
+		t.Fatalf("Whole(5): N=%d R=%d Order=%d", p.N(), p.R(), p.Order())
+	}
+	if p.String() != "<*****>_5" {
+		t.Fatalf("String = %q", p.String())
+	}
+}
+
+func TestParseRoundtrip(t *testing.T) {
+	cases := []string{"**3*5", "****", "*2", "*234*6**9"}
+	for _, s := range cases {
+		p, err := Parse(s)
+		if err != nil {
+			t.Fatalf("Parse(%q): %v", s, err)
+		}
+		q, err := Parse(s)
+		if err != nil || p != q {
+			t.Fatalf("Parse not deterministic for %q", s)
+		}
+	}
+	bad := []string{"", "1***", "**1*1", "**x", "*0"}
+	for _, s := range bad {
+		if _, err := Parse(s); err == nil {
+			t.Errorf("Parse(%q) succeeded, want error", s)
+		}
+	}
+}
+
+func TestFromSymbolsValidation(t *testing.T) {
+	if _, err := FromSymbols(3, []uint8{1, Star, Star}); err == nil {
+		t.Error("fixed position 1 accepted")
+	}
+	if _, err := FromSymbols(3, []uint8{Star, 2, 2}); err == nil {
+		t.Error("duplicate symbol accepted")
+	}
+	if _, err := FromSymbols(3, []uint8{Star, 4, Star}); err == nil {
+		t.Error("out-of-range symbol accepted")
+	}
+	if _, err := FromSymbols(3, []uint8{Star, Star}); err == nil {
+		t.Error("wrong length accepted")
+	}
+}
+
+// TestPaperExamplePartition reproduces the example after Definition 2:
+// a 3-partition of <**15>_3 in S_5... the paper's S_5 example uses
+// pattern <* * * 1 5> ("**15" with 3 free positions among 5). We encode
+// the analogous example: partitioning <***15>_3 at position 3 yields
+// three order-2 substars with symbols 2, 3, 4 fixed at position 3.
+func TestPaperExamplePartition(t *testing.T) {
+	p := MustParse("***15")
+	if p.R() != 3 {
+		t.Fatalf("R = %d", p.R())
+	}
+	children := p.Partition(3)
+	if len(children) != 3 {
+		t.Fatalf("3-partition produced %d children", len(children))
+	}
+	want := []string{"<**215>_2", "<**315>_2", "<**415>_2"}
+	for i, c := range children {
+		if c.String() != want[i] {
+			t.Errorf("child %d = %v, want %s", i, c, want[i])
+		}
+	}
+	// The (3,2)-partition of Definition 3 then yields 6 order-1
+	// substars.
+	leaves := p.PartitionSeq([]int{3, 2})
+	if len(leaves) != 6 {
+		t.Fatalf("(3,2)-partition produced %d leaves", len(leaves))
+	}
+	for _, l := range leaves {
+		if l.R() != 1 || l.Order() != 1 {
+			t.Fatalf("leaf %v has order %d", l, l.R())
+		}
+	}
+}
+
+func TestPartitionDisjointCover(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	for trial := 0; trial < 20; trial++ {
+		n := rng.Intn(4) + 4 // 4..7
+		p := randomPattern(rng, n, rng.Intn(n-2)+2)
+		free := p.FreePositions(nil)
+		pos := free[rng.Intn(len(free)-1)+1] // skip position 1
+		parentVerts := p.Vertices(nil)
+		children := p.Partition(pos)
+		if len(children) != p.R() {
+			t.Fatalf("%v: %d children, want %d", p, len(children), p.R())
+		}
+		seen := map[perm.Code]int{}
+		for _, c := range children {
+			if c.R() != p.R()-1 {
+				t.Fatalf("child order %d", c.R())
+			}
+			for _, v := range c.Vertices(nil) {
+				seen[v]++
+			}
+		}
+		if len(seen) != len(parentVerts) {
+			t.Fatalf("%v: children cover %d vertices, parent has %d", p, len(seen), len(parentVerts))
+		}
+		for _, v := range parentVerts {
+			if seen[v] != 1 {
+				t.Fatalf("vertex %#v covered %d times", v, seen[v])
+			}
+		}
+	}
+}
+
+func TestVerticesMatchContains(t *testing.T) {
+	g := star.New(5)
+	p := MustParse("**3*5")
+	inPattern := map[perm.Code]bool{}
+	for _, v := range p.Vertices(nil) {
+		inPattern[v] = true
+	}
+	count := 0
+	g.Vertices(func(v perm.Code) bool {
+		if p.Contains(v) {
+			count++
+			if !inPattern[v] {
+				t.Fatalf("Contains/Vertices disagree at %s", v.StringN(5))
+			}
+		}
+		return true
+	})
+	if count != p.Order() || len(inPattern) != p.Order() {
+		t.Fatalf("counts: contains=%d vertices=%d order=%d", count, len(inPattern), p.Order())
+	}
+}
+
+func TestAdjacencyAndDif(t *testing.T) {
+	a := MustParse("**23")
+	b := MustParse("**13")
+	if !a.Adjacent(b) || a.Dif(b) != 3 {
+		t.Fatalf("expected adjacency at dif 3, got %d", a.Dif(b))
+	}
+	// Same pattern: not adjacent.
+	if a.Adjacent(a) {
+		t.Error("pattern adjacent to itself")
+	}
+	// Two differing positions: not adjacent.
+	c := MustParse("**14")
+	if a.Adjacent(c) {
+		t.Error("patterns differing twice adjacent")
+	}
+	// Star vs fixed mismatch: not adjacent.
+	d := MustParse("***3")
+	if a.Adjacent(d) || d.Adjacent(a) {
+		t.Error("patterns of different order adjacent")
+	}
+}
+
+func TestSiblingsPairwiseAdjacent(t *testing.T) {
+	p := Whole(6)
+	children := p.Partition(4)
+	for i := range children {
+		for j := range children {
+			if i == j {
+				continue
+			}
+			if !children[i].Adjacent(children[j]) || children[i].Dif(children[j]) != 4 {
+				t.Fatalf("siblings %v, %v not adjacent at the partition position", children[i], children[j])
+			}
+		}
+	}
+}
+
+func TestCrossEdges(t *testing.T) {
+	g := star.New(5)
+	a := MustParse("***25")
+	b := MustParse("***45")
+	us, ws := a.CrossEdges(b, nil, nil)
+	if len(us) != perm.Factorial(a.R()-1) {
+		t.Fatalf("%d cross edges, want (r-1)! = %d", len(us), perm.Factorial(a.R()-1))
+	}
+	seen := map[perm.Code]bool{}
+	for i := range us {
+		u, w := us[i], ws[i]
+		if !a.Contains(u) || !b.Contains(w) {
+			t.Fatalf("cross edge endpoints misplaced: %s, %s", u.StringN(5), w.StringN(5))
+		}
+		if !g.Adjacent(u, w) {
+			t.Fatalf("cross edge %s-%s not an edge", u.StringN(5), w.StringN(5))
+		}
+		if seen[u] {
+			t.Fatalf("duplicate cross edge at %s", u.StringN(5))
+		}
+		seen[u] = true
+	}
+	// Exhaustive converse: every S_5 edge with one endpoint in each
+	// pattern appears.
+	total := 0
+	g.Vertices(func(v perm.Code) bool {
+		if !a.Contains(v) {
+			return true
+		}
+		g.VisitNeighbors(v, func(w perm.Code, _ int) bool {
+			if b.Contains(w) {
+				total++
+			}
+			return true
+		})
+		return true
+	})
+	if total != len(us) {
+		t.Fatalf("found %d actual cross edges, CrossEdges returned %d", total, len(us))
+	}
+}
+
+// TestBlockedChild verifies the claim of Section 2: after an
+// i-partition of two adjacent r-vertices, exactly one child on each
+// side has no cross edge to the other parent, and it is the one
+// BlockedChild returns.
+func TestBlockedChild(t *testing.T) {
+	a := MustParse("***25")
+	b := MustParse("***45")
+	blocked := a.BlockedChild(b, 2)
+	if blocked != a.Fix(2, 4) {
+		t.Fatalf("BlockedChild = %v", blocked)
+	}
+	for _, child := range a.Partition(2) {
+		us, _ := child.CrossEdges(b, nil, nil)
+		// A child is connected to b's partition iff it has cross edges
+		// to b itself at pattern level... verify via sibling pairing.
+		connected := false
+		for _, sib := range b.Partition(2) {
+			if child.Adjacent(sib) {
+				connected = true
+				break
+			}
+		}
+		if child == blocked && connected {
+			t.Fatalf("blocked child %v is connected", child)
+		}
+		if child != blocked && !connected {
+			t.Fatalf("unblocked child %v is not connected", child)
+		}
+		_ = us
+	}
+}
+
+func TestPatternOf(t *testing.T) {
+	v := perm.Pack(perm.MustParse("35142"))
+	p := PatternOf(5, v, []int{3, 5})
+	if !p.Contains(v) {
+		t.Fatal("PatternOf does not contain its vertex")
+	}
+	if p.R() != 3 {
+		t.Fatalf("order %d, want 3", p.R())
+	}
+	if p.SymbolAt(3) != 1 || p.SymbolAt(5) != 2 {
+		t.Fatalf("wrong fixed symbols: %v", p)
+	}
+}
+
+func TestFixPanics(t *testing.T) {
+	p := MustParse("**3*")
+	for _, c := range []struct {
+		pos int
+		sym uint8
+	}{
+		{1, 1}, // position 1 must stay free
+		{3, 1}, // already fixed
+		{2, 3}, // symbol in use
+		{2, 9}, // out of range
+		{9, 1}, // position out of range
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("Fix(%d, %d) did not panic", c.pos, c.sym)
+				}
+			}()
+			p.Fix(c.pos, c.sym)
+		}()
+	}
+}
+
+func TestSortPatterns(t *testing.T) {
+	ps := Whole(5).Partition(3)
+	// Shuffle then sort.
+	ps[0], ps[3] = ps[3], ps[0]
+	ps[1], ps[4] = ps[4], ps[1]
+	SortPatterns(ps)
+	for i := 1; i < len(ps); i++ {
+		if ps[i-1].SymbolAt(3) >= ps[i].SymbolAt(3) {
+			t.Fatalf("not sorted at %d", i)
+		}
+	}
+}
+
+// randomPattern fixes random positions of Whole(n) until order r.
+func randomPattern(rng *rand.Rand, n, r int) Pattern {
+	p := Whole(n)
+	for p.R() > r {
+		free := p.FreePositions(nil)
+		pos := free[rng.Intn(len(free)-1)+1] // never position 1
+		syms := p.FreeSymbols(nil)
+		p = p.Fix(pos, syms[rng.Intn(len(syms))])
+	}
+	return p
+}
+
+func TestQuickPatternVertexMembership(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := rng.Intn(4) + 4
+		p := randomPattern(rng, n, rng.Intn(n-1)+1)
+		vs := p.Vertices(nil)
+		if len(vs) != p.Order() {
+			return false
+		}
+		for _, v := range vs {
+			if !p.Contains(v) || !v.Valid(n) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestQuickDifSymmetry(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := rng.Intn(4) + 4
+		parent := randomPattern(rng, n, rng.Intn(n-3)+3)
+		free := parent.FreePositions(nil)
+		pos := free[rng.Intn(len(free)-1)+1]
+		kids := parent.Partition(pos)
+		a, b := kids[0], kids[1]
+		return a.Dif(b) == b.Dif(a) && a.Dif(b) == pos
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}

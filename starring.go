@@ -1,0 +1,145 @@
+// Package repro is the public facade of a full reproduction of
+//
+//	Sun-Yuan Hsieh, Gen-Huey Chen, Chin-Wen Ho:
+//	"Embed Longest Rings onto Star Graphs with Vertex Faults",
+//	International Conference on Parallel Processing (ICPP), 1998.
+//
+// The paper proves that an n-dimensional star graph S_n with
+// |Fv| <= n-3 faulty vertices contains a fault-free ring of length
+// n! - 2|Fv|, improving the previous guarantee of n! - 4|Fv| (Tseng,
+// Chang, Sheu) and matching the bipartite upper bound, hence worst-case
+// optimal. This package exposes the executable form of that theorem —
+// a verified ring-embedding constructor — together with the star-graph
+// substrate, the fault model and the two prior algorithms it is
+// evaluated against.
+//
+// # Quick start
+//
+//	fs := repro.NewFaultSet(7)
+//	fs.AddVertexString("2134567")
+//	res, err := repro.EmbedRing(7, fs, repro.Options{})
+//	// res.Ring is a healthy cycle of 7! - 2 = 5038 vertices.
+//
+// The heavy lifting lives in the internal packages (documented in
+// DESIGN.md): internal/core implements Lemmas 2, 3, 7 and Theorem 1;
+// internal/superring the supervertex rings; internal/pathsearch the
+// exact S4 block searches standing in for Lemmas 4-6; internal/baseline
+// the comparison algorithms; internal/check the independent verifier.
+package repro
+
+import (
+	"io"
+
+	"repro/internal/baseline"
+	"repro/internal/check"
+	"repro/internal/core"
+	"repro/internal/faults"
+	"repro/internal/perm"
+	"repro/internal/ringio"
+	"repro/internal/star"
+)
+
+// Perm is a permutation of 1..n, the friendly form of a star-graph
+// vertex. See ParseVertex and Vertex.String.
+type Perm = perm.Perm
+
+// Vertex is a star-graph vertex packed into a machine word.
+type Vertex = perm.Code
+
+// FaultSet collects faulty vertices and edges of one S_n.
+type FaultSet = faults.Set
+
+// Options tunes an embedding; the zero value runs the strict paper
+// algorithm with automatic parallelism.
+type Options = core.Config
+
+// Embedding is a verified ring embedding (see core.Result).
+type Embedding = core.Result
+
+// Graph is the n-dimensional star graph substrate.
+type Graph = star.Graph
+
+// NewGraph returns the n-dimensional star graph S_n.
+func NewGraph(n int) Graph { return star.New(n) }
+
+// NewFaultSet returns an empty fault set for S_n.
+func NewFaultSet(n int) *FaultSet { return faults.NewSet(n) }
+
+// ParseVertex reads a vertex from the paper's permutation notation,
+// e.g. "21345" in S_5 (digits 1-9, then letters a-g for n > 9).
+func ParseVertex(s string) (Vertex, error) {
+	p, err := perm.Parse(s)
+	if err != nil {
+		return 0, err
+	}
+	return perm.Pack(p), nil
+}
+
+// FormatVertex renders a vertex of S_n in permutation notation.
+func FormatVertex(v Vertex, n int) string { return v.StringN(n) }
+
+// EmbedRing constructs a healthy ring in S_n avoiding the given faults,
+// of length at least n! - 2|Fv| whenever |Fv| + |Fe| <= n - 3 (the
+// paper's Theorem 1 plus its concluding-remark extensions). The result
+// has been re-verified against the fault set before it is returned.
+func EmbedRing(n int, fs *FaultSet, opts Options) (*Embedding, error) {
+	return core.Embed(n, fs, opts)
+}
+
+// PathEmbedding is a verified longest-path embedding (see
+// core.PathResult).
+type PathEmbedding = core.PathResult
+
+// EmbedLongestPath constructs a longest healthy path between two
+// healthy vertices s and t: at least n! - 2|Fv| vertices when s and t
+// lie in different partite sets, n! - 2|Fv| - 1 otherwise (an extension
+// beyond the paper; see DESIGN.md §4b).
+func EmbedLongestPath(n int, fs *FaultSet, s, t Vertex, opts Options) (*PathEmbedding, error) {
+	return core.EmbedPath(n, fs, s, t, opts)
+}
+
+// EmbedRingTseng runs the prior algorithm of Tseng, Chang and Sheu on
+// the same substrate: guaranteed length n! - 4|Fv|.
+func EmbedRingTseng(n int, fs *FaultSet, opts Options) (*baseline.TsengResult, error) {
+	return baseline.Tseng(n, fs, opts)
+}
+
+// EmbedRingClustered runs the clustered-star algorithm of Latifi and
+// Bagherzadeh: guaranteed length n! - m! where m is the minimal order of
+// an embedded substar containing every fault.
+func EmbedRingClustered(n int, fs *FaultSet, opts Options) (*baseline.LatifiResult, error) {
+	return baseline.Latifi(n, fs, opts)
+}
+
+// VerifyRing independently checks that cycle is a healthy simple cycle
+// of S_n of length at least minLen under the given faults.
+func VerifyRing(g Graph, cycle []Vertex, fs *FaultSet, minLen int) error {
+	return check.Ring(g, cycle, fs, minLen)
+}
+
+// RingUpperBound returns the bipartite ceiling on any healthy cycle
+// length for the given fault set; with all faults in one partite set it
+// equals the paper's n! - 2|Fv|, which is why Theorem 1 is optimal.
+func RingUpperBound(n int, fs *FaultSet) int {
+	return check.BipartiteUpperBound(n, fs)
+}
+
+// SaveRing writes an embedded ring in the compact binary format of
+// internal/ringio (one varint rank per vertex), suitable for handing to
+// a scheduler and re-verifying on load.
+func SaveRing(w io.Writer, n int, ring []Vertex) error {
+	return ringio.WriteBinary(w, n, ring)
+}
+
+// LoadRing reads a ring written by SaveRing, re-validating every
+// vertex. Use VerifyRing afterwards to re-check adjacency and
+// healthiness against a fault set.
+func LoadRing(r io.Reader) (n int, ring []Vertex, err error) {
+	return ringio.ReadBinary(r)
+}
+
+// Factorial returns n!, the number of vertices of S_n.
+func Factorial(n int) int { return perm.Factorial(n) }
+
+// MaxFaults returns the paper's fault budget n - 3 for S_n.
+func MaxFaults(n int) int { return faults.MaxTolerated(n) }
