@@ -1,0 +1,166 @@
+// starlint runs the project's static analyzers (internal/analysis)
+// over the module: permalias, globalrand, nakedpanic, uncheckederr and
+// factsize, the disciplines that keep the n!-2|Fv| reproduction
+// deterministic and aliasing-safe. It is zero-dependency: packages are
+// parsed and type-checked with the standard library only.
+//
+// Usage:
+//
+//	starlint [-config file] [-analyzers a,b,...] [packages]
+//
+// With no arguments (or "./...") every package of the enclosing module
+// is analyzed, skipping testdata. Arguments naming directories analyze
+// exactly those directories, which is how fixture packages under
+// testdata are linted deliberately.
+//
+// Diagnostics print one per line as "file:line: [analyzer] message".
+// Exit status: 0 clean, 1 findings, 2 load or usage failure.
+//
+// Findings are suppressed at a site with a reasoned comment on the
+// offending line or the line above:
+//
+//	//starlint:ignore <analyzer> <reason>
+//
+// or for a whole symbol via the config file (default: .starlint at the
+// module root, if present):
+//
+//	allow <analyzer> <symbol>
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+
+	"repro/internal/analysis"
+)
+
+func main() {
+	os.Exit(run(os.Args[1:]))
+}
+
+func run(args []string) int {
+	fs := flag.NewFlagSet("starlint", flag.ContinueOnError)
+	configPath := fs.String("config", "", "allowlist config file (default: <module root>/.starlint if present)")
+	names := fs.String("analyzers", "", "comma-separated analyzer subset (default: all)")
+	list := fs.Bool("list", false, "list analyzers and exit")
+	if err := fs.Parse(args); err != nil {
+		return 2
+	}
+	if *list {
+		for _, a := range analysis.All() {
+			fmt.Printf("%-12s %s\n", a.Name, a.Doc)
+		}
+		return 0
+	}
+
+	analyzers := analysis.All()
+	if *names != "" {
+		analyzers = nil
+		for _, name := range strings.Split(*names, ",") {
+			a := analysis.ByName(strings.TrimSpace(name))
+			if a == nil {
+				fmt.Fprintf(os.Stderr, "starlint: unknown analyzer %q\n", name)
+				return 2
+			}
+			analyzers = append(analyzers, a)
+		}
+	}
+
+	loader, err := analysis.NewLoader(".")
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "starlint: %v\n", err)
+		return 2
+	}
+
+	cfg, errCode := loadConfig(loader, *configPath)
+	if errCode != 0 {
+		return errCode
+	}
+
+	pkgs, errCode := load(loader, fs.Args())
+	if errCode != 0 {
+		return errCode
+	}
+	broken := false
+	for _, pkg := range pkgs {
+		for _, terr := range pkg.TypeErrors {
+			fmt.Fprintf(os.Stderr, "starlint: %s: %v\n", pkg.ImportPath, terr)
+			broken = true
+		}
+	}
+	if broken {
+		return 2
+	}
+
+	diags := analysis.Run(pkgs, analyzers, cfg)
+	for _, d := range diags {
+		d.Pos.Filename = relPath(d.Pos.Filename)
+		fmt.Println(d)
+	}
+	if len(diags) > 0 {
+		fmt.Fprintf(os.Stderr, "starlint: %d finding(s)\n", len(diags))
+		return 1
+	}
+	return 0
+}
+
+// loadConfig resolves the allowlist: the explicit -config file, or the
+// module root's .starlint when present.
+func loadConfig(loader *analysis.Loader, path string) (*analysis.Config, int) {
+	if path == "" {
+		path = filepath.Join(loader.ModuleRoot(), ".starlint")
+		if _, err := os.Stat(path); err != nil {
+			return nil, 0
+		}
+	}
+	cfg, err := analysis.LoadConfig(path)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "starlint: %v\n", err)
+		return nil, 2
+	}
+	return cfg, 0
+}
+
+// load resolves the package arguments: no arguments or "./..." mean
+// the whole module; anything else is a directory.
+func load(loader *analysis.Loader, args []string) ([]*analysis.Package, int) {
+	if len(args) == 0 {
+		args = []string{"./..."}
+	}
+	var pkgs []*analysis.Package
+	for _, arg := range args {
+		if arg == "./..." || arg == "..." {
+			module, err := loader.LoadModule()
+			if err != nil {
+				fmt.Fprintf(os.Stderr, "starlint: %v\n", err)
+				return nil, 2
+			}
+			pkgs = append(pkgs, module...)
+			continue
+		}
+		pkg, err := loader.LoadDir(filepath.Clean(arg))
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "starlint: %s: %v\n", arg, err)
+			return nil, 2
+		}
+		pkgs = append(pkgs, pkg)
+	}
+	return pkgs, 0
+}
+
+// relPath shortens a diagnostic path relative to the working directory
+// when that makes it strictly cleaner to read.
+func relPath(path string) string {
+	wd, err := os.Getwd()
+	if err != nil {
+		return path
+	}
+	rel, err := filepath.Rel(wd, path)
+	if err != nil || strings.HasPrefix(rel, "..") {
+		return path
+	}
+	return rel
+}

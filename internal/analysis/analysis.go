@@ -1,0 +1,265 @@
+// Package analysis implements starlint, the project's zero-dependency
+// static-analysis layer (stdlib go/parser + go/ast + go/types only).
+//
+// The repository's value is a *verified* reproduction of the paper's
+// n!-2|Fv| ring embedding, and its worst failure mode is silent
+// invariant corruption: an aliased permutation slice or a
+// nondeterministic RNG draw produces a ring that still "looks" valid
+// until internal/check or a fuzzer happens to hit it. The analyzers in
+// this package machine-enforce the disciplines that keep the harness
+// reproducible and the theorem refactor-safe:
+//
+//	permalias    - a Perm/int-slice parameter is stored or mutated
+//	               without an explicit Clone/copy
+//	globalrand   - math/rand package-level functions in internal code
+//	               (fault campaigns must draw from a plumbed *rand.Rand)
+//	nakedpanic   - panic outside Must*/must* invariant helpers in
+//	               library packages
+//	uncheckederr - discarded error returns in library packages
+//	factsize     - unguarded int arithmetic on factorial-scale values
+//
+// Diagnostics print as "file:line: [name] message". A finding can be
+// suppressed at its site with a reasoned comment,
+//
+//	//starlint:ignore <name> <reason>
+//
+// placed on the offending line or the line directly above it, or
+// allowlisted for a whole symbol through the driver config (see
+// Config). cmd/starlint is the command-line driver.
+package analysis
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+	"sort"
+	"strings"
+)
+
+// An Analyzer is one named check over a type-checked package.
+type Analyzer struct {
+	Name string
+	Doc  string
+	Run  func(*Pass)
+}
+
+// All returns every analyzer in the suite, in stable order.
+func All() []*Analyzer {
+	return []*Analyzer{
+		PermAlias,
+		GlobalRand,
+		NakedPanic,
+		UncheckedErr,
+		FactSize,
+	}
+}
+
+// ByName returns the named analyzer, or nil.
+func ByName(name string) *Analyzer {
+	for _, a := range All() {
+		if a.Name == name {
+			return a
+		}
+	}
+	return nil
+}
+
+// A Diagnostic is one finding, locatable and attributable.
+type Diagnostic struct {
+	Pos      token.Position
+	Analyzer string
+	// Symbol is the qualified symbol the finding is attributed to (the
+	// offending callee, or the enclosing function), used by the config
+	// allowlist. It may be empty when no symbol is identifiable.
+	Symbol  string
+	Message string
+}
+
+// String renders the diagnostic in the driver's one-line format.
+func (d Diagnostic) String() string {
+	return fmt.Sprintf("%s:%d: [%s] %s", d.Pos.Filename, d.Pos.Line, d.Analyzer, d.Message)
+}
+
+// A Pass carries one analyzer's view of one package.
+type Pass struct {
+	Analyzer *Analyzer
+	Pkg      *Package
+
+	diags *[]Diagnostic
+}
+
+// Reportf records a finding at pos, attributed to symbol.
+func (p *Pass) Reportf(pos token.Pos, symbol, format string, args ...interface{}) {
+	*p.diags = append(*p.diags, Diagnostic{
+		Pos:      p.Pkg.Fset.Position(pos),
+		Analyzer: p.Analyzer.Name,
+		Symbol:   symbol,
+		Message:  fmt.Sprintf(format, args...),
+	})
+}
+
+// InternalPackage reports whether the package under analysis is part of
+// the module's library surface: the module root package or anything
+// under internal/. The cmd/ and examples/ trees are deliberately out of
+// scope for the discipline analyzers (a main package may panic and may
+// keep a seeded local RNG).
+func (p *Pass) InternalPackage() bool {
+	path := p.Pkg.ImportPath
+	mod := p.Pkg.Module
+	return path == mod || strings.HasPrefix(path, mod+"/internal/")
+}
+
+// EnclosingFuncName returns the name of the innermost function
+// declaration containing pos ("" at package scope). The second result
+// is the qualified symbol for the allowlist.
+func (p *Pass) EnclosingFuncName(pos token.Pos) (name, symbol string) {
+	for _, f := range p.Pkg.Files {
+		if pos < f.Pos() || pos > f.End() {
+			continue
+		}
+		for _, decl := range f.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || pos < fd.Pos() || pos > fd.End() {
+				continue
+			}
+			if obj, ok := p.Pkg.Info.Defs[fd.Name].(*types.Func); ok {
+				return fd.Name.Name, FuncSymbol(obj)
+			}
+			return fd.Name.Name, p.Pkg.ImportPath + "." + fd.Name.Name
+		}
+	}
+	return "", ""
+}
+
+// FuncSymbol renders a function or method object as the qualified form
+// the allowlist matches against: "pkg/path.Func" for functions and
+// "pkg/path.(*Type).Method" / "pkg/path.(Type).Method" for methods.
+func FuncSymbol(fn *types.Func) string {
+	sig, ok := fn.Type().(*types.Signature)
+	if ok && sig.Recv() != nil {
+		t := sig.Recv().Type()
+		ptr := ""
+		if pt, isPtr := t.(*types.Pointer); isPtr {
+			t = pt.Elem()
+			ptr = "*"
+		}
+		if named, isNamed := t.(*types.Named); isNamed && named.Obj().Pkg() != nil {
+			return fmt.Sprintf("%s.(%s%s).%s", named.Obj().Pkg().Path(), ptr, named.Obj().Name(), fn.Name())
+		}
+		return fn.FullName()
+	}
+	if fn.Pkg() != nil {
+		return fn.Pkg().Path() + "." + fn.Name()
+	}
+	return fn.Name()
+}
+
+// Run executes the analyzers over the packages, drops suppressed and
+// allowlisted findings, and returns the rest sorted by position. cfg
+// may be nil. Malformed suppression comments are themselves reported
+// under the pseudo-analyzer name "starlint".
+func Run(pkgs []*Package, analyzers []*Analyzer, cfg *Config) []Diagnostic {
+	var diags []Diagnostic
+	for _, pkg := range pkgs {
+		sup := collectSuppressions(pkg, analyzers, &diags)
+		var raw []Diagnostic
+		for _, a := range analyzers {
+			pass := &Pass{Analyzer: a, Pkg: pkg, diags: &raw}
+			a.Run(pass)
+		}
+		for _, d := range raw {
+			if sup.covers(d) {
+				continue
+			}
+			if cfg.Allowed(d.Analyzer, d.Symbol) {
+				continue
+			}
+			diags = append(diags, d)
+		}
+	}
+	sort.Slice(diags, func(i, j int) bool {
+		a, b := diags[i], diags[j]
+		if a.Pos.Filename != b.Pos.Filename {
+			return a.Pos.Filename < b.Pos.Filename
+		}
+		if a.Pos.Line != b.Pos.Line {
+			return a.Pos.Line < b.Pos.Line
+		}
+		return a.Analyzer < b.Analyzer
+	})
+	return diags
+}
+
+// suppressions maps file -> line -> analyzer names suppressed there.
+type suppressions map[string]map[int]map[string]bool
+
+// covers reports whether d is suppressed by an ignore comment on its
+// own line or the line directly above.
+func (s suppressions) covers(d Diagnostic) bool {
+	lines := s[d.Pos.Filename]
+	if lines == nil {
+		return false
+	}
+	for _, line := range []int{d.Pos.Line, d.Pos.Line - 1} {
+		if names := lines[line]; names != nil && (names[d.Analyzer] || names["all"]) {
+			return true
+		}
+	}
+	return false
+}
+
+// ignorePrefix introduces a suppression comment.
+const ignorePrefix = "//starlint:ignore"
+
+// collectSuppressions scans every comment of the package for
+// //starlint:ignore directives, reporting malformed ones.
+func collectSuppressions(pkg *Package, analyzers []*Analyzer, diags *[]Diagnostic) suppressions {
+	known := make(map[string]bool, len(analyzers)+1)
+	known["all"] = true
+	for _, a := range analyzers {
+		known[a.Name] = true
+	}
+	sup := make(suppressions)
+	for _, f := range pkg.Files {
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				if !strings.HasPrefix(c.Text, ignorePrefix) {
+					continue
+				}
+				pos := pkg.Fset.Position(c.Pos())
+				rest := strings.TrimPrefix(c.Text, ignorePrefix)
+				fields := strings.Fields(rest)
+				if len(fields) < 2 {
+					*diags = append(*diags, Diagnostic{
+						Pos:      pos,
+						Analyzer: "starlint",
+						Message:  "malformed suppression: want //starlint:ignore <analyzer> <reason>",
+					})
+					continue
+				}
+				name := fields[0]
+				if !known[name] {
+					*diags = append(*diags, Diagnostic{
+						Pos:      pos,
+						Analyzer: "starlint",
+						Message:  fmt.Sprintf("suppression names unknown analyzer %q", name),
+					})
+					continue
+				}
+				byLine := sup[pos.Filename]
+				if byLine == nil {
+					byLine = make(map[int]map[string]bool)
+					sup[pos.Filename] = byLine
+				}
+				names := byLine[pos.Line]
+				if names == nil {
+					names = make(map[string]bool)
+					byLine[pos.Line] = names
+				}
+				names[name] = true
+			}
+		}
+	}
+	return sup
+}

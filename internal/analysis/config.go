@@ -1,0 +1,86 @@
+package analysis
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"os"
+	"strings"
+)
+
+// Config is the driver-level allowlist: findings attributed to an
+// allowed symbol are dropped without a per-site suppression comment.
+// The format is line-oriented:
+//
+//	# comment
+//	allow <analyzer> <symbol>
+//
+// where <symbol> is the qualified symbol a diagnostic reports (e.g.
+// "fmt.Fprintf" or "repro/internal/faults.(*Set).AddVertex"); a
+// trailing '*' matches any suffix. <analyzer> may be "all".
+type Config struct {
+	allow map[string][]string
+}
+
+// ParseConfig reads the allowlist format from r. name is used in error
+// messages.
+func ParseConfig(r io.Reader, name string) (*Config, error) {
+	cfg := &Config{allow: make(map[string][]string)}
+	sc := bufio.NewScanner(r)
+	lineNo := 0
+	for sc.Scan() {
+		lineNo++
+		line := strings.TrimSpace(sc.Text())
+		if line == "" || strings.HasPrefix(line, "#") {
+			continue
+		}
+		fields := strings.Fields(line)
+		if len(fields) != 3 || fields[0] != "allow" {
+			return nil, fmt.Errorf("%s:%d: want \"allow <analyzer> <symbol>\", got %q", name, lineNo, line)
+		}
+		analyzer, symbol := fields[1], fields[2]
+		if analyzer != "all" && ByName(analyzer) == nil {
+			return nil, fmt.Errorf("%s:%d: unknown analyzer %q", name, lineNo, analyzer)
+		}
+		cfg.allow[analyzer] = append(cfg.allow[analyzer], symbol)
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+	return cfg, nil
+}
+
+// LoadConfig reads the allowlist from a file.
+func LoadConfig(path string) (*Config, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	return ParseConfig(f, path)
+}
+
+// Allowed reports whether a diagnostic from the named analyzer,
+// attributed to symbol, is allowlisted. A nil Config allows nothing.
+func (c *Config) Allowed(analyzer, symbol string) bool {
+	if c == nil || symbol == "" {
+		return false
+	}
+	for _, key := range []string{analyzer, "all"} {
+		for _, pat := range c.allow[key] {
+			if matchSymbol(pat, symbol) {
+				return true
+			}
+		}
+	}
+	return false
+}
+
+// matchSymbol matches pattern against symbol; a trailing '*' matches
+// any suffix.
+func matchSymbol(pattern, symbol string) bool {
+	if prefix, ok := strings.CutSuffix(pattern, "*"); ok {
+		return strings.HasPrefix(symbol, prefix)
+	}
+	return pattern == symbol
+}

@@ -1,0 +1,97 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"strings"
+)
+
+// FactSize flags growing int arithmetic (*, +, <<) on factorial-scale
+// quantities: the direct results of perm.Factorial, star.Graph.Order
+// and substar.Pattern.Order. n! crosses 32-bit int at n = 13 and int64
+// at n = 21, so a product like Factorial(n) * (n-1) silently wraps on
+// 32-bit platforms well inside the supported range (MaxN = 16).
+// Shrinking operations (-, /, %, comparisons) are safe and not flagged.
+// A site whose n is provably bounded should carry a
+// //starlint:ignore factsize <bound> suppression stating the bound.
+var FactSize = &Analyzer{
+	Name: "factsize",
+	Doc:  "unguarded int arithmetic on factorial-scale values",
+	Run:  runFactSize,
+}
+
+func runFactSize(pass *Pass) {
+	for _, file := range pass.Pkg.Files {
+		ast.Inspect(file, func(n ast.Node) bool {
+			be, ok := n.(*ast.BinaryExpr)
+			if !ok {
+				return true
+			}
+			switch be.Op {
+			case token.MUL, token.ADD, token.SHL:
+			default:
+				return true
+			}
+			// One report per expression even when both operands are
+			// factorial-scale.
+			for _, operand := range []ast.Expr{be.X, be.Y} {
+				name := factorialCall(pass, operand)
+				if name == "" {
+					continue
+				}
+				_, symbol := pass.EnclosingFuncName(be.Pos())
+				pass.Reportf(be.Pos(), symbol,
+					"factorial-scale value from %s used in %q without an overflow guard (n! overflows 32-bit int at n=13); bound n and state it in a suppression",
+					name, be.Op)
+				break
+			}
+			return true
+		})
+	}
+}
+
+// factorialCall reports the display name of a factorial-scale callee
+// when e (modulo parentheses) is a direct call to one, else "".
+func factorialCall(pass *Pass, e ast.Expr) string {
+	for {
+		p, ok := e.(*ast.ParenExpr)
+		if !ok {
+			break
+		}
+		e = p.X
+	}
+	call, ok := e.(*ast.CallExpr)
+	if !ok {
+		return ""
+	}
+	var id *ast.Ident
+	switch fun := call.Fun.(type) {
+	case *ast.Ident:
+		id = fun
+	case *ast.SelectorExpr:
+		id = fun.Sel
+	default:
+		return ""
+	}
+	fn, ok := pass.Pkg.Info.Uses[id].(*types.Func)
+	if !ok || fn.Pkg() == nil {
+		return ""
+	}
+	sym := FuncSymbol(fn)
+	for _, known := range factorialScale {
+		if strings.HasSuffix(sym, known) {
+			return fn.Pkg().Name() + "." + fn.Name()
+		}
+	}
+	return ""
+}
+
+// factorialScale are the qualified-symbol suffixes of functions whose
+// result is of order n! (suffix-matched so the module path prefix does
+// not matter).
+var factorialScale = []string{
+	"internal/perm.Factorial",
+	"internal/star.(Graph).Order",
+	"internal/substar.(Pattern).Order",
+}

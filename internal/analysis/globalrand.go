@@ -1,0 +1,59 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// GlobalRand flags uses of math/rand package-level functions (Intn,
+// Shuffle, Perm, Seed, ...) in library packages. The fault-campaign
+// harness is only adversarially reproducible if every random draw comes
+// from a plumbed, seeded *rand.Rand; the process-global source makes a
+// campaign unrepeatable and its counterexamples unreportable.
+// Constructing local generators (rand.New, rand.NewSource, rand.NewZipf)
+// is the sanctioned pattern and is not flagged.
+var GlobalRand = &Analyzer{
+	Name: "globalrand",
+	Doc:  "math/rand package-level functions in internal code",
+	Run:  runGlobalRand,
+}
+
+// globalRandAllowed lists the math/rand package-level functions that
+// build explicit generators rather than drawing from the global one.
+var globalRandAllowed = map[string]bool{
+	"New":       true,
+	"NewSource": true,
+	"NewZipf":   true,
+}
+
+func runGlobalRand(pass *Pass) {
+	if !pass.InternalPackage() {
+		return
+	}
+	for _, file := range pass.Pkg.Files {
+		ast.Inspect(file, func(n ast.Node) bool {
+			sel, ok := n.(*ast.SelectorExpr)
+			if !ok {
+				return true
+			}
+			fn, ok := pass.Pkg.Info.Uses[sel.Sel].(*types.Func)
+			if !ok || fn.Pkg() == nil {
+				return true
+			}
+			path := fn.Pkg().Path()
+			if path != "math/rand" && path != "math/rand/v2" {
+				return true
+			}
+			if sig, ok := fn.Type().(*types.Signature); ok && sig.Recv() != nil {
+				return true // a *rand.Rand method: exactly what we want
+			}
+			if globalRandAllowed[fn.Name()] {
+				return true
+			}
+			pass.Reportf(sel.Pos(), path+"."+fn.Name(),
+				"%s.%s draws from the process-global RNG; plumb a seeded *rand.Rand instead",
+				path, fn.Name())
+			return true
+		})
+	}
+}

@@ -1,0 +1,265 @@
+package analysis
+
+import (
+	"fmt"
+	"go/ast"
+	"go/importer"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+)
+
+// A Package is one loaded, type-checked module package.
+type Package struct {
+	ImportPath string
+	Module     string // module path from go.mod
+	Dir        string
+	Fset       *token.FileSet
+	Files      []*ast.File
+	Types      *types.Package
+	Info       *types.Info
+	// TypeErrors collects type-checking problems. The analyzers still
+	// run over a partially checked package, but the driver treats any
+	// entry as a load failure.
+	TypeErrors []error
+}
+
+// A Loader parses and type-checks packages of one module. It resolves
+// module-internal imports from the module tree itself and everything
+// else (the standard library) through the stdlib source importer, so
+// the whole pipeline needs no dependencies beyond the Go installation.
+type Loader struct {
+	fset   *token.FileSet
+	root   string // module root directory (absolute)
+	module string // module path declared in go.mod
+	std    types.ImporterFrom
+	cache  map[string]*loadEntry
+}
+
+type loadEntry struct {
+	pkg *Package
+	err error
+}
+
+// NewLoader returns a loader for the module containing dir.
+func NewLoader(dir string) (*Loader, error) {
+	root, module, err := findModule(dir)
+	if err != nil {
+		return nil, err
+	}
+	fset := token.NewFileSet()
+	std, ok := importer.ForCompiler(fset, "source", nil).(types.ImporterFrom)
+	if !ok {
+		return nil, fmt.Errorf("analysis: source importer unavailable")
+	}
+	return &Loader{
+		fset:   fset,
+		root:   root,
+		module: module,
+		std:    std,
+		cache:  make(map[string]*loadEntry),
+	}, nil
+}
+
+// ModuleRoot returns the absolute module root directory.
+func (l *Loader) ModuleRoot() string { return l.root }
+
+// ModulePath returns the module path declared in go.mod.
+func (l *Loader) ModulePath() string { return l.module }
+
+// findModule walks up from dir to the enclosing go.mod and reads its
+// module path.
+func findModule(dir string) (root, module string, err error) {
+	abs, err := filepath.Abs(dir)
+	if err != nil {
+		return "", "", err
+	}
+	for d := abs; ; d = filepath.Dir(d) {
+		data, readErr := os.ReadFile(filepath.Join(d, "go.mod"))
+		if readErr == nil {
+			for _, line := range strings.Split(string(data), "\n") {
+				line = strings.TrimSpace(line)
+				if rest, ok := strings.CutPrefix(line, "module "); ok {
+					return d, strings.TrimSpace(rest), nil
+				}
+			}
+			return "", "", fmt.Errorf("analysis: %s/go.mod has no module line", d)
+		}
+		if filepath.Dir(d) == d {
+			return "", "", fmt.Errorf("analysis: no go.mod above %s", abs)
+		}
+	}
+}
+
+// LoadModule loads every package in the module: each directory under
+// the root that holds at least one non-test .go file, skipping
+// testdata, hidden and vendor-style directories.
+func (l *Loader) LoadModule() ([]*Package, error) {
+	var dirs []string
+	err := filepath.WalkDir(l.root, func(path string, d os.DirEntry, err error) error {
+		if err != nil {
+			return err
+		}
+		if !d.IsDir() {
+			return nil
+		}
+		name := d.Name()
+		if path != l.root && (name == "testdata" || name == "vendor" || strings.HasPrefix(name, ".") || strings.HasPrefix(name, "_")) {
+			return filepath.SkipDir
+		}
+		if names, err := goSources(path); err == nil && len(names) > 0 {
+			dirs = append(dirs, path)
+		}
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	sort.Strings(dirs)
+	pkgs := make([]*Package, 0, len(dirs))
+	for _, dir := range dirs {
+		pkg, err := l.LoadDir(dir)
+		if err != nil {
+			return nil, err
+		}
+		pkgs = append(pkgs, pkg)
+	}
+	return pkgs, nil
+}
+
+// LoadDir loads the single package in dir. Test files (_test.go) are
+// excluded: the analyzers police library code, and external test
+// packages would otherwise clash with the primary package.
+func (l *Loader) LoadDir(dir string) (*Package, error) {
+	abs, err := filepath.Abs(dir)
+	if err != nil {
+		return nil, err
+	}
+	importPath, err := l.importPathFor(abs)
+	if err != nil {
+		return nil, err
+	}
+	return l.load(importPath, abs)
+}
+
+// importPathFor maps a directory inside the module to its import path.
+func (l *Loader) importPathFor(abs string) (string, error) {
+	rel, err := filepath.Rel(l.root, abs)
+	if err != nil || strings.HasPrefix(rel, "..") {
+		return "", fmt.Errorf("analysis: %s is outside module %s", abs, l.root)
+	}
+	if rel == "." {
+		return l.module, nil
+	}
+	return l.module + "/" + filepath.ToSlash(rel), nil
+}
+
+// dirForImport inverts importPathFor for module-internal import paths.
+func (l *Loader) dirForImport(path string) (string, bool) {
+	if path == l.module {
+		return l.root, true
+	}
+	if rest, ok := strings.CutPrefix(path, l.module+"/"); ok {
+		return filepath.Join(l.root, filepath.FromSlash(rest)), true
+	}
+	return "", false
+}
+
+// goSources lists the non-test .go files of dir, sorted.
+func goSources(dir string) ([]string, error) {
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		return nil, err
+	}
+	var names []string
+	for _, e := range entries {
+		name := e.Name()
+		if e.IsDir() || !strings.HasSuffix(name, ".go") || strings.HasSuffix(name, "_test.go") {
+			continue
+		}
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	return names, nil
+}
+
+// load parses and type-checks one package, memoized by import path.
+func (l *Loader) load(importPath, dir string) (*Package, error) {
+	if e, ok := l.cache[importPath]; ok {
+		return e.pkg, e.err
+	}
+	// Reserve the slot to fail fast on import cycles instead of
+	// recursing forever.
+	l.cache[importPath] = &loadEntry{err: fmt.Errorf("analysis: import cycle through %s", importPath)}
+
+	pkg, err := l.loadUncached(importPath, dir)
+	l.cache[importPath] = &loadEntry{pkg: pkg, err: err}
+	return pkg, err
+}
+
+func (l *Loader) loadUncached(importPath, dir string) (*Package, error) {
+	names, err := goSources(dir)
+	if err != nil {
+		return nil, err
+	}
+	if len(names) == 0 {
+		return nil, fmt.Errorf("analysis: no Go files in %s", dir)
+	}
+	var files []*ast.File
+	for _, name := range names {
+		f, err := parser.ParseFile(l.fset, filepath.Join(dir, name), nil, parser.ParseComments)
+		if err != nil {
+			return nil, err
+		}
+		files = append(files, f)
+	}
+	pkg := &Package{
+		ImportPath: importPath,
+		Module:     l.module,
+		Dir:        dir,
+		Fset:       l.fset,
+		Files:      files,
+		Info: &types.Info{
+			Types:      make(map[ast.Expr]types.TypeAndValue),
+			Defs:       make(map[*ast.Ident]types.Object),
+			Uses:       make(map[*ast.Ident]types.Object),
+			Selections: make(map[*ast.SelectorExpr]*types.Selection),
+		},
+	}
+	conf := types.Config{
+		Importer: l,
+		Error: func(err error) {
+			pkg.TypeErrors = append(pkg.TypeErrors, err)
+		},
+	}
+	// Check returns the (possibly incomplete) package even on error;
+	// the collected TypeErrors are the authoritative failure signal.
+	pkg.Types, _ = conf.Check(importPath, l.fset, files, pkg.Info)
+	return pkg, nil
+}
+
+// Import implements types.Importer.
+func (l *Loader) Import(path string) (*types.Package, error) {
+	return l.ImportFrom(path, l.root, 0)
+}
+
+// ImportFrom implements types.ImporterFrom: module-internal paths are
+// loaded from the module tree, everything else is delegated to the
+// standard library source importer.
+func (l *Loader) ImportFrom(path, srcDir string, mode types.ImportMode) (*types.Package, error) {
+	if dir, ok := l.dirForImport(path); ok {
+		pkg, err := l.load(path, dir)
+		if err != nil {
+			return nil, err
+		}
+		if len(pkg.TypeErrors) > 0 {
+			return nil, fmt.Errorf("analysis: %s: %v", path, pkg.TypeErrors[0])
+		}
+		return pkg.Types, nil
+	}
+	return l.std.ImportFrom(path, srcDir, mode)
+}

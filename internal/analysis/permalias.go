@@ -1,0 +1,167 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+// PermAlias flags the aliasing bug class most likely to corrupt rings:
+// a permutation-like slice parameter (perm.Perm, []perm.Code, []int,
+// []uint8, ...) that is stored into a struct or package-level variable,
+// or mutated through an index assignment, without an explicit
+// Clone/copy. Storing the bare parameter shares the caller's backing
+// array, so a later in-place swap silently rewrites a ring the caller
+// believes is frozen. Assigning a Clone() (or any other call result)
+// and building fresh slices are not flagged; copy(dst, src) is the
+// sanctioned primitive and is likewise not flagged.
+var PermAlias = &Analyzer{
+	Name: "permalias",
+	Doc:  "permutation slice parameters stored or mutated without Clone/copy",
+	Run:  runPermAlias,
+}
+
+func runPermAlias(pass *Pass) {
+	for _, file := range pass.Pkg.Files {
+		for _, decl := range file.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Body == nil {
+				continue
+			}
+			params := permParams(pass, fd)
+			if len(params) == 0 {
+				continue
+			}
+			checkPermParams(pass, fd, params)
+		}
+	}
+}
+
+// permParams collects the declared parameter objects of fd (receivers
+// excluded: in-place methods own their receiver by convention) whose
+// type is permutation-like.
+func permParams(pass *Pass, fd *ast.FuncDecl) map[types.Object]bool {
+	params := make(map[types.Object]bool)
+	for _, field := range fd.Type.Params.List {
+		for _, name := range field.Names {
+			obj := pass.Pkg.Info.Defs[name]
+			if obj != nil && permLike(obj.Type()) {
+				params[obj] = true
+			}
+		}
+	}
+	if len(params) == 0 {
+		return nil
+	}
+	return params
+}
+
+// permLike reports whether t is a slice of integer-like elements,
+// directly or through a named type (perm.Perm is a named []uint8,
+// perm.Code a named uint64, so []perm.Code qualifies too).
+func permLike(t types.Type) bool {
+	s, ok := t.Underlying().(*types.Slice)
+	if !ok {
+		return false
+	}
+	elem := s.Elem().Underlying()
+	b, ok := elem.(*types.Basic)
+	return ok && b.Info()&types.IsInteger != 0
+}
+
+func checkPermParams(pass *Pass, fd *ast.FuncDecl, params map[types.Object]bool) {
+	info := pass.Pkg.Info
+	paramOf := func(e ast.Expr) types.Object {
+		id, ok := e.(*ast.Ident)
+		if !ok {
+			return nil
+		}
+		if obj := info.Uses[id]; obj != nil && params[obj] {
+			return obj
+		}
+		return nil
+	}
+	_, symbol := pass.EnclosingFuncName(fd.Name.Pos())
+
+	// One report per parameter and kind: a swap like p[i], p[j] = p[j],
+	// p[i] is a single finding, not four.
+	type finding struct {
+		obj  types.Object
+		kind string
+	}
+	seen := make(map[finding]bool)
+	reportf := func(obj types.Object, kind string, pos token.Pos, format string, args ...interface{}) {
+		if seen[finding{obj, kind}] {
+			return
+		}
+		seen[finding{obj, kind}] = true
+		pass.Reportf(pos, symbol, format, args...)
+	}
+
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.AssignStmt:
+			for i, lhs := range n.Lhs {
+				// Mutation: p[i] = x writes through the caller's array.
+				if idx, ok := lhs.(*ast.IndexExpr); ok {
+					if obj := paramOf(idx.X); obj != nil {
+						reportf(obj, "mutate", lhs.Pos(),
+							"parameter %s (%s) is mutated in place; operate on a Clone or document ownership",
+							obj.Name(), obj.Type())
+					}
+					continue
+				}
+				// Store: field or package-level variable keeps the bare
+				// parameter alive past the call.
+				if i >= len(n.Rhs) {
+					continue
+				}
+				obj := paramOf(n.Rhs[i])
+				if obj == nil {
+					continue
+				}
+				switch l := lhs.(type) {
+				case *ast.SelectorExpr:
+					reportf(obj, "store", n.Rhs[i].Pos(),
+						"parameter %s (%s) is stored into %s without Clone/copy; the caller's slice is aliased",
+						obj.Name(), obj.Type(), exprString(l))
+				case *ast.Ident:
+					if tgt := info.Uses[l]; tgt != nil && tgt.Parent() == pass.Pkg.Types.Scope() {
+						reportf(obj, "store", n.Rhs[i].Pos(),
+							"parameter %s (%s) is stored into package variable %s without Clone/copy",
+							obj.Name(), obj.Type(), l.Name)
+					}
+				}
+			}
+		case *ast.CompositeLit:
+			// Store: a bare parameter frozen into a composite literal
+			// escapes the call just like a field assignment.
+			for _, elt := range n.Elts {
+				val := elt
+				if kv, ok := elt.(*ast.KeyValueExpr); ok {
+					val = kv.Value
+				}
+				if obj := paramOf(val); obj != nil {
+					reportf(obj, "store", val.Pos(),
+						"parameter %s (%s) is stored into a composite literal without Clone/copy",
+						obj.Name(), obj.Type())
+				}
+			}
+		}
+		return true
+	})
+}
+
+// exprString renders simple l-value expressions for messages.
+func exprString(e ast.Expr) string {
+	switch e := e.(type) {
+	case *ast.Ident:
+		return e.Name
+	case *ast.SelectorExpr:
+		return exprString(e.X) + "." + e.Sel.Name
+	case *ast.IndexExpr:
+		return exprString(e.X) + "[...]"
+	default:
+		return "expression"
+	}
+}

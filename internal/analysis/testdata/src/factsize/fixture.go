@@ -1,0 +1,36 @@
+// Package fixture seeds intentional factsize violations for the
+// golden-file tests; it is under testdata and never built by go build.
+package fixture
+
+import "repro/internal/perm"
+
+// EdgeCount multiplies a factorial-scale value without bounding n.
+func EdgeCount(n int) int {
+	return perm.Factorial(n) * (n - 1) / 2
+}
+
+// Doubled grows a factorial-scale value by addition.
+func Doubled(n int) int {
+	return perm.Factorial(n) + perm.Factorial(n)
+}
+
+// Guarantee subtracts from the factorial, which cannot overflow, and
+// is clean.
+func Guarantee(n, faults int) int {
+	return perm.Factorial(n) - 2*faults
+}
+
+// Half shrinks by division and is clean.
+func Half(n int) int {
+	return perm.Factorial(n) / 2
+}
+
+// Bounded documents its bound through a suppression and stays out of
+// the report.
+func Bounded(n int) int {
+	if n > 8 {
+		n = 8
+	}
+	//starlint:ignore factsize n clamped to 8 above, 8!*7 < 2^19
+	return perm.Factorial(n) * (n - 1)
+}

@@ -1,0 +1,27 @@
+// Package fixture seeds intentional globalrand violations for the
+// golden-file tests; it is under testdata and never built by go build.
+package fixture
+
+import "math/rand"
+
+// Draw pulls from the process-global RNG, breaking campaign
+// reproducibility.
+func Draw(n int) int {
+	return rand.Intn(n)
+}
+
+// Mix shuffles through the global source.
+func Mix(xs []int) {
+	rand.Shuffle(len(xs), func(i, j int) { xs[i], xs[j] = xs[j], xs[i] })
+}
+
+// picker captures a package-level function value.
+var picker = rand.Perm
+
+// Seeded constructs an explicit generator; rand.New and rand.NewSource
+// are the sanctioned pattern and stay clean, as do methods on the
+// resulting *rand.Rand.
+func Seeded(seed int64) int {
+	rng := rand.New(rand.NewSource(seed))
+	return rng.Intn(10)
+}

@@ -1,0 +1,35 @@
+// Package fixture seeds intentional nakedpanic violations for the
+// golden-file tests; it is under testdata and never built by go build.
+package fixture
+
+import "fmt"
+
+// Explode panics on input any caller can supply.
+func Explode(n int) int {
+	if n < 0 {
+		panic(fmt.Sprintf("fixture: negative %d", n))
+	}
+	return n
+}
+
+// mustPositive is a sanctioned invariant helper: the must prefix
+// documents the contract and satisfies the analyzer.
+func mustPositive(n int) {
+	if n <= 0 {
+		panic("fixture: invariant violated")
+	}
+}
+
+// MustParse follows the stdlib Must convention and stays clean.
+func MustParse(s string) int {
+	if s == "" {
+		panic("fixture: empty input")
+	}
+	return len(s)
+}
+
+// Checked routes its precondition through the helper and stays clean.
+func Checked(n int) int {
+	mustPositive(n)
+	return n * 2
+}

@@ -1,0 +1,54 @@
+// Package fixture seeds intentional permalias violations for the
+// golden-file tests; it is under testdata and never built by go build.
+package fixture
+
+import "repro/internal/perm"
+
+type holder struct {
+	p    perm.Perm
+	ring []int
+}
+
+var global []int
+
+// Keep stores both parameters, aliasing the caller's slices.
+func (h *holder) Keep(p perm.Perm, ring []int) {
+	h.p = p
+	h.ring = ring
+}
+
+// Stash publishes the parameter through a package variable.
+func Stash(xs []int) {
+	global = xs
+}
+
+// Zero scribbles on the caller's slice through several writes; the
+// analyzer reports the parameter once.
+func Zero(p perm.Perm) {
+	p[0] = 1
+	p[1] = 2
+}
+
+// Wrap freezes the parameter into a returned composite literal.
+func Wrap(p perm.Perm) holder {
+	return holder{p: p}
+}
+
+// KeepClone stores a defensive copy and is clean.
+func (h *holder) KeepClone(p perm.Perm) {
+	h.p = p.Clone()
+}
+
+// Fill copies into the caller-provided buffer with the sanctioned
+// primitive and is clean.
+func Fill(dst []int, n int) {
+	src := make([]int, n)
+	copy(dst, src)
+}
+
+// Adopt takes ownership deliberately; the suppression keeps it out of
+// the report.
+func (h *holder) Adopt(ring []int) {
+	//starlint:ignore permalias caller hands off ownership of ring by contract
+	h.ring = ring
+}

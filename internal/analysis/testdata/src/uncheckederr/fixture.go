@@ -1,0 +1,36 @@
+// Package fixture seeds intentional uncheckederr violations for the
+// golden-file tests; it is under testdata and never built by go build.
+package fixture
+
+import (
+	"fmt"
+	"os"
+	"strconv"
+)
+
+// Drop discards the error (and the value) from Atoi.
+func Drop(s string) {
+	strconv.Atoi(s)
+}
+
+// Emit discards the Fprintln error; the repo allowlists the fmt.Fprint
+// family in .starlint, but the golden test runs without a config, so
+// this is reported.
+func Emit() {
+	fmt.Fprintln(os.Stderr, "fixture")
+}
+
+// Checked handles its error and is clean.
+func Checked(s string) int {
+	n, err := strconv.Atoi(s)
+	if err != nil {
+		return 0
+	}
+	return n
+}
+
+// Discarded makes the discard explicit, which stays visible in review
+// and is accepted.
+func Discarded(s string) {
+	_, _ = strconv.Atoi(s)
+}

@@ -1,0 +1,83 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// UncheckedErr flags statement-level calls in library packages whose
+// error result is silently discarded. An ignored AddVertex or decoder
+// error is exactly how an invalid fault set or ring slips past the
+// verifier. Explicit discards (_ = f(), _, _ = g()) remain visible in
+// the source and are accepted; deferred and go statements are out of
+// scope. Writers that render tables to a caller-supplied io.Writer may
+// be allowlisted via the driver config (e.g. "allow uncheckederr
+// fmt.Fprintf") instead of checking every print.
+var UncheckedErr = &Analyzer{
+	Name: "uncheckederr",
+	Doc:  "discarded error returns in library packages",
+	Run:  runUncheckedErr,
+}
+
+var errorType = types.Universe.Lookup("error").Type()
+
+func runUncheckedErr(pass *Pass) {
+	if !pass.InternalPackage() {
+		return
+	}
+	for _, file := range pass.Pkg.Files {
+		ast.Inspect(file, func(n ast.Node) bool {
+			stmt, ok := n.(*ast.ExprStmt)
+			if !ok {
+				return true
+			}
+			call, ok := stmt.X.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			tv, ok := pass.Pkg.Info.Types[call]
+			if !ok || !returnsError(tv.Type) {
+				return true
+			}
+			symbol, name := calleeSymbol(pass, call)
+			pass.Reportf(call.Pos(), symbol,
+				"error returned by %s is discarded; handle it or discard explicitly with _ =",
+				name)
+			return true
+		})
+	}
+}
+
+// returnsError reports whether a call result type is or contains error.
+func returnsError(t types.Type) bool {
+	switch t := t.(type) {
+	case *types.Tuple:
+		for i := 0; i < t.Len(); i++ {
+			if types.Identical(t.At(i).Type(), errorType) {
+				return true
+			}
+		}
+		return false
+	default:
+		return t != nil && types.Identical(t, errorType)
+	}
+}
+
+// calleeSymbol resolves the called function to its allowlist symbol and
+// a short display name. Calls through function values resolve to the
+// value's name only (not allowlistable by package path).
+func calleeSymbol(pass *Pass, call *ast.CallExpr) (symbol, name string) {
+	var id *ast.Ident
+	switch fun := call.Fun.(type) {
+	case *ast.Ident:
+		id = fun
+	case *ast.SelectorExpr:
+		id = fun.Sel
+	default:
+		return "", "call"
+	}
+	if fn, ok := pass.Pkg.Info.Uses[id].(*types.Func); ok {
+		return FuncSymbol(fn), fn.Name()
+	}
+	return "", id.Name
+}

@@ -180,7 +180,9 @@ func Latifi(n int, fs *faults.Set, cfg core.Config) (*LatifiResult, error) {
 	virtual := fs.Clone()
 	if m <= 3 {
 		for _, v := range cluster.Vertices(nil) {
-			virtual.AddVertex(v)
+			if err := virtual.AddVertex(v); err != nil {
+				return nil, err
+			}
 		}
 	}
 

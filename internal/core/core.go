@@ -237,7 +237,7 @@ func weightOf(fs *faults.Set) func(substar.Pattern) int {
 // proof): an R4 whose supervertices satisfy (P1), (P2) and (P3).
 func buildR4(n int, positions []int, fs *faults.Set, cfg Config) (*superring.Ring, error) {
 	spec := BuildSpec{
-		Positions:      positions,
+		Positions:      append([]int(nil), positions...),
 		SpreadFaults:   true,
 		HealthyBorders: true,
 		VerifyP1:       !cfg.BestEffort,

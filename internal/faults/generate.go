@@ -18,7 +18,7 @@ func RandomVertices(n, k int, rng *rand.Rand) *Set {
 	total := perm.Factorial(n)
 	for s.NumVertices() < k {
 		v := perm.Pack(perm.Unrank(n, rng.Intn(total)))
-		s.AddVertex(v)
+		s.addVertex(v)
 	}
 	return s
 }
@@ -36,7 +36,7 @@ func SamePartiteVertices(n, k, parity int, rng *rand.Rand) *Set {
 		if v.Parity(n) != parity {
 			continue
 		}
-		s.AddVertex(v)
+		s.addVertex(v)
 	}
 	return s
 }
@@ -64,7 +64,7 @@ func ClusteredVertices(n, k, m int, rng *rand.Rand) (*Set, substar.Pattern, erro
 	s := NewSet(n)
 	order := rng.Perm(len(vertices))
 	for i := 0; i < k; i++ {
-		s.AddVertex(vertices[order[i]])
+		s.addVertex(vertices[order[i]])
 	}
 	return s, pattern, nil
 }
@@ -99,7 +99,7 @@ func SpreadVertices(n, k int, rng *rand.Rand, dist func(a, b perm.Code) int) *Se
 			}
 		}
 		if bestScore >= 0 {
-			s.AddVertex(best)
+			s.addVertex(best)
 		}
 	}
 	return s
@@ -112,7 +112,7 @@ func RandomEdges(n, k int, rng *rand.Rand) *Set {
 	for s.NumEdges() < k {
 		u := perm.Pack(perm.Unrank(n, rng.Intn(total)))
 		dim := 2 + rng.Intn(n-1)
-		s.AddEdge(u, u.SwapFirst(dim))
+		s.addEdge(NewEdge(u, u.SwapFirst(dim)))
 	}
 	return s
 }
@@ -124,7 +124,7 @@ func Mixed(n, kv, ke int, rng *rand.Rand) *Set {
 	s := NewSet(n)
 	total := perm.Factorial(n)
 	for s.NumVertices() < kv {
-		s.AddVertex(perm.Pack(perm.Unrank(n, rng.Intn(total))))
+		s.addVertex(perm.Pack(perm.Unrank(n, rng.Intn(total))))
 	}
 	for s.NumEdges() < ke {
 		u := perm.Pack(perm.Unrank(n, rng.Intn(total)))
@@ -133,7 +133,7 @@ func Mixed(n, kv, ke int, rng *rand.Rand) *Set {
 		if s.HasVertex(u) || s.HasVertex(v) {
 			continue
 		}
-		s.AddEdge(u, v)
+		s.addEdge(NewEdge(u, v))
 	}
 	return s
 }

@@ -18,27 +18,24 @@ import (
 // distribution names a fault generator used in the sweeps.
 type distribution struct {
 	name string
-	gen  func(n, k int, rng *rand.Rand) *faults.Set
+	gen  func(n, k int, rng *rand.Rand) (*faults.Set, error)
 }
 
 func distributions() []distribution {
 	return []distribution{
-		{"uniform", func(n, k int, rng *rand.Rand) *faults.Set {
-			return faults.RandomVertices(n, k, rng)
+		{"uniform", func(n, k int, rng *rand.Rand) (*faults.Set, error) {
+			return faults.RandomVertices(n, k, rng), nil
 		}},
-		{"same-partite", func(n, k int, rng *rand.Rand) *faults.Set {
-			return faults.SamePartiteVertices(n, k, 0, rng)
+		{"same-partite", func(n, k int, rng *rand.Rand) (*faults.Set, error) {
+			return faults.SamePartiteVertices(n, k, 0, rng), nil
 		}},
-		{"clustered", func(n, k int, rng *rand.Rand) *faults.Set {
+		{"clustered", func(n, k int, rng *rand.Rand) (*faults.Set, error) {
 			m := 3
 			for perm.Factorial(m) < k {
 				m++
 			}
 			fs, _, err := faults.ClusteredVertices(n, k, m, rng)
-			if err != nil {
-				panic(err)
-			}
-			return fs
+			return fs, err
 		}},
 	}
 }
@@ -77,7 +74,10 @@ func T1(cfg SweepConfig) ([]*Table, error) {
 				want := perm.Factorial(n) - 2*k
 				for seed := 0; seed < cfg.Seeds; seed++ {
 					rng := rand.New(rand.NewSource(int64(seed + 7919*n + 104729*k)))
-					fs := d.gen(n, k, rng)
+					fs, err := d.gen(n, k, rng)
+					if err != nil {
+						return nil, fmt.Errorf("n=%d k=%d %s: %w", n, k, d.name, err)
+					}
 					res, err := core.Embed(n, fs, core.Config{})
 					if err != nil {
 						return nil, fmt.Errorf("n=%d k=%d %s: %w", n, k, d.name, err)
@@ -110,7 +110,9 @@ func t1Exhaustive(t *Table, n, k int) error {
 		if len(picked) == k {
 			fs := faults.NewSet(n)
 			for _, r := range picked {
-				fs.AddVertex(perm.Pack(perm.Unrank(n, r)))
+				if err := fs.AddVertex(perm.Pack(perm.Unrank(n, r))); err != nil {
+					return err
+				}
 			}
 			res, err := core.Embed(n, fs, core.Config{})
 			if err != nil {
@@ -453,13 +455,17 @@ func F3(cfg SweepConfig) ([]*Table, error) {
 		for fs.NumVertices() < j {
 			v := perm.Pack(perm.Unrank(n, rng.Intn(perm.Factorial(n))))
 			if v.Parity(n) == 0 {
-				fs.AddVertex(v)
+				if err := fs.AddVertex(v); err != nil {
+					return nil, err
+				}
 			}
 		}
 		for fs.NumVertices() < k {
 			v := perm.Pack(perm.Unrank(n, rng.Intn(perm.Factorial(n))))
 			if v.Parity(n) == 1 {
-				fs.AddVertex(v)
+				if err := fs.AddVertex(v); err != nil {
+					return nil, err
+				}
 			}
 		}
 		res, err := core.Embed(n, fs, core.Config{})
@@ -602,7 +608,7 @@ func A1(cfg SweepConfig) ([]*Table, error) {
 		Headers: []string{"variant", "workload time", "(P1) violations", "note"},
 	}
 
-	sweep := func(noCache, noHeuristic bool) time.Duration {
+	sweep := func(noCache, noHeuristic bool) (time.Duration, error) {
 		start := time.Now()
 		for f := 0; f < pathsearch.BlockOrder; f++ {
 			forb := uint32(1) << uint(f)
@@ -615,17 +621,31 @@ func A1(cfg SweepConfig) ([]*Table, error) {
 					q := pathsearch.Query{From: uint8(u), To: v, ForbidV: forb, Target: 22,
 						NoCache: noCache, NoHeuristic: noHeuristic}
 					if _, ok := pathsearch.Canon.FindPath(q); !ok {
-						panic("Lemma 4 sweep failed")
+						return 0, fmt.Errorf("harness: Lemma 4 sweep found no 22-vertex path for %+v", q)
 					}
 				}
 			}
 		}
-		return time.Since(start)
+		return time.Since(start), nil
 	}
-	sweep(false, false) // populate the cache
-	t.AddRow("full engine, warm cache", sweep(false, false).Round(10*time.Microsecond).String(), "-", "steady state: map lookups only")
-	t.AddRow("no cache", sweep(true, false).Round(10*time.Microsecond).String(), "-", "every query re-searched")
-	t.AddRow("no cache, no heuristic", sweep(true, true).Round(10*time.Microsecond).String(), "-", "plain DFS ordering")
+	if _, err := sweep(false, false); err != nil { // populate the cache
+		return nil, err
+	}
+	for _, variant := range []struct {
+		label                string
+		noCache, noHeuristic bool
+		note                 string
+	}{
+		{"full engine, warm cache", false, false, "steady state: map lookups only"},
+		{"no cache", true, false, "every query re-searched"},
+		{"no cache, no heuristic", true, true, "plain DFS ordering"},
+	} {
+		d, err := sweep(variant.noCache, variant.noHeuristic)
+		if err != nil {
+			return nil, err
+		}
+		t.AddRow(variant.label, d.Round(10*time.Microsecond).String(), "-", variant.note)
+	}
 
 	// Separation ablation.
 	n := 7
@@ -638,7 +658,9 @@ func A1(cfg SweepConfig) ([]*Table, error) {
 		if err != nil {
 			return nil, err
 		}
-		fs.AddVertex(perm.Pack(pp))
+		if err := fs.AddVertex(perm.Pack(pp)); err != nil {
+			return nil, err
+		}
 	}
 	countViolations := func(positions []int) int {
 		k := 0

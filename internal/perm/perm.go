@@ -18,6 +18,22 @@ import (
 // four bits, so 16 positions fill a uint64 exactly.
 const MaxN = 16
 
+// Factorial-scale arithmetic throughout the module assumes a 64-bit
+// int (13! already overflows 32 bits); refuse to compile on 32-bit
+// platforms via a constant divide-by-zero.
+const _ = 1 / (^uint(0) >> 63)
+
+// mustf is the package's invariant helper: it panics with a formatted
+// message when cond is false. Exported entry points use it for
+// programmer-error preconditions (dimension ranges, matched operand
+// sizes) that are bugs at the call site, never data-dependent
+// conditions; those return errors instead.
+func mustf(cond bool, format string, args ...interface{}) {
+	if !cond {
+		panic(fmt.Sprintf(format, args...))
+	}
+}
+
 // Perm is a permutation of the symbols 1..n, stored one symbol per
 // element: p[i] is the symbol in position i+1 (positions are 1-based in
 // the paper, 0-based in this slice).
@@ -29,9 +45,7 @@ var ErrNotPermutation = errors.New("perm: not a permutation of 1..n")
 
 // Identity returns the identity permutation 1 2 ... n.
 func Identity(n int) Perm {
-	if n < 1 || n > MaxN {
-		panic(fmt.Sprintf("perm: dimension %d out of range [1,%d]", n, MaxN))
-	}
+	mustf(n >= 1 && n <= MaxN, "perm: dimension %d out of range [1,%d]", n, MaxN)
 	p := make(Perm, n)
 	for i := range p {
 		p[i] = uint8(i + 1)
@@ -153,9 +167,7 @@ func MustParse(s string) Perm {
 // obtained by exchanging the symbol in position 1 with the symbol in
 // position i. Positions are 1-based as in the paper, so 2 <= i <= n.
 func (p Perm) SwapFirst(i int) Perm {
-	if i < 2 || i > len(p) {
-		panic(fmt.Sprintf("perm: SwapFirst dimension %d out of range [2,%d]", i, len(p)))
-	}
+	mustf(i >= 2 && i <= len(p), "perm: SwapFirst dimension %d out of range [2,%d]", i, len(p))
 	q := p.Clone()
 	q[0], q[i-1] = q[i-1], q[0]
 	return q
@@ -163,9 +175,7 @@ func (p Perm) SwapFirst(i int) Perm {
 
 // SwapFirstInPlace applies the dimension-i star operation to p itself.
 func (p Perm) SwapFirstInPlace(i int) {
-	if i < 2 || i > len(p) {
-		panic(fmt.Sprintf("perm: SwapFirst dimension %d out of range [2,%d]", i, len(p)))
-	}
+	mustf(i >= 2 && i <= len(p), "perm: SwapFirst dimension %d out of range [2,%d]", i, len(p))
 	p[0], p[i-1] = p[i-1], p[0]
 }
 
@@ -184,9 +194,7 @@ func (p Perm) PositionOf(s uint8) int {
 // permutation is read as the function position -> symbol. Both operands
 // must have the same dimension.
 func (p Perm) Compose(q Perm) Perm {
-	if len(p) != len(q) {
-		panic("perm: Compose dimension mismatch")
-	}
+	mustf(len(p) == len(q), "perm: Compose dimension mismatch: %d vs %d", len(p), len(q))
 	r := make(Perm, len(p))
 	for i := range r {
 		r[i] = p[q[i]-1]
@@ -244,9 +252,7 @@ func (p Perm) Transpositions() int {
 // Factorial returns n! as an int. It panics if the product overflows a
 // 64-bit int (n > 20), far beyond MaxN.
 func Factorial(n int) int {
-	if n < 0 || n > 20 {
-		panic(fmt.Sprintf("perm: Factorial(%d) out of range", n))
-	}
+	mustf(n >= 0 && n <= 20, "perm: Factorial(%d) out of range", n)
 	f := 1
 	for i := 2; i <= n; i++ {
 		f *= i
@@ -275,13 +281,9 @@ func (p Perm) Rank() int {
 // Unrank returns the permutation of 1..n with the given lexicographic
 // rank. It is the inverse of Rank.
 func Unrank(n, rank int) Perm {
-	if n < 1 || n > MaxN {
-		panic(fmt.Sprintf("perm: dimension %d out of range [1,%d]", n, MaxN))
-	}
+	mustf(n >= 1 && n <= MaxN, "perm: dimension %d out of range [1,%d]", n, MaxN)
 	total := Factorial(n)
-	if rank < 0 || rank >= total {
-		panic(fmt.Sprintf("perm: rank %d out of range [0,%d)", rank, total))
-	}
+	mustf(rank >= 0 && rank < total, "perm: rank %d out of range [0,%d)", rank, total)
 	// Decode the factorial-number-system digits, most significant first:
 	// rank = sum(digits[i] * (n-1-i)!).
 	var digits [MaxN]int

@@ -24,10 +24,17 @@ type Graph struct {
 // vertex, S_2 an edge, S_3 a 6-cycle); we accept n >= 1 so the trivial
 // cases remain expressible in tests.
 func New(n int) Graph {
-	if n < 1 || n > perm.MaxN {
-		panic(fmt.Sprintf("star: dimension %d out of range [1,%d]", n, perm.MaxN))
-	}
+	mustf(n >= 1 && n <= perm.MaxN, "star: dimension %d out of range [1,%d]", n, perm.MaxN)
 	return Graph{n: n}
+}
+
+// mustf is the package's invariant helper: it panics with a formatted
+// message when cond is false. Used only for programmer-error
+// preconditions, never data-dependent conditions.
+func mustf(cond bool, format string, args ...interface{}) {
+	if !cond {
+		panic(fmt.Sprintf(format, args...))
+	}
 }
 
 // N returns the dimension of the graph.
@@ -37,6 +44,8 @@ func (g Graph) N() int { return g.n }
 func (g Graph) Order() int { return perm.Factorial(g.n) }
 
 // Size returns the number of edges, n!*(n-1)/2.
+//
+//starlint:ignore factsize n <= MaxN = 16 keeps n!*(n-1)/2 below 2^48; perm's compile guard requires 64-bit int
 func (g Graph) Size() int { return g.Order() * (g.n - 1) / 2 }
 
 // Degree returns the regular degree n-1.
@@ -105,6 +114,7 @@ func nextPermutation(p perm.Perm) bool {
 	for p[j] <= p[i] {
 		j--
 	}
+	//starlint:ignore permalias advancing p to its successor in place is this helper's whole contract
 	p[i], p[j] = p[j], p[i]
 	for l, r := i+1, n-1; l < r; l, r = l+1, r-1 {
 		p[l], p[r] = p[r], p[l]

@@ -28,10 +28,17 @@ type Pattern struct {
 
 // Whole returns the pattern <* * ... *>_n representing all of S_n.
 func Whole(n int) Pattern {
-	if n < 1 || n > perm.MaxN {
-		panic(fmt.Sprintf("substar: dimension %d out of range [1,%d]", n, perm.MaxN))
-	}
+	mustf(n >= 1 && n <= perm.MaxN, "substar: dimension %d out of range [1,%d]", n, perm.MaxN)
 	return Pattern{n: uint8(n)}
+}
+
+// mustf is the package's invariant helper: it panics with a formatted
+// message when cond is false. Used only for programmer-error
+// preconditions, never data-dependent conditions.
+func mustf(cond bool, format string, args ...interface{}) {
+	if !cond {
+		panic(fmt.Sprintf(format, args...))
+	}
 }
 
 // FromSymbols builds a pattern from a slice where entry i is the symbol
@@ -184,19 +191,11 @@ func (p Pattern) Contains(v perm.Code) bool {
 // operation would break the pattern invariants; this is the primitive
 // behind Partition.
 func (p Pattern) Fix(i int, q uint8) Pattern {
-	if i < 2 || i > int(p.n) {
-		panic(fmt.Sprintf("substar: Fix position %d out of range [2,%d]", i, p.n))
-	}
-	if p.syms[i-1] != Star {
-		panic(fmt.Sprintf("substar: Fix position %d of %v is not free", i, p))
-	}
-	if q < 1 || int(q) > int(p.n) {
-		panic(fmt.Sprintf("substar: Fix symbol %d out of range", q))
-	}
+	mustf(i >= 2 && i <= int(p.n), "substar: Fix position %d out of range [2,%d]", i, p.n)
+	mustf(p.syms[i-1] == Star, "substar: Fix position %d of %v is not free", i, p)
+	mustf(q >= 1 && int(q) <= int(p.n), "substar: Fix symbol %d out of range", q)
 	for j := 0; j < int(p.n); j++ {
-		if p.syms[j] == q {
-			panic(fmt.Sprintf("substar: Fix symbol %d already used in %v", q, p))
-		}
+		mustf(p.syms[j] != q, "substar: Fix symbol %d already used in %v", q, p)
 	}
 	p.syms[i-1] = q
 	return p
@@ -237,9 +236,7 @@ func (p Pattern) PartitionSeq(positions []int) []Pattern {
 func (p Pattern) Vertices(dst []perm.Code) []perm.Code {
 	positions := p.FreePositions(make([]int, 0, perm.MaxN))
 	symbols := p.FreeSymbols(make([]uint8, 0, perm.MaxN))
-	if len(positions) != len(symbols) {
-		panic("substar: free position/symbol count mismatch")
-	}
+	mustf(len(positions) == len(symbols), "substar: free position/symbol count mismatch in %v", p)
 	var base perm.Code
 	for i := 1; i <= int(p.n); i++ {
 		if s := p.syms[i-1]; s != Star {
@@ -274,6 +271,7 @@ func nextPerm(a []uint8) bool {
 	for a[j] <= a[i] {
 		j--
 	}
+	//starlint:ignore permalias advancing a to its successor in place is this helper's whole contract
 	a[i], a[j] = a[j], a[i]
 	for l, r := i+1, n-1; l < r; l, r = l+1, r-1 {
 		a[l], a[r] = a[r], a[l]
@@ -351,9 +349,7 @@ func (p Pattern) CrossEdges(q Pattern, us, ws []perm.Code) ([]perm.Code, []perm.
 // cross edge to q. Position i must be free in both p and q.
 func (p Pattern) BlockedChild(q Pattern, i int) Pattern {
 	j := p.Dif(q)
-	if j == 0 {
-		panic("substar: BlockedChild of non-adjacent patterns")
-	}
+	mustf(j != 0, "substar: BlockedChild of non-adjacent patterns %v, %v", p, q)
 	y := q.syms[j-1]
 	return p.Fix(i, y)
 }

@@ -1,0 +1,77 @@
+#!/usr/bin/env bash
+# scripts/ci.sh — the repository's tier-1 gate.
+#
+# Legs, in order (fail-fast):
+#   1. gofmt         -- no unformatted files
+#   2. go vet        -- stdlib static checks
+#   3. go build      -- whole module compiles
+#   4. go test       -- full test suite
+#   5. go test -race -- core packages under the race detector (-short)
+#   6. starlint      -- the project's own analyzers (see cmd/starlint)
+#   7. fuzz smoke    -- each fuzz target for a few seconds
+#
+# Runs from any directory; needs only the Go toolchain. Override the
+# fuzz budget with FUZZTIME (default 5s), e.g. FUZZTIME=30s scripts/ci.sh.
+set -u
+
+cd "$(dirname "$0")/.."
+
+FUZZTIME="${FUZZTIME:-5s}"
+failures=0
+
+leg() {
+    local name="$1"
+    shift
+    echo "==> $name: $*"
+    local start
+    start=$(date +%s)
+    if "$@"; then
+        echo "    ok ($(($(date +%s) - start))s)"
+    else
+        echo "    FAIL: $name" >&2
+        failures=$((failures + 1))
+        return 1
+    fi
+}
+
+# 1. Formatting: gofmt -l prints offending files; any output is a failure.
+gofmt_check() {
+    local out
+    out=$(gofmt -l .)
+    if [ -n "$out" ]; then
+        echo "unformatted files:" >&2
+        echo "$out" >&2
+        return 1
+    fi
+}
+
+leg "gofmt" gofmt_check || exit 1
+leg "vet" go vet ./... || exit 1
+leg "build" go build ./... || exit 1
+leg "test" go test ./... || exit 1
+
+# Race leg: core algorithm packages with -short, sized to stay under
+# ~2 minutes (see README "Static analysis & CI").
+leg "race" go test -short -race \
+    ./internal/perm ./internal/star ./internal/substar ./internal/faults \
+    ./internal/superring ./internal/pathsearch ./internal/core \
+    ./internal/check ./internal/ringio ./internal/sim \
+    ./internal/harness ./internal/baseline || exit 1
+
+leg "starlint" go run ./cmd/starlint ./... || exit 1
+
+# Fuzz smoke: one target per invocation (the go tool's -fuzz accepts a
+# single match), a few seconds each. These catch regressions in input
+# handling and, for FuzzEmbedRing, in the embedding pipeline itself.
+fuzz_smoke() {
+    local pkg="$1" target="$2"
+    go test -run '^$' -fuzz "^${target}\$" -fuzztime "$FUZZTIME" "$pkg"
+}
+
+leg "fuzz perm/FuzzParse" fuzz_smoke ./internal/perm FuzzParse || exit 1
+leg "fuzz perm/FuzzCodeOps" fuzz_smoke ./internal/perm FuzzCodeOps || exit 1
+leg "fuzz ringio/FuzzReadBinary" fuzz_smoke ./internal/ringio FuzzReadBinary || exit 1
+leg "fuzz ringio/FuzzReadText" fuzz_smoke ./internal/ringio FuzzReadText || exit 1
+leg "fuzz core/FuzzEmbedRing" fuzz_smoke ./internal/core FuzzEmbedRing || exit 1
+
+echo "==> ci.sh: all legs passed"

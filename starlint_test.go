@@ -1,0 +1,86 @@
+package repro_test
+
+import (
+	"os/exec"
+	"regexp"
+	"strings"
+	"testing"
+)
+
+// End-to-end coverage of the starlint driver: exit status, one-line
+// diagnostic format, and a clean pass over the repository itself.
+// These tests spawn the go tool and are skipped under -short.
+
+// runStarlint executes the driver and returns combined output plus the
+// exit code (go run forwards the child's exit status).
+func runStarlint(t *testing.T, args ...string) (string, int) {
+	t.Helper()
+	cmd := exec.Command("go", append([]string{"run", "./cmd/starlint"}, args...)...)
+	cmd.Dir = repoRoot(t)
+	out, err := cmd.CombinedOutput()
+	if err == nil {
+		return string(out), 0
+	}
+	exitErr, ok := err.(*exec.ExitError)
+	if !ok {
+		t.Fatalf("go run ./cmd/starlint %s: %v\n%s", strings.Join(args, " "), err, out)
+	}
+	return string(out), exitErr.ExitCode()
+}
+
+// TestStarlintFindsSeededViolations runs each analyzer over its fixture
+// package and checks the exit status and the "file:line: [name]"
+// diagnostic line format.
+func TestStarlintFindsSeededViolations(t *testing.T) {
+	if testing.Short() {
+		t.Skip("spawns the go tool")
+	}
+	for _, name := range []string{"permalias", "globalrand", "nakedpanic", "uncheckederr", "factsize"} {
+		t.Run(name, func(t *testing.T) {
+			out, code := runStarlint(t, "-analyzers", name, "./internal/analysis/testdata/src/"+name)
+			if code != 1 {
+				t.Fatalf("want exit 1 on seeded violations, got %d:\n%s", code, out)
+			}
+			lineRE := regexp.MustCompile(`(?m)^\S+fixture\.go:\d+: \[` + name + `\] .`)
+			if !lineRE.MatchString(out) {
+				t.Errorf("no %q diagnostic in driver format:\n%s", name, out)
+			}
+			if !strings.Contains(out, "starlint: ") || !strings.Contains(out, "finding(s)") {
+				t.Errorf("missing findings summary line:\n%s", out)
+			}
+		})
+	}
+}
+
+// TestStarlintCleanRepo asserts the repository's own tree lints clean —
+// the same gate scripts/ci.sh enforces.
+func TestStarlintCleanRepo(t *testing.T) {
+	if testing.Short() {
+		t.Skip("spawns the go tool")
+	}
+	out, code := runStarlint(t, "./...")
+	if code != 0 {
+		t.Fatalf("repository does not lint clean (exit %d):\n%s", code, out)
+	}
+}
+
+// TestStarlintListAndSubset covers the -list flag and rejection of an
+// unknown analyzer name.
+func TestStarlintListAndSubset(t *testing.T) {
+	if testing.Short() {
+		t.Skip("spawns the go tool")
+	}
+	out, code := runStarlint(t, "-list")
+	if code != 0 {
+		t.Fatalf("-list failed (exit %d):\n%s", code, out)
+	}
+	for _, name := range []string{"permalias", "globalrand", "nakedpanic", "uncheckederr", "factsize"} {
+		if !strings.Contains(out, name) {
+			t.Errorf("-list output missing %s:\n%s", name, out)
+		}
+	}
+	out, code = runStarlint(t, "-analyzers", "nosuch", "./internal/perm")
+	if code == 0 {
+		t.Fatalf("unknown analyzer accepted:\n%s", out)
+	}
+}
