@@ -1,6 +1,7 @@
 package repro_test
 
 import (
+	"encoding/json"
 	"os"
 	"os/exec"
 	"path/filepath"
@@ -154,6 +155,81 @@ func TestCLIStarverify(t *testing.T) {
 	}
 	if !strings.Contains(string(combined), "REJECTED") {
 		t.Fatalf("missing rejection message:\n%s", combined)
+	}
+}
+
+// TestCLIStarringMetrics exercises the observability flags end to end:
+// -metrics-json must leave a parseable dump with the phase, cache,
+// backtrack and utilization metrics, and -debug-addr must announce a
+// live expvar/pprof endpoint.
+func TestCLIStarringMetrics(t *testing.T) {
+	if testing.Short() {
+		t.Skip("spawns the go tool")
+	}
+	file := filepath.Join(t.TempDir(), "metrics.json")
+	out := runGo(t, "run", "./cmd/starring", "-n", "6", "-faults", "3", "-seed", "2",
+		"-debug-addr", "127.0.0.1:0", "-metrics-json", file)
+	if !strings.Contains(out, "debug server listening on http://") {
+		t.Errorf("missing debug server announcement:\n%s", out)
+	}
+	if !strings.Contains(out, "metrics written to "+file) {
+		t.Errorf("missing metrics confirmation:\n%s", out)
+	}
+
+	raw, err := os.ReadFile(file)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var snap struct {
+		Counters   map[string]int64          `json:"counters"`
+		Gauges     map[string]int64          `json:"gauges"`
+		Histograms map[string]map[string]any `json:"histograms"`
+		Events     []map[string]any          `json:"events"`
+	}
+	if err := json.Unmarshal(raw, &snap); err != nil {
+		t.Fatalf("metrics file is not valid JSON: %v\n%s", err, raw)
+	}
+	for _, h := range []string{"core.phase.total", "core.phase.separation", "core.phase.build_r4",
+		"core.phase.junction", "core.phase.route", "core.phase.verify"} {
+		if _, ok := snap.Histograms[h]; !ok {
+			t.Errorf("missing phase histogram %s", h)
+		}
+	}
+	for _, c := range []string{"core.s4.cache_hits", "core.s4.cache_misses",
+		"core.junction.backtracks", "core.route.blocks"} {
+		if _, ok := snap.Counters[c]; !ok {
+			t.Errorf("missing counter %s", c)
+		}
+	}
+	if _, ok := snap.Gauges["core.route.utilization_pct"]; !ok {
+		t.Error("missing gauge core.route.utilization_pct")
+	}
+	if len(snap.Events) == 0 {
+		t.Error("no span events recorded")
+	}
+}
+
+// TestCLIStarsweepJSON checks the machine-readable sweep output.
+func TestCLIStarsweepJSON(t *testing.T) {
+	if testing.Short() {
+		t.Skip("spawns the go tool")
+	}
+	out := runGo(t, "run", "./cmd/starsweep", "-quick", "-exp", "F2", "-json")
+	var doc struct {
+		Experiments []struct {
+			ID      string     `json:"id"`
+			Headers []string   `json:"headers"`
+			Rows    [][]string `json:"rows"`
+		} `json:"experiments"`
+	}
+	if err := json.Unmarshal([]byte(out), &doc); err != nil {
+		t.Fatalf("-json output is not valid JSON: %v\n%s", err, out)
+	}
+	if len(doc.Experiments) != 1 || doc.Experiments[0].ID != "F2" {
+		t.Fatalf("unexpected experiments: %+v", doc.Experiments)
+	}
+	if len(doc.Experiments[0].Rows) == 0 || len(doc.Experiments[0].Headers) == 0 {
+		t.Fatalf("empty F2 table: %+v", doc.Experiments[0])
 	}
 }
 

@@ -1,7 +1,7 @@
 // starlint runs the project's static analyzers (internal/analysis)
-// over the module: permalias, globalrand, nakedpanic, uncheckederr and
-// factsize, the disciplines that keep the n!-2|Fv| reproduction
-// deterministic and aliasing-safe. It is zero-dependency: packages are
+// over the module: permalias, globalrand, nakedpanic, uncheckederr,
+// factsize and walltime, the disciplines that keep the n!-2|Fv|
+// reproduction deterministic and aliasing-safe. It is zero-dependency: packages are
 // parsed and type-checked with the standard library only.
 //
 // Usage:

@@ -7,6 +7,13 @@
 //	starring -n 6 -fe "123456-213456"               # an edge fault
 //	starring -n 6 -random 3 -algo tseng             # run a baseline
 //	starring -n 6 -random 3 -print                  # dump the ring
+//	starring -n 7 -faults 4 -metrics-json m.json    # dump run telemetry
+//
+// -debug-addr serves expvar (/debug/vars, registry "starring") and
+// pprof (/debug/pprof/) while the run lasts; -metrics-json leaves a
+// machine-readable record of per-phase durations, S4 cache activity,
+// junction backtracks and worker utilization (see the README's
+// Observability section).
 //
 // The embedded ring is always re-verified; the command exits nonzero on
 // any failure.
@@ -23,6 +30,7 @@ import (
 	"repro/internal/check"
 	"repro/internal/core"
 	"repro/internal/faults"
+	"repro/internal/obs"
 	"repro/internal/perm"
 	"repro/internal/ringio"
 	"repro/internal/star"
@@ -34,7 +42,8 @@ func main() {
 		fv      = flag.String("fv", "", "comma-separated faulty vertices, e.g. 213456,312456")
 		fe      = flag.String("fe", "", "comma-separated faulty edges as u-v pairs, e.g. 123456-213456")
 		random  = flag.Int("random", 0, "add this many uniformly random vertex faults")
-		seed    = flag.Int64("seed", 1, "seed for -random")
+		faultsN = flag.Int("faults", 0, "alias of -random: add this many uniformly random vertex faults")
+		seed    = flag.Int64("seed", 1, "seed for -random/-faults")
 		algo    = flag.String("algo", "paper", "paper | tseng | latifi")
 		pathSrc = flag.String("path-from", "", "embed a longest s-t path instead of a ring: source vertex")
 		pathDst = flag.String("path-to", "", "path mode: target vertex")
@@ -42,6 +51,9 @@ func main() {
 		save    = flag.String("save", "", "write the ring to this file (binary ringio format)")
 		best    = flag.Bool("best-effort", false, "accept fault sets beyond the n-3 budget (no guarantee)")
 		workers = flag.Int("workers", 0, "parallel block-routing workers (0 = GOMAXPROCS)")
+
+		debugAddr   = flag.String("debug-addr", "", "serve expvar and pprof on this address (e.g. localhost:6060)")
+		metricsJSON = flag.String("metrics-json", "", "write the run's metrics as JSON to this file")
 	)
 	flag.Parse()
 
@@ -72,17 +84,32 @@ func main() {
 			}
 		}
 	}
-	if *random > 0 {
+	if k := *random + *faultsN; k > 0 {
 		rng := rand.New(rand.NewSource(*seed))
-		for _, v := range faults.RandomVertices(*n, *random, rng).Vertices() {
+		for _, v := range faults.RandomVertices(*n, k, rng).Vertices() {
 			fs.AddVertex(v)
 		}
 	}
 
-	cfg := core.Config{Workers: *workers, BestEffort: *best}
+	var reg *obs.Registry
+	if *debugAddr != "" || *metricsJSON != "" {
+		reg = obs.NewRegistry()
+		reg.SetSink(obs.NewRecorder(256))
+		reg.PublishExpvar("starring")
+	}
+	if *debugAddr != "" {
+		addr, err := obs.StartDebugServer(*debugAddr)
+		if err != nil {
+			fatal(err)
+		}
+		fmt.Printf("debug server listening on http://%s/debug/vars (pprof under /debug/pprof/)\n", addr)
+	}
+
+	cfg := core.Config{Workers: *workers, BestEffort: *best, Obs: reg}
 
 	if *pathSrc != "" || *pathDst != "" {
 		runPathMode(*n, fs, *pathSrc, *pathDst, cfg, *print)
+		writeMetrics(reg, *metricsJSON)
 		return
 	}
 
@@ -146,6 +173,18 @@ func main() {
 		}
 		fmt.Printf("saved %d-vertex ring to %s\n", len(ring), *save)
 	}
+	writeMetrics(reg, *metricsJSON)
+}
+
+// writeMetrics dumps the registry to path when both are live.
+func writeMetrics(reg *obs.Registry, path string) {
+	if reg == nil || path == "" {
+		return
+	}
+	if err := reg.WriteJSONFile(path); err != nil {
+		fatal(err)
+	}
+	fmt.Printf("metrics written to %s\n", path)
 }
 
 // runPathMode embeds and reports a longest s-t path.

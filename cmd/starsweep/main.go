@@ -5,15 +5,25 @@
 // Usage:
 //
 //	starsweep [-exp T1|T2|T3|T4|T5|T6|F1|F2|F3|all] [-maxn N] [-seeds K]
-//	          [-quick] [-markdown]
+//	          [-quick] [-markdown | -json]
+//	          [-debug-addr addr] [-metrics-json path]
+//
+// -json emits the selected tables as one JSON document,
+// {"experiments": [...]}, for downstream tooling (scripts/bench.sh
+// archives the quick F2 sweep this way). -debug-addr serves expvar and
+// pprof during the sweep; -metrics-json dumps per-experiment timing
+// spans (harness.exp.<ID>) and the embedder's phase metrics when the
+// sweep finishes.
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
 
 	"repro/internal/harness"
+	"repro/internal/obs"
 )
 
 func main() {
@@ -23,30 +33,70 @@ func main() {
 		seeds    = flag.Int("seeds", 10, "random fault sets per configuration")
 		quick    = flag.Bool("quick", false, "shrink the sweep for a fast smoke run")
 		markdown = flag.Bool("markdown", false, "emit GitHub-flavored markdown instead of aligned text")
+		jsonOut  = flag.Bool("json", false, "emit the tables as a JSON document instead of aligned text")
+
+		debugAddr   = flag.String("debug-addr", "", "serve expvar and pprof on this address (e.g. localhost:6060)")
+		metricsJSON = flag.String("metrics-json", "", "write the sweep's metrics as JSON to this file")
 	)
 	flag.Parse()
 
-	cfg := harness.SweepConfig{MaxN: *maxN, Seeds: *seeds, Quick: *quick}
-	if !*markdown {
-		if err := harness.Run(os.Stdout, *exp, cfg); err != nil {
-			fmt.Fprintln(os.Stderr, "starsweep:", err)
-			os.Exit(1)
-		}
-		return
+	if *markdown && *jsonOut {
+		fatal(fmt.Errorf("-markdown and -json are mutually exclusive"))
 	}
 
-	cfg = cfg.Defaults()
-	for _, e := range harness.All() {
-		if *exp != "all" && e.ID != *exp {
-			continue
-		}
-		tables, err := e.Run(cfg)
+	var reg *obs.Registry
+	if *debugAddr != "" || *metricsJSON != "" {
+		reg = obs.NewRegistry()
+		reg.SetSink(obs.NewRecorder(256))
+		reg.PublishExpvar("starsweep")
+	}
+	if *debugAddr != "" {
+		addr, err := obs.StartDebugServer(*debugAddr)
 		if err != nil {
-			fmt.Fprintln(os.Stderr, "starsweep:", err)
-			os.Exit(1)
+			fatal(err)
+		}
+		fmt.Fprintf(os.Stderr, "debug server listening on http://%s/debug/vars (pprof under /debug/pprof/)\n", addr)
+	}
+
+	cfg := harness.SweepConfig{MaxN: *maxN, Seeds: *seeds, Quick: *quick, Obs: reg}
+
+	switch {
+	case *jsonOut:
+		tables, err := harness.Collect(*exp, cfg)
+		if err != nil {
+			fatal(err)
+		}
+		doc := struct {
+			Experiments []*harness.Table `json:"experiments"`
+		}{Experiments: tables}
+		enc := json.NewEncoder(os.Stdout)
+		enc.SetIndent("", "  ")
+		if err := enc.Encode(doc); err != nil {
+			fatal(err)
+		}
+	case *markdown:
+		tables, err := harness.Collect(*exp, cfg)
+		if err != nil {
+			fatal(err)
 		}
 		for _, t := range tables {
 			t.Markdown(os.Stdout)
 		}
+	default:
+		if err := harness.Run(os.Stdout, *exp, cfg); err != nil {
+			fatal(err)
+		}
 	}
+
+	if reg != nil && *metricsJSON != "" {
+		if err := reg.WriteJSONFile(*metricsJSON); err != nil {
+			fatal(err)
+		}
+		fmt.Fprintf(os.Stderr, "metrics written to %s\n", *metricsJSON)
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "starsweep:", err)
+	os.Exit(1)
 }

@@ -9,12 +9,15 @@
 //	starring -n 6 -random 3 -save ring.srg
 //	starverify -ring ring.srg -fv <faults> [-minlen 714]
 //
-// Exit status 0 means the embedding is safe to use.
+// Exit status 0 means the embedding is safe to use, 1 that the ring was
+// rejected, and 2 that the ring could not be loaded (missing/corrupt
+// file, bad flags).
 package main
 
 import (
 	"flag"
 	"fmt"
+	"io"
 	"os"
 	"strings"
 
@@ -25,49 +28,60 @@ import (
 )
 
 func main() {
-	var (
-		ringPath = flag.String("ring", "", "ring file written by starring -save (binary ringio format)")
-		fv       = flag.String("fv", "", "comma-separated faulty vertices to verify against")
-		minLen   = flag.Int("minlen", 0, "required minimum ring length (0 = structure only)")
-		quiet    = flag.Bool("q", false, "suppress output; report via exit status only")
-	)
-	flag.Parse()
+	os.Exit(run(os.Args[1:], os.Stdout, os.Stderr))
+}
 
+// run is main's testable body: it parses args, loads and verifies the
+// ring, and returns the process exit code (0 ok, 1 rejected, 2 load or
+// usage failure).
+func run(args []string, stdout, stderr io.Writer) int {
+	fset := flag.NewFlagSet("starverify", flag.ContinueOnError)
+	fset.SetOutput(stderr)
+	var (
+		ringPath = fset.String("ring", "", "ring file written by starring -save (binary ringio format)")
+		fv       = fset.String("fv", "", "comma-separated faulty vertices to verify against")
+		minLen   = fset.Int("minlen", 0, "required minimum ring length (0 = structure only)")
+		quiet    = fset.Bool("q", false, "suppress output; report via exit status only")
+	)
+	if err := fset.Parse(args); err != nil {
+		return 2
+	}
+
+	fail := func(err error) int {
+		fmt.Fprintln(stderr, "starverify:", err)
+		return 2
+	}
 	if *ringPath == "" {
-		fatal(fmt.Errorf("need -ring"))
+		return fail(fmt.Errorf("need -ring"))
 	}
 	f, err := os.Open(*ringPath)
 	if err != nil {
-		fatal(err)
+		return fail(err)
 	}
 	n, ring, err := ringio.ReadBinary(f)
 	f.Close()
 	if err != nil {
-		fatal(err)
+		return fail(err)
 	}
 
 	fs := faults.NewSet(n)
 	if *fv != "" {
 		for _, s := range strings.Split(*fv, ",") {
 			if err := fs.AddVertexString(strings.TrimSpace(s)); err != nil {
-				fatal(err)
+				return fail(err)
 			}
 		}
 	}
 
 	if err := check.Ring(star.New(n), ring, fs, *minLen); err != nil {
 		if !*quiet {
-			fmt.Fprintf(os.Stderr, "starverify: REJECTED: %v\n", err)
+			fmt.Fprintf(stderr, "starverify: REJECTED: %v\n", err)
 		}
-		os.Exit(1)
+		return 1
 	}
 	if !*quiet {
-		fmt.Printf("starverify: ok — S_%d ring of %d vertices, %d faults avoided, min length %d satisfied\n",
+		fmt.Fprintf(stdout, "starverify: ok — S_%d ring of %d vertices, %d faults avoided, min length %d satisfied\n",
 			n, len(ring), fs.NumVertices(), *minLen)
 	}
-}
-
-func fatal(err error) {
-	fmt.Fprintln(os.Stderr, "starverify:", err)
-	os.Exit(1)
+	return 0
 }

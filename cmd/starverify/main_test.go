@@ -1,0 +1,77 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/faults"
+	"repro/internal/ringio"
+)
+
+// writeRing embeds a fault-free S_n ring and persists it for the CLI.
+func writeRing(t *testing.T, n int) string {
+	t.Helper()
+	res, err := core.Embed(n, faults.NewSet(n), core.Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	path := filepath.Join(t.TempDir(), "ring.srg")
+	f, err := os.Create(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := ringio.WriteBinary(f, n, res.Ring); err != nil {
+		t.Fatal(err)
+	}
+	if err := f.Close(); err != nil {
+		t.Fatal(err)
+	}
+	return path
+}
+
+func TestRunVerdicts(t *testing.T) {
+	ring := writeRing(t, 4)
+	garbage := filepath.Join(t.TempDir(), "garbage.srg")
+	if err := os.WriteFile(garbage, []byte("not a ring"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	cases := []struct {
+		name   string
+		args   []string
+		code   int
+		stdout string // required substring, "" = must be empty
+		stderr string
+	}{
+		{"ok", []string{"-ring", ring}, 0, "starverify: ok", ""},
+		{"ok quiet", []string{"-ring", ring, "-q"}, 0, "", ""},
+		{"minlen satisfied", []string{"-ring", ring, "-minlen", "24"}, 0, "min length 24 satisfied", ""},
+		{"rejected: fault on ring", []string{"-ring", ring, "-fv", "1234"}, 1, "", "REJECTED"},
+		{"rejected quiet", []string{"-ring", ring, "-fv", "1234", "-q"}, 1, "", ""},
+		{"rejected: minlen too high", []string{"-ring", ring, "-minlen", "25"}, 1, "", "REJECTED"},
+		{"missing -ring", nil, 2, "", "need -ring"},
+		{"missing file", []string{"-ring", filepath.Join(t.TempDir(), "nope.srg")}, 2, "", "starverify:"},
+		{"corrupt file", []string{"-ring", garbage}, 2, "", "starverify:"},
+		{"bad flag", []string{"-wat"}, 2, "", ""},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			var out, errw strings.Builder
+			if code := run(tc.args, &out, &errw); code != tc.code {
+				t.Fatalf("run(%v) = %d, want %d (stderr: %s)", tc.args, code, tc.code, errw.String())
+			}
+			if tc.stdout == "" && out.Len() != 0 {
+				t.Errorf("unexpected stdout: %q", out.String())
+			}
+			if tc.stdout != "" && !strings.Contains(out.String(), tc.stdout) {
+				t.Errorf("stdout %q missing %q", out.String(), tc.stdout)
+			}
+			if tc.stderr != "" && !strings.Contains(errw.String(), tc.stderr) {
+				t.Errorf("stderr %q missing %q", errw.String(), tc.stderr)
+			}
+		})
+	}
+}

@@ -17,6 +17,8 @@
 //	               library packages
 //	uncheckederr - discarded error returns in library packages
 //	factsize     - unguarded int arithmetic on factorial-scale values
+//	walltime     - time.Now/time.Since outside internal/obs (timing
+//	               must flow through an injectable obs.Clock)
 //
 // Diagnostics print as "file:line: [name] message". A finding can be
 // suppressed at its site with a reasoned comment,
@@ -52,6 +54,7 @@ func All() []*Analyzer {
 		NakedPanic,
 		UncheckedErr,
 		FactSize,
+		WallTime,
 	}
 }
 

@@ -1,0 +1,31 @@
+// Package fixture seeds intentional walltime violations for the
+// golden-file tests; it is under testdata and never built by go build.
+package fixture
+
+import "time"
+
+// Stamp reads the wall clock directly instead of an injected obs.Clock.
+func Stamp() time.Time {
+	return time.Now()
+}
+
+// Age measures elapsed wall time through the package-level helper.
+func Age(t time.Time) time.Duration {
+	return time.Since(t)
+}
+
+// reader captures the package-level clock function as a value.
+var reader = time.Now
+
+// Deadline is sanctioned wall-clock use: the call is justified at the
+// site and suppressed with a reason.
+func Deadline(t time.Time) bool {
+	//starlint:ignore walltime fixture demonstrates a reasoned suppression
+	return time.Now().After(t)
+}
+
+// Shift does pure time arithmetic; Time methods and Duration math never
+// touch the process clock and stay clean.
+func Shift(t time.Time, d time.Duration) time.Time {
+	return t.Add(d - time.Second)
+}

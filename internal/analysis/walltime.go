@@ -1,0 +1,53 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/types"
+	"strings"
+)
+
+// WallTime flags time.Now and time.Since in library packages outside
+// internal/obs. Reading the process wall clock directly makes timing
+// untestable and threatens the simulator's determinism; internal/obs
+// owns the module's single sanctioned time.Now site (obs.Wall) and
+// everything else must accept an injectable obs.Clock. Time arithmetic
+// (time.Duration math, t.Add, t.Sub) is not flagged — only the two
+// clock readers.
+var WallTime = &Analyzer{
+	Name: "walltime",
+	Doc:  "time.Now/time.Since outside internal/obs",
+	Run:  runWallTime,
+}
+
+func runWallTime(pass *Pass) {
+	if !pass.InternalPackage() {
+		return
+	}
+	obsPath := pass.Pkg.Module + "/internal/obs"
+	if pass.Pkg.ImportPath == obsPath || strings.HasPrefix(pass.Pkg.ImportPath, obsPath+"/") {
+		return
+	}
+	for _, file := range pass.Pkg.Files {
+		ast.Inspect(file, func(n ast.Node) bool {
+			sel, ok := n.(*ast.SelectorExpr)
+			if !ok {
+				return true
+			}
+			fn, ok := pass.Pkg.Info.Uses[sel.Sel].(*types.Func)
+			if !ok || fn.Pkg() == nil || fn.Pkg().Path() != "time" {
+				return true
+			}
+			if sig, ok := fn.Type().(*types.Signature); ok && sig.Recv() != nil {
+				return true // a time.Time/Timer method, not a clock read
+			}
+			name := fn.Name()
+			if name != "Now" && name != "Since" {
+				return true
+			}
+			pass.Reportf(sel.Pos(), "time."+name,
+				"time.%s reads the process wall clock; inject an obs.Clock (obs.Wall in production) so timing stays testable and sims deterministic",
+				name)
+			return true
+		})
+	}
+}

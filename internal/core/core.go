@@ -29,6 +29,7 @@ import (
 
 	"repro/internal/check"
 	"repro/internal/faults"
+	"repro/internal/obs"
 	"repro/internal/perm"
 	"repro/internal/star"
 	"repro/internal/substar"
@@ -54,6 +55,11 @@ type Config struct {
 	// guarantee is unchanged; only the achieved length grows. See
 	// planUpgrades for the parity-alternation limit.
 	Opportunistic bool
+	// Obs receives the run's telemetry: phase spans (core.phase.*), S4
+	// cache activity, junction backtracks and worker utilization — see
+	// the README's Observability section for the glossary. nil disables
+	// instrumentation at a cost of a few nanoseconds per hook.
+	Obs *obs.Registry
 }
 
 func (c Config) workers() int {
@@ -129,6 +135,13 @@ func Embed(n int, fs *faults.Set, cfg Config) (*Result, error) {
 		UpperBound:   check.BipartiteUpperBound(n, fs),
 	}
 
+	in := newInstr(cfg.Obs)
+	total := in.span("core.phase.total")
+	defer func() {
+		total.End()
+		in.finish()
+	}()
+
 	var err error
 	switch {
 	case n == 3:
@@ -136,7 +149,7 @@ func Embed(n int, fs *faults.Set, cfg Config) (*Result, error) {
 	case n == 4:
 		err = embedS4(res, fs)
 	default:
-		err = embedLarge(res, fs, cfg)
+		err = embedLarge(res, fs, cfg, in)
 	}
 	if err != nil {
 		return nil, err
@@ -146,7 +159,10 @@ func Embed(n int, fs *faults.Set, cfg Config) (*Result, error) {
 	if res.Guaranteed {
 		minLen = res.Guarantee
 	}
-	if err := check.Ring(star.New(n), res.Ring, fs, minLen); err != nil {
+	vspan := in.span("core.phase.verify")
+	err = check.Ring(star.New(n), res.Ring, fs, minLen)
+	vspan.End()
+	if err != nil {
 		return nil, fmt.Errorf("core: self-verification failed: %w", err)
 	}
 	return res, nil
@@ -154,15 +170,19 @@ func Embed(n int, fs *faults.Set, cfg Config) (*Result, error) {
 
 // embedLarge handles n >= 5: Lemma 2 separation, Lemma 3 construction
 // of the R4 with (P1)(P2)(P3), and Lemma 7 block routing.
-func embedLarge(res *Result, fs *faults.Set, cfg Config) error {
+func embedLarge(res *Result, fs *faults.Set, cfg Config, in *instr) error {
 	n := res.N
+	sspan := in.span("core.phase.separation")
 	positions, separated := fs.SeparatingPositions()
+	sspan.End()
 	if !separated && !cfg.BestEffort {
 		return fmt.Errorf("core: internal: Lemma 2 separation failed for %v", fs)
 	}
 	res.Positions = positions
 
+	bspan := in.span("core.phase.build_r4")
 	r4, err := buildR4(n, positions, fs, cfg)
+	bspan.End()
 	if err != nil {
 		return err
 	}
@@ -176,7 +196,7 @@ func embedLarge(res *Result, fs *faults.Set, cfg Config) error {
 	if cfg.Opportunistic && !cfg.BestEffort && fs.NumVertices() >= 2 && fs.NumEdges() == 0 {
 		upgraded, exitParity := planUpgrades(r4, fs)
 		if exitParity != nil {
-			ring, err := routeR4x(r4, fs, opportunisticTargets(upgraded), exitParity, cfg)
+			ring, err := routeR4x(r4, fs, opportunisticTargets(upgraded), exitParity, cfg, in)
 			if err == nil {
 				for _, u := range upgraded {
 					if u {
@@ -191,7 +211,8 @@ func embedLarge(res *Result, fs *faults.Set, cfg Config) error {
 		}
 	}
 
-	ring, err := RouteR4(r4, fs, paperTargets(cfg.BestEffort), cfg)
+	targetsFor := paperTargets(cfg.BestEffort)
+	ring, err := routeR4x(r4, fs, func(_, vf int) []int { return targetsFor(vf) }, nil, cfg, in)
 	if err != nil {
 		return err
 	}
@@ -243,6 +264,7 @@ func buildR4(n int, positions []int, fs *faults.Set, cfg Config) (*superring.Rin
 		VerifyP1:       !cfg.BestEffort,
 		VerifyP2:       !cfg.BestEffort,
 		VerifyP3:       !cfg.BestEffort,
+		Obs:            cfg.Obs,
 	}
 	r4, err := BuildR4(n, fs, spec)
 	if err != nil && cfg.BestEffort {
@@ -276,6 +298,9 @@ type BuildSpec struct {
 	HealthyBorders bool
 	// VerifyP1/P2/P3 assert the corresponding property on the result.
 	VerifyP1, VerifyP2, VerifyP3 bool
+	// Obs receives the refinement telemetry (superring.phase.*,
+	// superring.junction.backtracks); nil disables it.
+	Obs *obs.Registry
 }
 
 // BuildR4 partitions S_n along spec.Positions and threads the
@@ -292,8 +317,9 @@ func BuildR4(n int, fs *faults.Set, spec BuildSpec) (*superring.Ring, error) {
 		Exclude:          spec.Exclude,
 		SpreadFaults:     spec.SpreadFaults,
 		HealthyJunctions: spec.HealthyBorders,
+		Obs:              spec.Obs,
 	}
-	midOpts := superring.Options{FaultCount: weight, Exclude: spec.Exclude}
+	midOpts := superring.Options{FaultCount: weight, Exclude: spec.Exclude, Obs: spec.Obs}
 
 	var r *superring.Ring
 	var err error

@@ -1,0 +1,120 @@
+package core
+
+import (
+	"sync/atomic"
+	"time"
+
+	"repro/internal/obs"
+	"repro/internal/pathsearch"
+)
+
+// instr is the resolved instrumentation handle of one embedding run:
+// every metric looked up once, so the hot paths touch only atomics. A
+// nil *instr is the disabled state — each method is a nil test and a
+// return, keeping the block-routing loop allocation-free (certified by
+// TestObsDisabledAllocs and BenchmarkObsDisabled).
+type instr struct {
+	reg *obs.Registry
+
+	backtracks *obs.Counter
+	blocks     *obs.Counter
+	workerBusy *obs.Histogram
+	workers    *obs.Gauge
+	utilPct    *obs.Gauge
+
+	hits0, misses0, bypasses0 int64
+}
+
+// newInstr resolves the registry's core metrics; nil in, nil out.
+func newInstr(r *obs.Registry) *instr {
+	if r == nil {
+		return nil
+	}
+	in := &instr{
+		reg:        r,
+		backtracks: r.Counter("core.junction.backtracks"),
+		blocks:     r.Counter("core.route.blocks"),
+		workerBusy: r.Histogram("core.route.worker_busy"),
+		workers:    r.Gauge("core.route.workers"),
+		utilPct:    r.Gauge("core.route.utilization_pct"),
+	}
+	// Materialize the cache counters up front so every snapshot carries
+	// them, then baseline against the process-global canonical cache.
+	r.Counter("core.s4.cache_hits")
+	r.Counter("core.s4.cache_misses")
+	r.Counter("core.s4.cache_bypasses")
+	in.hits0, in.misses0, in.bypasses0 = pathsearch.Canon.CacheStats()
+	return in
+}
+
+// span opens a phase span ("core.phase.*"); zero Span when disabled.
+func (in *instr) span(name string) obs.Span {
+	if in == nil {
+		return obs.Span{}
+	}
+	return in.reg.Span(name)
+}
+
+// finish folds the S4 cache activity of this run into the registry.
+// The canonical cache is shared by every embedding in the process, so
+// deltas against the baseline taken at newInstr are recorded, not
+// absolutes.
+func (in *instr) finish() {
+	if in == nil {
+		return
+	}
+	h, m, b := pathsearch.Canon.CacheStats()
+	in.reg.Counter("core.s4.cache_hits").Add(h - in.hits0)
+	in.reg.Counter("core.s4.cache_misses").Add(m - in.misses0)
+	in.reg.Counter("core.s4.cache_bypasses").Add(b - in.bypasses0)
+	in.hits0, in.misses0, in.bypasses0 = h, m, b
+}
+
+func (in *instr) junctionBacktrack() {
+	if in == nil {
+		return
+	}
+	in.backtracks.Inc()
+}
+
+func (in *instr) blockRouted() {
+	if in == nil {
+		return
+	}
+	in.blocks.Inc()
+}
+
+// now reads the registry clock; the zero time when disabled.
+func (in *instr) now() time.Time {
+	if in == nil {
+		return time.Time{}
+	}
+	return in.reg.Clock().Now()
+}
+
+// workerDone records one routing worker's busy time and accumulates it
+// into the shared total for the utilization gauge.
+func (in *instr) workerDone(start time.Time, busyNS *int64) {
+	if in == nil {
+		return
+	}
+	busy := obs.Since(in.reg.Clock(), start)
+	in.workerBusy.Observe(busy)
+	atomic.AddInt64(busyNS, int64(busy))
+}
+
+// routeDone publishes the pool size and its utilization: total worker
+// busy time over workers x wall time, in percent.
+func (in *instr) routeDone(workers int, busyNS int64, wall time.Duration) {
+	if in == nil {
+		return
+	}
+	in.workers.Set(int64(workers))
+	if wall > 0 && workers > 0 {
+		pct := 100 * busyNS / (int64(workers) * int64(wall))
+		if pct > 100 {
+			pct = 100
+		}
+		in.utilPct.Set(pct)
+	}
+}

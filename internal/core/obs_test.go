@@ -1,0 +1,147 @@
+package core
+
+import (
+	"math/rand"
+	"sync"
+	"testing"
+
+	"repro/internal/faults"
+	"repro/internal/obs"
+)
+
+// TestEmbedMetrics embeds with a live registry and checks that every
+// advertised metric materializes: per-phase durations, S4 cache
+// activity, the junction backtrack counter, and worker-pool accounting.
+func TestEmbedMetrics(t *testing.T) {
+	reg := obs.NewRegistry()
+	reg.SetSink(obs.NewRecorder(64))
+	rng := rand.New(rand.NewSource(7))
+	fs := faults.RandomVertices(6, 3, rng)
+	res, err := Embed(6, fs, Config{Obs: reg})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	snap := reg.Snapshot()
+	for _, phase := range []string{
+		"core.phase.total", "core.phase.separation", "core.phase.build_r4",
+		"core.phase.junction", "core.phase.route", "core.phase.verify",
+		"superring.phase.initial", "superring.phase.refine",
+		"core.route.worker_busy",
+	} {
+		if snap.Histograms[phase].Count == 0 {
+			t.Errorf("phase %s not recorded; snapshot %+v", phase, snap.Histograms)
+		}
+	}
+	for _, counter := range []string{
+		"core.s4.cache_hits", "core.s4.cache_misses", "core.s4.cache_bypasses",
+		"core.junction.backtracks", "core.route.blocks",
+		"superring.junction.backtracks",
+	} {
+		if _, ok := snap.Counters[counter]; !ok {
+			t.Errorf("counter %s missing from snapshot", counter)
+		}
+	}
+	if got := snap.Counters["core.route.blocks"]; got != int64(res.Blocks) {
+		t.Errorf("core.route.blocks = %d, want %d", got, res.Blocks)
+	}
+	if snap.Counters["core.s4.cache_hits"]+snap.Counters["core.s4.cache_misses"] == 0 {
+		t.Error("no S4 cache activity recorded")
+	}
+	if w := snap.Gauges["core.route.workers"]; w < 1 {
+		t.Errorf("core.route.workers = %d", w)
+	}
+	if u, ok := snap.Gauges["core.route.utilization_pct"]; !ok || u < 0 || u > 100 {
+		t.Errorf("core.route.utilization_pct = %d (present %v)", u, ok)
+	}
+	if len(snap.Events) == 0 {
+		t.Error("no span events reached the sink")
+	}
+}
+
+// TestEmbedMetricsConcurrent shares one registry between concurrent
+// embeddings; under the ci.sh race leg this certifies the
+// instrumentation is data-race free end to end.
+func TestEmbedMetricsConcurrent(t *testing.T) {
+	reg := obs.NewRegistry()
+	reg.SetSink(obs.NewRecorder(256))
+	var wg sync.WaitGroup
+	errs := make([]error, 4)
+	for i := range errs {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			rng := rand.New(rand.NewSource(int64(i)))
+			fs := faults.RandomVertices(5, 2, rng)
+			_, errs[i] = Embed(5, fs, Config{Obs: reg})
+		}(i)
+	}
+	wg.Wait()
+	for i, err := range errs {
+		if err != nil {
+			t.Fatalf("embed %d: %v", i, err)
+		}
+	}
+	if got := reg.Histogram("core.phase.total").Stats().Count; got != int64(len(errs)) {
+		t.Errorf("core.phase.total count = %d, want %d", got, len(errs))
+	}
+}
+
+// TestObsDisabledAllocs proves the disabled instrumentation path on the
+// block-routing loop allocates nothing: with a nil instr every hook is
+// a nil test.
+func TestObsDisabledAllocs(t *testing.T) {
+	var in *instr
+	var busy int64
+	if allocs := testing.AllocsPerRun(1000, func() {
+		start := in.now()
+		in.blockRouted()
+		in.junctionBacktrack()
+		in.workerDone(start, &busy)
+		in.span("core.phase.route").End()
+	}); allocs != 0 {
+		t.Errorf("disabled hooks allocate %.1f times per block", allocs)
+	}
+}
+
+// BenchmarkObsDisabled measures the per-block cost of the disabled
+// instrumentation path — the exact hook sequence the assemble worker
+// loop executes per routed block. Expect single-digit nanoseconds and
+// 0 allocs/op.
+func BenchmarkObsDisabled(b *testing.B) {
+	var in *instr
+	var busy int64
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		start := in.now()
+		in.blockRouted()
+		in.workerDone(start, &busy)
+	}
+}
+
+// BenchmarkObsEnabled is the same hook sequence against a live
+// registry, for comparison.
+func BenchmarkObsEnabled(b *testing.B) {
+	in := newInstr(obs.NewRegistry())
+	var busy int64
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		start := in.now()
+		in.blockRouted()
+		in.workerDone(start, &busy)
+	}
+}
+
+// BenchmarkObsEmbedOverhead embeds S_7 with instrumentation on, to be
+// read against BenchmarkEmbedTheorem1's uninstrumented numbers.
+func BenchmarkObsEmbedOverhead(b *testing.B) {
+	rng := rand.New(rand.NewSource(1))
+	fs := faults.RandomVertices(7, 4, rng)
+	reg := obs.NewRegistry()
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if _, err := Embed(7, fs, Config{Obs: reg}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -44,7 +44,7 @@ type junction struct {
 // routes its own R4 variants through the same engine; library users
 // should call Embed.
 func RouteR4(r4 *superring.Ring, fs *faults.Set, targetsFor func(int) []int, cfg Config) ([]perm.Code, error) {
-	return routeR4x(r4, fs, func(_, vf int) []int { return targetsFor(vf) }, nil, cfg)
+	return routeR4x(r4, fs, func(_, vf int) []int { return targetsFor(vf) }, nil, cfg, newInstr(cfg.Obs))
 }
 
 // routeR4x is RouteR4 with two extra degrees of freedom used by the
@@ -52,7 +52,7 @@ func RouteR4(r4 *superring.Ring, fs *faults.Set, targetsFor func(int) []int, cfg
 // exitParity is non-nil, a forced partite side for every block's exit
 // vertex (which pins the global parity chain that odd-length block
 // paths require).
-func routeR4x(r4 *superring.Ring, fs *faults.Set, targetsFor func(blockIdx, vf int) []int, exitParity []int, cfg Config) ([]perm.Code, error) {
+func routeR4x(r4 *superring.Ring, fs *faults.Set, targetsFor func(blockIdx, vf int) []int, exitParity []int, cfg Config, in *instr) ([]perm.Code, error) {
 	m := r4.Len()
 	plans := make([]*blockPlan, m)
 	for k := 0; k < m; k++ {
@@ -93,10 +93,13 @@ func routeR4x(r4 *superring.Ring, fs *faults.Set, targetsFor func(blockIdx, vf i
 		cands[k] = js
 	}
 
-	if err := chooseJunctions(plans, cands); err != nil {
+	jspan := in.span("core.phase.junction")
+	err := chooseJunctions(plans, cands, in)
+	jspan.End()
+	if err != nil {
 		return nil, err
 	}
-	return assemble(plans, cfg)
+	return assemble(plans, cfg, in)
 }
 
 // chooseJunctions assigns one junction per superedge such that every
@@ -105,7 +108,7 @@ func routeR4x(r4 *superring.Ring, fs *faults.Set, targetsFor func(blockIdx, vf i
 // Junction k joins block k to block k+1; block k is validated once
 // junctions k-1 and k are set, and block 0 closes the cycle when the
 // final junction is chosen.
-func chooseJunctions(plans []*blockPlan, cands [][]junction) error {
+func chooseJunctions(plans []*blockPlan, cands [][]junction, in *instr) error {
 	m := len(plans)
 	idx := make([]int, m)
 	chosen := make([]junction, m)
@@ -142,6 +145,7 @@ func chooseJunctions(plans []*blockPlan, cands [][]junction) error {
 				return fmt.Errorf("core: no junction assignment routes the ring")
 			}
 			idx[k]++
+			in.junctionBacktrack()
 			continue
 		}
 		chosen[k] = cands[k][idx[k]]
@@ -154,6 +158,7 @@ func chooseJunctions(plans []*blockPlan, cands [][]junction) error {
 		}
 		if !ok {
 			idx[k]++
+			in.junctionBacktrack()
 			continue
 		}
 		k++
@@ -175,7 +180,7 @@ func chooseJunctions(plans []*blockPlan, cands [][]junction) error {
 // ring. Path extraction per block is independent given the junctions, so
 // it is fanned out over a worker pool; results land directly in their
 // precomputed segment of the output slice.
-func assemble(plans []*blockPlan, cfg Config) ([]perm.Code, error) {
+func assemble(plans []*blockPlan, cfg Config, in *instr) ([]perm.Code, error) {
 	m := len(plans)
 	offsets := make([]int, m+1)
 	for k, p := range plans {
@@ -194,7 +199,9 @@ func assemble(plans []*blockPlan, cfg Config) ([]perm.Code, error) {
 		wg     sync.WaitGroup
 		mu     sync.Mutex
 		outErr error
+		busyNS int64
 	)
+	rspan := in.span("core.phase.route")
 	next := make(chan int, m)
 	for k := 0; k < m; k++ {
 		next <- k
@@ -204,6 +211,7 @@ func assemble(plans []*blockPlan, cfg Config) ([]perm.Code, error) {
 		wg.Add(1)
 		go func() {
 			defer wg.Done()
+			wstart := in.now()
 			for k := range next {
 				p := plans[k]
 				path, ok := p.block.Path(pathsearch.PathSpec{
@@ -220,10 +228,13 @@ func assemble(plans []*blockPlan, cfg Config) ([]perm.Code, error) {
 					continue
 				}
 				copy(ring[offsets[k]:offsets[k+1]], path)
+				in.blockRouted()
 			}
+			in.workerDone(wstart, &busyNS)
 		}()
 	}
 	wg.Wait()
+	in.routeDone(workers, busyNS, rspan.End())
 	if outErr != nil {
 		return nil, outErr
 	}

@@ -61,12 +61,13 @@ func routeChain(chain *superring.Chain, fs *faults.Set, s, t perm.Code, cfg Conf
 	}
 
 	needOdd := s.Parity(n) == t.Parity(n)
+	in := newInstr(cfg.Obs)
 	for _, odd := range oddBlockCandidates(plans, n, s, needOdd) {
 		for k, p := range plans {
 			p.targets = chainTargets(k == odd, len(p.avoidV), cfg.BestEffort)
 		}
 		if err := chooseChainJunctions(plans, cands, s, t); err == nil {
-			return assemble(plans, cfg)
+			return assemble(plans, cfg, in)
 		}
 	}
 	return nil, fmt.Errorf("core: no odd-block designation routes the chain (s, t %v-parity)", needOdd)

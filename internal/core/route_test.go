@@ -90,7 +90,7 @@ func TestRouteR4ParityFilter(t *testing.T) {
 	// Derive a consistent plan: pick exits all parity 0; then entries
 	// are parity 1, and 24-vertex blocks connect parity-1 entries to
 	// parity-0 exits — consistent.
-	ring, err := routeR4x(r4, fs, func(_, vf int) []int { return []int{blockOrder - 2*vf} }, exitParity, Config{})
+	ring, err := routeR4x(r4, fs, func(_, vf int) []int { return []int{blockOrder - 2*vf} }, exitParity, Config{}, nil)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -251,7 +251,7 @@ func TestSuperRingReuseAcrossRouters(t *testing.T) {
 	if exitParity == nil {
 		t.Fatal("balanced faults produced no upgrade plan")
 	}
-	opp, err := routeR4x(r4, fs, opportunisticTargets(upgraded), exitParity, Config{})
+	opp, err := routeR4x(r4, fs, opportunisticTargets(upgraded), exitParity, Config{}, nil)
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -9,6 +9,7 @@ import (
 	"repro/internal/check"
 	"repro/internal/core"
 	"repro/internal/faults"
+	"repro/internal/obs"
 	"repro/internal/pathsearch"
 	"repro/internal/perm"
 	"repro/internal/sim"
@@ -413,16 +414,17 @@ func F2(cfg SweepConfig) ([]*Table, error) {
 	if top > 10 {
 		top = 10
 	}
+	clock := cfg.clock()
 	for n := 4; n <= top; n++ {
 		k := faults.MaxTolerated(n)
 		rng := rand.New(rand.NewSource(int64(n)))
 		fs := faults.RandomVertices(n, k, rng)
-		start := time.Now()
-		res, err := core.Embed(n, fs, core.Config{})
+		start := clock.Now()
+		res, err := core.Embed(n, fs, core.Config{Obs: cfg.Obs})
 		if err != nil {
 			return nil, err
 		}
-		elapsed := time.Since(start).Round(10 * time.Microsecond)
+		elapsed := obs.Since(clock, start).Round(10 * time.Microsecond)
 		t.AddRow(n, k, res.Len(), res.Blocks, elapsed.String(),
 			fmt.Sprintf("%.2f", float64(res.Len()*8)/(1<<20)))
 	}
@@ -608,8 +610,9 @@ func A1(cfg SweepConfig) ([]*Table, error) {
 		Headers: []string{"variant", "workload time", "(P1) violations", "note"},
 	}
 
+	clock := cfg.clock()
 	sweep := func(noCache, noHeuristic bool) (time.Duration, error) {
-		start := time.Now()
+		start := clock.Now()
 		for f := 0; f < pathsearch.BlockOrder; f++ {
 			forb := uint32(1) << uint(f)
 			for u := 0; u < pathsearch.BlockOrder; u++ {
@@ -626,7 +629,7 @@ func A1(cfg SweepConfig) ([]*Table, error) {
 				}
 			}
 		}
-		return time.Since(start), nil
+		return obs.Since(clock, start), nil
 	}
 	if _, err := sweep(false, false); err != nil { // populate the cache
 		return nil, err

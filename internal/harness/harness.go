@@ -11,16 +11,19 @@ import (
 	"fmt"
 	"io"
 	"strings"
+
+	"repro/internal/obs"
 )
 
 // Table is a rendered experiment result: a titled grid plus the
-// commentary tying it back to the paper's claim.
+// commentary tying it back to the paper's claim. The JSON tags shape
+// starsweep -json output.
 type Table struct {
-	ID      string
-	Title   string
-	Caption string
-	Headers []string
-	Rows    [][]string
+	ID      string     `json:"id"`
+	Title   string     `json:"title"`
+	Caption string     `json:"caption"`
+	Headers []string   `json:"headers"`
+	Rows    [][]string `json:"rows"`
 }
 
 // AddRow appends a row of cells, formatting each value with %v.
@@ -127,6 +130,14 @@ type SweepConfig struct {
 	Seeds int
 	// Quick shrinks everything for smoke runs.
 	Quick bool
+	// Clock is the time source behind the wall-clock measurements (F2,
+	// A1); nil means obs.Wall. Tests inject an obs.Manual clock to pin
+	// timing columns.
+	Clock obs.Clock
+	// Obs receives sweep telemetry: one harness.exp.<ID> span per
+	// experiment, plus whatever the embedder records when the experiment
+	// threads the registry through (F2 does). nil disables it.
+	Obs *obs.Registry
 }
 
 // Defaults fills unset fields.
@@ -143,7 +154,19 @@ func (c SweepConfig) Defaults() SweepConfig {
 		}
 		c.Seeds = 3
 	}
+	if c.Clock == nil {
+		c.Clock = obs.Wall
+	}
 	return c
+}
+
+// clock returns the configured time source, defaulting to obs.Wall so
+// experiments work on configs that skipped Defaults.
+func (c SweepConfig) clock() obs.Clock {
+	if c.Clock == nil {
+		return obs.Wall
+	}
+	return c.Clock
 }
 
 // Experiment couples an identifier with its runner.
@@ -172,27 +195,41 @@ func All() []Experiment {
 	}
 }
 
-// Run executes the named experiment (or all of them for "all") and
-// prints its tables to w.
-func Run(w io.Writer, id string, cfg SweepConfig) error {
+// Collect runs the named experiment (or all of them for "all") and
+// returns the tables, timing each experiment under a harness.exp.<ID>
+// span when cfg.Obs is set.
+func Collect(id string, cfg SweepConfig) ([]*Table, error) {
 	cfg = cfg.Defaults()
+	var out []*Table
+	matched := false
 	for _, e := range All() {
 		if id != "all" && !strings.EqualFold(id, e.ID) {
 			continue
 		}
+		matched = true
+		span := cfg.Obs.Span("harness.exp." + e.ID)
 		tables, err := e.Run(cfg)
+		span.End()
 		if err != nil {
-			return fmt.Errorf("experiment %s: %w", e.ID, err)
+			return nil, fmt.Errorf("experiment %s: %w", e.ID, err)
 		}
-		for _, t := range tables {
-			t.Fprint(w)
-		}
-		if id != "all" {
-			return nil
-		}
+		out = append(out, tables...)
 	}
-	if id == "all" {
-		return nil
+	if !matched && id != "all" {
+		return nil, fmt.Errorf("harness: unknown experiment %q", id)
 	}
-	return fmt.Errorf("harness: unknown experiment %q", id)
+	return out, nil
+}
+
+// Run executes the named experiment (or all of them for "all") and
+// prints its tables to w.
+func Run(w io.Writer, id string, cfg SweepConfig) error {
+	tables, err := Collect(id, cfg)
+	if err != nil {
+		return err
+	}
+	for _, t := range tables {
+		t.Fprint(w)
+	}
+	return nil
 }

@@ -1,0 +1,48 @@
+package harness
+
+import (
+	"strings"
+	"testing"
+	"time"
+
+	"repro/internal/obs"
+)
+
+// TestCollectSpansExperiments checks Collect's table passthrough and
+// the per-experiment span.
+func TestCollectSpansExperiments(t *testing.T) {
+	reg := obs.NewRegistry()
+	tables, err := Collect("T2", SweepConfig{Quick: true, Obs: reg})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tables) == 0 || tables[0].ID != "T2" {
+		t.Fatalf("tables = %+v", tables)
+	}
+	if got := reg.Histogram("harness.exp.T2").Stats().Count; got != 1 {
+		t.Errorf("harness.exp.T2 span count = %d, want 1", got)
+	}
+	if _, err := Collect("nope", SweepConfig{Quick: true}); err == nil {
+		t.Error("unknown experiment accepted")
+	}
+}
+
+// TestF2UsesInjectedClock pins F2's wall-time column with a manual
+// clock: every measured duration must be exactly zero, proving no
+// direct time.Now call leaks past the obs.Clock seam.
+func TestF2UsesInjectedClock(t *testing.T) {
+	clock := obs.NewManual(time.Unix(0, 0))
+	cfg := SweepConfig{MaxN: 4, Seeds: 1, Clock: clock}
+	tables, err := F2(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, row := range tables[0].Rows {
+		if got := row[4]; got != "0s" {
+			t.Errorf("time column %q, want 0s under a frozen clock (row %v)", got, row)
+		}
+	}
+	if !strings.Contains(strings.Join(tables[0].Headers, " "), "time") {
+		t.Fatalf("F2 layout changed: %v", tables[0].Headers)
+	}
+}

@@ -1,0 +1,41 @@
+package obs
+
+import (
+	"expvar"
+	"net"
+	"net/http"
+	"net/http/pprof"
+)
+
+// PublishExpvar exposes the registry's live snapshot as the named
+// expvar, for the /debug/vars endpoint. expvar names are process-global
+// and permanent, so publish once per name; a name already taken is left
+// untouched (first writer wins).
+func (r *Registry) PublishExpvar(name string) {
+	if r == nil || expvar.Get(name) != nil {
+		return
+	}
+	expvar.Publish(name, expvar.Func(func() interface{} { return r.Snapshot() }))
+}
+
+// StartDebugServer serves /debug/vars (expvar, including registries
+// published via PublishExpvar) and /debug/pprof/* on its own mux at
+// addr ("host:port"; port 0 picks a free one). It returns the bound
+// address. The server runs until the process exits — CLIs call this
+// behind a -debug-addr flag for profiling long runs.
+func StartDebugServer(addr string) (string, error) {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return "", err
+	}
+	mux := http.NewServeMux()
+	mux.Handle("/debug/vars", expvar.Handler())
+	mux.HandleFunc("/debug/pprof/", pprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	srv := &http.Server{Handler: mux}
+	go srv.Serve(ln)
+	return ln.Addr().String(), nil
+}

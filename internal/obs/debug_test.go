@@ -1,0 +1,78 @@
+package obs
+
+import (
+	"encoding/json"
+	"expvar"
+	"io"
+	"net/http"
+	"strings"
+	"testing"
+	"time"
+)
+
+func TestDebugServerAndExpvar(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("test.count").Add(9)
+	r.Histogram("test.phase").Observe(2 * time.Millisecond)
+	r.PublishExpvar("obs-debug-test")
+	// Re-publishing the same name must be a no-op, not a panic.
+	r.PublishExpvar("obs-debug-test")
+	if expvar.Get("obs-debug-test") == nil {
+		t.Fatal("expvar not published")
+	}
+
+	addr, err := StartDebugServer("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	resp, err := http.Get("http://" + addr + "/debug/vars")
+	if err != nil {
+		t.Fatal(err)
+	}
+	body, err := io.ReadAll(resp.Body)
+	if cerr := resp.Body.Close(); err == nil {
+		err = cerr
+	}
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("/debug/vars status %d", resp.StatusCode)
+	}
+	var vars map[string]json.RawMessage
+	if err := json.Unmarshal(body, &vars); err != nil {
+		t.Fatalf("/debug/vars is not JSON: %v", err)
+	}
+	var snap Snapshot
+	if err := json.Unmarshal(vars["obs-debug-test"], &snap); err != nil {
+		t.Fatalf("published registry not in /debug/vars: %v", err)
+	}
+	if snap.Counters["test.count"] != 9 {
+		t.Errorf("snapshot over expvar lost the counter: %+v", snap)
+	}
+	if snap.Histograms["test.phase"].Count != 1 {
+		t.Errorf("snapshot over expvar lost the histogram: %+v", snap)
+	}
+
+	resp, err = http.Get("http://" + addr + "/debug/pprof/")
+	if err != nil {
+		t.Fatal(err)
+	}
+	index, err := io.ReadAll(resp.Body)
+	if cerr := resp.Body.Close(); err == nil {
+		err = cerr
+	}
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resp.StatusCode != http.StatusOK || !strings.Contains(string(index), "goroutine") {
+		t.Fatalf("/debug/pprof/ status %d:\n%s", resp.StatusCode, index)
+	}
+}
+
+func TestDebugServerBadAddr(t *testing.T) {
+	if _, err := StartDebugServer("256.0.0.1:bad"); err == nil {
+		t.Fatal("nonsense address accepted")
+	}
+}

@@ -1,0 +1,103 @@
+package obs
+
+import (
+	"math/bits"
+	"sync/atomic"
+	"time"
+)
+
+// histBuckets is one bucket per bit length of the nanosecond value:
+// bucket 0 holds exactly 0ns, bucket b holds [2^(b-1), 2^b). int64
+// nanoseconds never exceed bit length 63.
+const histBuckets = 64
+
+// Histogram accumulates durations in power-of-two nanosecond buckets.
+// Recording is three atomic adds plus a CAS loop for the max — no
+// locks, no allocation — so it is safe on concurrent hot paths. The
+// zero value is ready to use; a nil *Histogram discards observations.
+//
+// Quantiles are bucket upper bounds, i.e. correct to within a factor
+// of two, which is ample for the phase-timing questions this layer
+// answers (orders of magnitude, regressions, outliers).
+type Histogram struct {
+	count   int64
+	sum     int64
+	max     int64
+	buckets [histBuckets]int64
+}
+
+// Observe records one duration. Negative durations clamp to zero.
+func (h *Histogram) Observe(d time.Duration) {
+	if h == nil {
+		return
+	}
+	ns := int64(d)
+	if ns < 0 {
+		ns = 0
+	}
+	atomic.AddInt64(&h.count, 1)
+	atomic.AddInt64(&h.sum, ns)
+	for {
+		cur := atomic.LoadInt64(&h.max)
+		if ns <= cur || atomic.CompareAndSwapInt64(&h.max, cur, ns) {
+			break
+		}
+	}
+	atomic.AddInt64(&h.buckets[bits.Len64(uint64(ns))], 1)
+}
+
+// HistogramStats is a histogram snapshot: counts, total, and the
+// p50/p95/max nanosecond marks.
+type HistogramStats struct {
+	Count int64 `json:"count"`
+	SumNS int64 `json:"sum_ns"`
+	P50NS int64 `json:"p50_ns"`
+	P95NS int64 `json:"p95_ns"`
+	MaxNS int64 `json:"max_ns"`
+}
+
+// Stats snapshots the histogram. Quantiles are clamped to the observed
+// maximum so a single sample reports p50 = p95 = max.
+func (h *Histogram) Stats() HistogramStats {
+	var s HistogramStats
+	if h == nil {
+		return s
+	}
+	var counts [histBuckets]int64
+	for i := range counts {
+		counts[i] = atomic.LoadInt64(&h.buckets[i])
+	}
+	s.Count = atomic.LoadInt64(&h.count)
+	s.SumNS = atomic.LoadInt64(&h.sum)
+	s.MaxNS = atomic.LoadInt64(&h.max)
+	s.P50NS = quantile(&counts, s.Count, 0.50, s.MaxNS)
+	s.P95NS = quantile(&counts, s.Count, 0.95, s.MaxNS)
+	return s
+}
+
+// quantile returns the upper bound of the bucket containing the q-th
+// ranked observation, clamped to max.
+func quantile(counts *[histBuckets]int64, total int64, q float64, max int64) int64 {
+	if total <= 0 {
+		return 0
+	}
+	rank := int64(q * float64(total))
+	if rank < 1 {
+		rank = 1
+	}
+	var seen int64
+	for b, c := range counts {
+		seen += c
+		if seen >= rank {
+			var hi int64
+			if b > 0 {
+				hi = int64(1)<<uint(b) - 1
+			}
+			if hi > max {
+				hi = max
+			}
+			return hi
+		}
+	}
+	return max
+}

@@ -1,0 +1,262 @@
+// Package obs is the repository's zero-dependency observability layer:
+// atomic counters and gauges, log-bucketed timing histograms with
+// p50/p95/max, span-style phase tracing with a pluggable event sink,
+// and an injectable clock. It exists so the embedding pipeline — an
+// O(n!) construction whose junction backtracks, S4 cache behavior and
+// worker-pool utilization are otherwise invisible — can be measured
+// without perturbing it.
+//
+// Every API is nil-safe: methods on a nil *Registry, *Counter, *Gauge
+// or *Histogram, and End on a zero Span, are no-ops costing a pointer
+// test and a return. Instrumented hot paths therefore carry no
+// configuration branches of their own; they call through unconditionally
+// and pay a few nanoseconds when observation is disabled (verified by
+// BenchmarkObsDisabled in internal/core and the benchmarks here).
+//
+// Metric names are dotted paths ("core.phase.route",
+// "core.s4.cache_hits"); the glossary lives in the README's
+// Observability section. Snapshots serialize to JSON via WriteJSON and
+// publish live through expvar (PublishExpvar, StartDebugServer).
+package obs
+
+import (
+	"encoding/json"
+	"io"
+	"os"
+	"sync"
+	"sync/atomic"
+)
+
+// Counter is a monotonically increasing atomic counter. The zero value
+// is ready to use; a nil *Counter discards all operations.
+type Counter struct {
+	v int64
+}
+
+// Inc adds one.
+func (c *Counter) Inc() { c.Add(1) }
+
+// Add adds delta.
+func (c *Counter) Add(delta int64) {
+	if c == nil {
+		return
+	}
+	atomic.AddInt64(&c.v, delta)
+}
+
+// Value returns the current count.
+func (c *Counter) Value() int64 {
+	if c == nil {
+		return 0
+	}
+	return atomic.LoadInt64(&c.v)
+}
+
+// Gauge is an atomic instantaneous value. The zero value is ready to
+// use; a nil *Gauge discards all operations.
+type Gauge struct {
+	v int64
+}
+
+// Set stores v.
+func (g *Gauge) Set(v int64) {
+	if g == nil {
+		return
+	}
+	atomic.StoreInt64(&g.v, v)
+}
+
+// Add adjusts the gauge by delta.
+func (g *Gauge) Add(delta int64) {
+	if g == nil {
+		return
+	}
+	atomic.AddInt64(&g.v, delta)
+}
+
+// Value returns the current value.
+func (g *Gauge) Value() int64 {
+	if g == nil {
+		return 0
+	}
+	return atomic.LoadInt64(&g.v)
+}
+
+// Registry names and owns a set of metrics. Metrics are created lazily
+// on first access and live for the registry's lifetime; accessors on a
+// nil *Registry return nil metrics, so a single optional *Registry
+// switches a whole subsystem's instrumentation on or off.
+type Registry struct {
+	mu       sync.Mutex
+	counters map[string]*Counter
+	gauges   map[string]*Gauge
+	hists    map[string]*Histogram
+	clock    Clock
+	sink     Sink
+}
+
+// NewRegistry returns an empty registry on the wall clock.
+func NewRegistry() *Registry { return &Registry{clock: Wall} }
+
+// SetClock replaces the registry's time source (nil restores Wall).
+// Spans started before the switch measure across both clocks.
+func (r *Registry) SetClock(c Clock) {
+	if r == nil {
+		return
+	}
+	if c == nil {
+		c = Wall
+	}
+	r.mu.Lock()
+	r.clock = c
+	r.mu.Unlock()
+}
+
+// Clock returns the registry's time source; a nil registry reads Wall.
+func (r *Registry) Clock() Clock {
+	if r == nil {
+		return Wall
+	}
+	r.mu.Lock()
+	c := r.clock
+	r.mu.Unlock()
+	if c == nil {
+		return Wall
+	}
+	return c
+}
+
+// SetSink installs the event sink that completed spans are emitted to
+// (nil disables emission; histograms still record).
+func (r *Registry) SetSink(s Sink) {
+	if r == nil {
+		return
+	}
+	r.mu.Lock()
+	r.sink = s
+	r.mu.Unlock()
+}
+
+// Counter returns the named counter, creating it on first use.
+func (r *Registry) Counter(name string) *Counter {
+	if r == nil {
+		return nil
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	c, ok := r.counters[name]
+	if !ok {
+		c = &Counter{}
+		if r.counters == nil {
+			r.counters = make(map[string]*Counter)
+		}
+		r.counters[name] = c
+	}
+	return c
+}
+
+// Gauge returns the named gauge, creating it on first use.
+func (r *Registry) Gauge(name string) *Gauge {
+	if r == nil {
+		return nil
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	g, ok := r.gauges[name]
+	if !ok {
+		g = &Gauge{}
+		if r.gauges == nil {
+			r.gauges = make(map[string]*Gauge)
+		}
+		r.gauges[name] = g
+	}
+	return g
+}
+
+// Histogram returns the named histogram, creating it on first use.
+func (r *Registry) Histogram(name string) *Histogram {
+	if r == nil {
+		return nil
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	h, ok := r.hists[name]
+	if !ok {
+		h = &Histogram{}
+		if r.hists == nil {
+			r.hists = make(map[string]*Histogram)
+		}
+		r.hists[name] = h
+	}
+	return h
+}
+
+// Snapshot is a point-in-time copy of a registry's metrics, shaped for
+// JSON serialization and expvar publication. Histogram entries carry
+// the per-phase duration statistics.
+type Snapshot struct {
+	Counters   map[string]int64          `json:"counters"`
+	Gauges     map[string]int64          `json:"gauges"`
+	Histograms map[string]HistogramStats `json:"histograms"`
+	Events     []Event                   `json:"events,omitempty"`
+}
+
+// Snapshot captures every metric. When the installed sink records
+// events (implements Events() []Event, as Recorder does), they are
+// included.
+func (r *Registry) Snapshot() Snapshot {
+	s := Snapshot{
+		Counters:   map[string]int64{},
+		Gauges:     map[string]int64{},
+		Histograms: map[string]HistogramStats{},
+	}
+	if r == nil {
+		return s
+	}
+	r.mu.Lock()
+	counters := make(map[string]*Counter, len(r.counters))
+	for k, v := range r.counters {
+		counters[k] = v
+	}
+	gauges := make(map[string]*Gauge, len(r.gauges))
+	for k, v := range r.gauges {
+		gauges[k] = v
+	}
+	hists := make(map[string]*Histogram, len(r.hists))
+	for k, v := range r.hists {
+		hists[k] = v
+	}
+	sink := r.sink
+	r.mu.Unlock()
+
+	for k, v := range counters {
+		s.Counters[k] = v.Value()
+	}
+	for k, v := range gauges {
+		s.Gauges[k] = v.Value()
+	}
+	for k, v := range hists {
+		s.Histograms[k] = v.Stats()
+	}
+	if ev, ok := sink.(interface{ Events() []Event }); ok {
+		s.Events = ev.Events()
+	}
+	return s
+}
+
+// WriteJSON writes the current snapshot as indented JSON.
+func (r *Registry) WriteJSON(w io.Writer) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(r.Snapshot())
+}
+
+// WriteJSONFile writes the current snapshot to path, replacing any
+// existing file. It backs the CLIs' -metrics-json flag.
+func (r *Registry) WriteJSONFile(path string) error {
+	data, err := json.MarshalIndent(r.Snapshot(), "", "  ")
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(path, append(data, '\n'), 0o644)
+}

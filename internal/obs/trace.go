@@ -1,0 +1,102 @@
+package obs
+
+import (
+	"sync"
+	"time"
+)
+
+// Event is one completed span: a named phase with its start instant and
+// duration in nanoseconds.
+type Event struct {
+	Name    string `json:"name"`
+	StartNS int64  `json:"start_unix_ns"`
+	DurNS   int64  `json:"dur_ns"`
+}
+
+// Sink receives completed span events. Implementations must be safe
+// for concurrent Emit calls.
+type Sink interface {
+	Emit(Event)
+}
+
+// Recorder is a bounded in-memory Sink: it keeps the first cap events
+// and counts the overflow, so a runaway phase cannot grow memory
+// without bound. Registry.Snapshot includes its events.
+type Recorder struct {
+	mu      sync.Mutex
+	cap     int
+	events  []Event
+	dropped int64
+}
+
+// NewRecorder returns a recorder holding at most capacity events
+// (<= 0 means 1024).
+func NewRecorder(capacity int) *Recorder {
+	if capacity <= 0 {
+		capacity = 1024
+	}
+	return &Recorder{cap: capacity}
+}
+
+// Emit stores the event, or counts it as dropped once full.
+func (r *Recorder) Emit(e Event) {
+	r.mu.Lock()
+	if len(r.events) < r.cap {
+		r.events = append(r.events, e)
+	} else {
+		r.dropped++
+	}
+	r.mu.Unlock()
+}
+
+// Events returns a copy of the recorded events in emission order.
+func (r *Recorder) Events() []Event {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	out := make([]Event, len(r.events))
+	copy(out, r.events)
+	return out
+}
+
+// Dropped returns the number of events discarded after the buffer
+// filled.
+func (r *Recorder) Dropped() int64 {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.dropped
+}
+
+// Span measures one named phase. It is a plain value — starting a span
+// on a nil registry yields the zero Span, whose End is a no-op — so
+// disabled tracing allocates nothing.
+type Span struct {
+	r     *Registry
+	h     *Histogram
+	name  string
+	start time.Time
+}
+
+// Span starts a span on the registry's clock; its duration lands in
+// the histogram of the same name, and an Event goes to the sink.
+func (r *Registry) Span(name string) Span {
+	if r == nil {
+		return Span{}
+	}
+	return Span{r: r, h: r.Histogram(name), name: name, start: r.Clock().Now()}
+}
+
+// End completes the span and returns its duration (0 for a zero Span).
+func (s Span) End() time.Duration {
+	if s.r == nil {
+		return 0
+	}
+	d := Since(s.r.Clock(), s.start)
+	s.h.Observe(d)
+	s.r.mu.Lock()
+	sink := s.r.sink
+	s.r.mu.Unlock()
+	if sink != nil {
+		sink.Emit(Event{Name: s.name, StartNS: s.start.UnixNano(), DurNS: int64(d)})
+	}
+	return d
+}

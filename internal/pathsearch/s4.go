@@ -14,6 +14,7 @@ import (
 	"math/bits"
 	"sync"
 
+	"repro/internal/obs"
 	"repro/internal/perm"
 	"repro/internal/star"
 )
@@ -32,6 +33,11 @@ type S4 struct {
 
 	mu    sync.RWMutex
 	cache map[searchKey]cacheEntry
+
+	// Cache effectiveness counters, always on (an atomic add is noise
+	// next to the map access they sit beside). Read via CacheStats;
+	// internal/core folds per-run deltas into its obs registry.
+	hits, misses, bypasses obs.Counter
 }
 
 type searchKey struct {
@@ -72,6 +78,14 @@ func newS4() *S4 {
 		}
 	}
 	return s
+}
+
+// CacheStats returns the cumulative result-cache counters: hits
+// (answered from the memo), misses (searched then memoized) and
+// bypasses (uncacheable queries: NoCache set, or more than eight
+// forbidden edges).
+func (s *S4) CacheStats() (hits, misses, bypasses int64) {
+	return s.hits.Value(), s.misses.Value(), s.bypasses.Value()
 }
 
 // Code returns the canonical vertex code with the given rank index.
@@ -159,8 +173,12 @@ func (s *S4) FindPath(q Query) ([]uint8, bool) {
 		e, ok := s.cache[key]
 		s.mu.RUnlock()
 		if ok {
+			s.hits.Inc()
 			return e.path, e.ok
 		}
+		s.misses.Inc()
+	} else {
+		s.bypasses.Inc()
 	}
 
 	adjEff := s.adj

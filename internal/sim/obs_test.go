@@ -1,0 +1,56 @@
+package sim
+
+import (
+	"testing"
+
+	"repro/internal/obs"
+)
+
+// TestCampaignObsAccounting runs a small campaign with a registry and
+// checks the counters mirror the deterministic Stats — and that the
+// instrumented run reproduces the uninstrumented one exactly.
+func TestCampaignObsAccounting(t *testing.T) {
+	cfg := CampaignConfig{
+		Machine:     Config{N: 5},
+		Failures:    2,
+		LapsBetween: 1,
+		Seed:        42,
+	}
+	plain, err := RunCampaign(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	reg := obs.NewRegistry()
+	cfg.Machine.Obs = reg
+	instrumented, err := RunCampaign(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	if plain.Clock != instrumented.Clock || plain.Hops != instrumented.Hops ||
+		plain.FinalRing != instrumented.FinalRing {
+		t.Errorf("instrumentation perturbed the simulation: %+v vs %+v", plain, instrumented)
+	}
+	// One boot embedding plus one re-embedding per on-ring failure.
+	wantEmbeds := int64(1 + instrumented.Reembeds)
+	if got := reg.Counter("sim.embeds").Value(); got != wantEmbeds {
+		t.Errorf("sim.embeds = %d, want %d", got, wantEmbeds)
+	}
+	if got := reg.Counter("sim.failures").Value(); got != int64(cfg.Failures) {
+		t.Errorf("sim.failures = %d, want %d", got, cfg.Failures)
+	}
+	if got := reg.Gauge("sim.ring_length").Value(); got != int64(instrumented.FinalRing) {
+		t.Errorf("sim.ring_length = %d, want %d", got, instrumented.FinalRing)
+	}
+	if got := reg.Histogram("sim.phase.reembed").Stats().Count; got != wantEmbeds {
+		t.Errorf("sim.phase.reembed count = %d, want %d", got, wantEmbeds)
+	}
+	if got := reg.Counter("sim.token_lost").Value(); got != int64(instrumented.TokenLost) {
+		t.Errorf("sim.token_lost = %d, want %d", got, instrumented.TokenLost)
+	}
+	// The embedder inherited the registry through Config.Embed.
+	if reg.Histogram("core.phase.total").Stats().Count != wantEmbeds {
+		t.Error("core phases not threaded through sim.Config.Embed")
+	}
+}

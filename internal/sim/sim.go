@@ -19,6 +19,7 @@ import (
 
 	"repro/internal/core"
 	"repro/internal/faults"
+	"repro/internal/obs"
 	"repro/internal/perm"
 	"repro/internal/star"
 )
@@ -36,6 +37,12 @@ type Config struct {
 	// Embed configures the underlying embedder. BestEffort additionally
 	// lets the machine outlive its formal fault budget.
 	Embed core.Config
+	// Obs receives campaign accounting (sim.embeds, sim.failures,
+	// sim.token_lost counters, the sim.ring_length gauge and
+	// sim.phase.reembed spans). When Embed.Obs is unset it inherits
+	// this registry. Instrumentation never feeds back into the
+	// simulation, so determinism in (config, seed) is preserved.
+	Obs *obs.Registry
 }
 
 // Stats accumulates over a machine's lifetime.
@@ -74,6 +81,9 @@ func New(cfg Config) (*Machine, error) {
 	if cfg.ReembedCostPerBlock <= 0 {
 		cfg.ReembedCostPerBlock = 1
 	}
+	if cfg.Embed.Obs == nil {
+		cfg.Embed.Obs = cfg.Obs
+	}
 	m := &Machine{
 		cfg: cfg,
 		g:   star.New(cfg.N),
@@ -107,10 +117,14 @@ func (m *Machine) TokenHolder() perm.Code { return m.ring[m.token] }
 // reembed recomputes the ring for the current fault set and charges the
 // downtime. The token restarts at ring position 0.
 func (m *Machine) reembed() error {
+	span := m.cfg.Obs.Span("sim.phase.reembed")
 	res, err := core.Embed(m.cfg.N, m.fs, m.cfg.Embed)
+	span.End()
 	if err != nil {
 		return fmt.Errorf("%w: %v", ErrHalted, err)
 	}
+	m.cfg.Obs.Counter("sim.embeds").Inc()
+	m.cfg.Obs.Gauge("sim.ring_length").Set(int64(len(res.Ring)))
 	m.ring = res.Ring
 	m.index = make(map[perm.Code]int, len(res.Ring))
 	for i, v := range res.Ring {
@@ -190,10 +204,12 @@ func (m *Machine) FailVertex(v perm.Code) error {
 	}
 	if v == m.ring[m.token] {
 		m.stats.TokenLost++
+		m.cfg.Obs.Counter("sim.token_lost").Inc()
 	}
 	if err := m.fs.AddVertex(v); err != nil {
 		return err
 	}
+	m.cfg.Obs.Counter("sim.failures").Inc()
 	if _, onRing := m.index[v]; !onRing {
 		// A spare processor died; the ring — which must still avoid it
 		// in the future — survives as-is only if it never used it, which

@@ -13,6 +13,7 @@ import (
 	"errors"
 	"fmt"
 
+	"repro/internal/obs"
 	"repro/internal/substar"
 )
 
@@ -84,6 +85,10 @@ type Options struct {
 	// SpreadFaults forbids two fault-bearing children from being
 	// consecutive within a clique path.
 	SpreadFaults bool
+	// Obs receives construction telemetry: a superring.phase.initial /
+	// superring.phase.refine span per call and the junction-search
+	// backtrack counter. nil disables it.
+	Obs *obs.Registry
 }
 
 func (o Options) faultCount(p substar.Pattern) int {
@@ -102,6 +107,8 @@ func (o Options) excluded(p substar.Pattern) bool {
 // cyclic order is an R_{n-1}; the options choose one that spreads and,
 // when required, separates fault-bearing children.
 func Initial(n, pos int, opts Options) (*Ring, error) {
+	span := opts.Obs.Span("superring.phase.initial")
+	defer span.End()
 	children := substar.Whole(n).Partition(pos)
 	kept := children[:0:0]
 	for _, c := range children {
@@ -192,6 +199,8 @@ func arrangeCycle(ps []substar.Pattern, opts Options) ([]substar.Pattern, error)
 // backtracking; within the paper's fault budget a valid assignment
 // always exists.
 func (r *Ring) Refine(pos int, opts Options) (*Ring, error) {
+	span := opts.Obs.Span("superring.phase.refine")
+	defer span.End()
 	m := len(r.verts)
 	cliques := make([][]substar.Pattern, m)
 	blockedPrev := make([]substar.Pattern, m) // child of k not adjacent to k-1
@@ -284,6 +293,7 @@ func chooseJunctions(r *Ring, pos int, cliques [][]substar.Pattern,
 	m := len(cliques)
 	qs := make([]uint8, m)
 	idx := make([]int, m) // next candidate index to try at each superedge
+	backtracks := opts.Obs.Counter("superring.junction.backtracks")
 
 	feasible := func(k int) bool {
 		// Clique k's path runs from Fix(pos, qs[k-1]) to Fix(pos, qs[k]).
@@ -315,6 +325,7 @@ func chooseJunctions(r *Ring, pos int, cliques [][]substar.Pattern,
 				return nil, fmt.Errorf("%w: no junction assignment closes the ring", ErrUnsatisfiable)
 			}
 			idx[k]++
+			backtracks.Inc()
 			continue
 		}
 		qs[k] = candidates[k][idx[k]]
@@ -327,6 +338,7 @@ func chooseJunctions(r *Ring, pos int, cliques [][]substar.Pattern,
 		}
 		if !ok {
 			idx[k]++
+			backtracks.Inc()
 			continue
 		}
 		k++

@@ -1,0 +1,33 @@
+#!/usr/bin/env bash
+# scripts/bench.sh — archive the embedding benchmarks and a quick
+# machine-readable sweep.
+#
+# Writes into BENCH_OUT (default: repo root):
+#   BENCH_embed.txt   go test -bench output: BenchmarkEmbedTheorem1,
+#                     BenchmarkEmbedScaling, and the BenchmarkObs*
+#                     instrumentation-overhead suite (disabled path must
+#                     stay 0 allocs/op)
+#   BENCH_embed.json  starsweep -quick -exp F2 -json: construction time
+#                     and output size vs n as {"experiments": [...]}
+#
+# BENCHTIME (default 1x) is passed to -benchtime; use e.g.
+# BENCHTIME=2s scripts/bench.sh for stable numbers. ci.sh runs this as a
+# smoke leg with a throwaway BENCH_OUT.
+set -eu
+
+cd "$(dirname "$0")/.."
+
+BENCH_OUT="${BENCH_OUT:-.}"
+BENCHTIME="${BENCHTIME:-1x}"
+mkdir -p "$BENCH_OUT"
+
+{
+    go test -run '^$' -bench 'BenchmarkEmbedTheorem1|BenchmarkEmbedScaling' \
+        -benchmem -benchtime "$BENCHTIME" .
+    go test -run '^$' -bench 'BenchmarkObs' \
+        -benchmem -benchtime "$BENCHTIME" ./internal/core
+} | tee "$BENCH_OUT/BENCH_embed.txt"
+
+go run ./cmd/starsweep -quick -exp F2 -json > "$BENCH_OUT/BENCH_embed.json"
+
+echo "bench artifacts written to $BENCH_OUT/BENCH_embed.{txt,json}"

@@ -8,7 +8,8 @@
 #   4. go test       -- full test suite
 #   5. go test -race -- core packages under the race detector (-short)
 #   6. starlint      -- the project's own analyzers (see cmd/starlint)
-#   7. fuzz smoke    -- each fuzz target for a few seconds
+#   7. bench smoke   -- scripts/bench.sh with -benchtime 1x
+#   8. fuzz smoke    -- each fuzz target for a few seconds
 #
 # Runs from any directory; needs only the Go toolchain. Override the
 # fuzz budget with FUZZTIME (default 5s), e.g. FUZZTIME=30s scripts/ci.sh.
@@ -56,9 +57,13 @@ leg "race" go test -short -race \
     ./internal/perm ./internal/star ./internal/substar ./internal/faults \
     ./internal/superring ./internal/pathsearch ./internal/core \
     ./internal/check ./internal/ringio ./internal/sim \
-    ./internal/harness ./internal/baseline || exit 1
+    ./internal/harness ./internal/baseline ./internal/obs || exit 1
 
 leg "starlint" go run ./cmd/starlint ./... || exit 1
+
+# Bench smoke: one iteration of every benchmark plus the JSON sweep,
+# into a throwaway directory — proves the bench pipeline stays runnable.
+leg "bench smoke" env BENCH_OUT="$(mktemp -d)" BENCHTIME=1x scripts/bench.sh || exit 1
 
 # Fuzz smoke: one target per invocation (the go tool's -fuzz accepts a
 # single match), a few seconds each. These catch regressions in input
