@@ -1,5 +1,5 @@
 // Benchmarks regenerating the evaluation of DESIGN.md's experiment
-// index: one benchmark per table/series (T1-T6, F1-F5; the A1 ablation
+// index: one benchmark per table/series (T1-T6, F1-F5, F7; the A1 ablation
 // benchmarks live next to the code they measure, in internal/pathsearch
 // and internal/core). Run with
 //
@@ -332,6 +332,83 @@ func BenchmarkEmbedPath(b *testing.B) {
 		}
 		b.ReportMetric(float64(l), "pathlen")
 	})
+}
+
+// BenchmarkRepair (F7): the incremental repair engine. The splice
+// sub-benchmarks time Plan.Repair on a fault that the fast path can
+// absorb (one 24-vertex block re-routed and spliced in place); the cold
+// sub-benchmarks time a from-scratch Embed of a single-fault set at the
+// same dimension. scripts/bench.sh archives both; the acceptance claim
+// is splice beating cold by at least 10x at n=8.
+func BenchmarkRepair(b *testing.B) {
+	for n := 6; n <= 8; n++ {
+		b.Run(fmt.Sprintf("splice/n=%d", n), func(b *testing.B) {
+			e, err := core.NewEmbedder(n, core.Config{})
+			if err != nil {
+				b.Fatal(err)
+			}
+			p, err := e.Embed(nil)
+			if err != nil {
+				b.Fatal(err)
+			}
+			budget := faults.MaxTolerated(n)
+			used := 0
+			rng := rand.New(rand.NewSource(int64(n) * 41))
+			victim := func() perm.Code {
+				// Rejection-sample an on-ring vertex the fast path accepts;
+				// fresh plans always have spliceable blocks.
+				for {
+					v := p.RingAt(rng.Intn(p.RingLen()))
+					if p.CanSplice(v) {
+						return v
+					}
+				}
+			}
+			v := victim()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				rep, err := p.Repair(v)
+				if err != nil {
+					b.Fatal(err)
+				}
+				if rep.Outcome != core.RepairSplice {
+					b.Fatalf("iteration %d: outcome %v, want splice", i, rep.Outcome)
+				}
+				used++
+				if used == budget {
+					// Budget exhausted: start over with a fresh plan,
+					// outside the timer.
+					b.StopTimer()
+					p, err = e.Embed(nil)
+					if err != nil {
+						b.Fatal(err)
+					}
+					used = 0
+					v = victim()
+					b.StartTimer()
+					continue
+				}
+				b.StopTimer()
+				v = victim()
+				b.StartTimer()
+			}
+			b.ReportMetric(float64(p.RingLen()), "ringlen")
+		})
+		b.Run(fmt.Sprintf("cold/n=%d", n), func(b *testing.B) {
+			rng := rand.New(rand.NewSource(int64(n) * 43))
+			fs := faults.RandomVertices(n, 1, rng)
+			var l int
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				res, err := core.Embed(n, fs, core.Config{})
+				if err != nil {
+					b.Fatal(err)
+				}
+				l = res.Len()
+			}
+			b.ReportMetric(float64(l), "ringlen")
+		})
+	}
 }
 
 // BenchmarkCampaign (F5): one full failure campaign on the simulator

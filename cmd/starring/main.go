@@ -120,10 +120,15 @@ func main() {
 	)
 	switch *algo {
 	case "paper":
-		res, err := core.Embed(*n, fs, cfg)
+		eng, err := core.NewEmbedder(*n, cfg)
 		if err != nil {
 			fatal(err)
 		}
+		plan, err := eng.Embed(fs)
+		if err != nil {
+			fatal(err)
+		}
+		res := plan.Result()
 		ring, guarantee = res.Ring, res.Guarantee
 		extra = fmt.Sprintf("blocks=%d faulty-blocks=%d positions=%v upper-bound=%d",
 			res.Blocks, res.FaultyBlocks, res.Positions, res.UpperBound)

@@ -125,11 +125,17 @@ func emitBlock(n int, fs *faults.Set) {
 		fmt.Fprintln(os.Stderr, "starviz: -mode block needs n >= 5")
 		os.Exit(1)
 	}
-	res, err := core.Embed(n, fs, core.Config{})
+	eng, err := core.NewEmbedder(n, core.Config{})
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "starviz:", err)
 		os.Exit(1)
 	}
+	plan, err := eng.Embed(fs)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "starviz:", err)
+		os.Exit(1)
+	}
+	res := plan.Result()
 	// Reconstruct the block containing the first fault (or the block of
 	// the first ring vertex when fault-free).
 	anchor := res.Ring[0]

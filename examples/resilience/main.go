@@ -1,9 +1,11 @@
 // Resilience drill: a long-running simulated campaign on a star-graph
 // multiprocessor. The machine circulates work over its embedded ring
-// while processors fail at scheduled points; each failure triggers an
-// online re-embedding (the paper's algorithm), and the run ends with an
-// availability report — uptime vs re-embedding downtime, ring capacity
-// over time, and the exact 2-slot cost per failure the paper proves.
+// while processors fail at scheduled points; each failure is repaired
+// online — most through the incremental splice fast path (one 24-vertex
+// block re-routed in place), the rest by a full re-embedding — and the
+// run ends with an availability report: uptime vs repair downtime, ring
+// capacity over time, and the exact 2-slot cost per failure the paper
+// proves.
 package main
 
 import (
@@ -31,17 +33,26 @@ func main() {
 
 	fmt.Printf("campaign on S_%d: %d processors, fault budget %d (then best effort)\n\n",
 		n, 720, faults.MaxTolerated(n))
-	fmt.Printf("%-8s %-10s %-8s %-12s %-12s\n", "event", "clock", "ring", "guarantee", "note")
-	fmt.Printf("%-8s %-10d %-8d %-12d %-12s\n", "boot", m.Clock(), m.RingLength(), m.GuaranteedLength(), "")
+	fmt.Printf("%-8s %-10s %-8s %-12s %-8s %-12s\n", "event", "clock", "ring", "guarantee", "repair", "note")
+	fmt.Printf("%-8s %-10d %-8d %-12d %-8s %-12s\n", "boot", m.Clock(), m.RingLength(), m.GuaranteedLength(), "embed", "")
 
 	// Alternate work phases and failures; two failures beyond budget.
 	for k := 1; k <= faults.MaxTolerated(n)+2; k++ {
 		if err := m.Circulate(2); err != nil {
 			log.Fatal(err)
 		}
+		before := m.Stats()
 		victim := m.Ring()[rng.Intn(m.RingLength())]
 		if err := m.FailVertex(victim); err != nil {
 			log.Fatal(err)
+		}
+		after := m.Stats()
+		repair := "avoided"
+		switch {
+		case after.Splices > before.Splices:
+			repair = "splice"
+		case after.Reembeds > before.Reembeds:
+			repair = "rebuild"
 		}
 		note := ""
 		if g := m.GuaranteedLength(); g == 0 {
@@ -49,8 +60,8 @@ func main() {
 		} else if m.RingLength() == g {
 			note = "= n!-2|Fv|"
 		}
-		fmt.Printf("%-8s %-10d %-8d %-12d %-12s\n",
-			fmt.Sprintf("fail %d", k), m.Clock(), m.RingLength(), m.GuaranteedLength(), note)
+		fmt.Printf("%-8s %-10d %-8d %-12d %-8s %-12s\n",
+			fmt.Sprintf("fail %d", k), m.Clock(), m.RingLength(), m.GuaranteedLength(), repair, note)
 	}
 	if err := m.Circulate(2); err != nil {
 		log.Fatal(err)
@@ -60,11 +71,12 @@ func main() {
 	total := st.Uptime + st.Downtime
 	fmt.Printf("\ncampaign summary\n")
 	fmt.Printf("  laps completed:     %d (%d hops)\n", st.Laps, st.Hops)
-	fmt.Printf("  failures handled:   %d (%d re-embeddings, %d hit the token holder)\n",
-		m.Faults(), st.Reembeds, st.TokenLost)
+	fmt.Printf("  failures handled:   %d (%d splices, %d full re-embeddings, %d hit the token holder)\n",
+		m.Faults(), st.Splices, st.Reembeds, st.TokenLost)
 	fmt.Printf("  availability:       %.2f%% (%d uptime / %d downtime ticks)\n",
 		100*float64(st.Uptime)/float64(total), st.Uptime, st.Downtime)
 	fmt.Printf("  ring capacity path: %v\n", st.RingLengths)
-	fmt.Println("\nwithin the fault budget every failure cost exactly 2 ring slots —")
+	fmt.Println("\nwithin the fault budget every failure cost exactly 2 ring slots,")
+	fmt.Println("and splice repairs paid for one re-routed block instead of all 30 —")
 	fmt.Println("the bipartite-optimal loss that the paper proves achievable.")
 }

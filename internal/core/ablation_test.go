@@ -62,7 +62,7 @@ func embedWithPositions(b testing.TB, n int, fs *faults.Set, positions []int) in
 	if err != nil {
 		b.Fatal(err)
 	}
-	ring, err := routeR4x(r4, fs, func(_, vf int) []int {
+	rt, err := routeR4x(r4, fs, func(_, vf int) []int {
 		var ts []int
 		for t := blockOrder - 2*vf; t >= 2; t -= 2 {
 			ts = append(ts, t)
@@ -72,7 +72,7 @@ func embedWithPositions(b testing.TB, n int, fs *faults.Set, positions []int) in
 	if err != nil {
 		return 0 // routing can fail outright without (P1)
 	}
-	return len(ring)
+	return len(rt.ring)
 }
 
 func p1Violations(n int, fs *faults.Set, positions []int) int {

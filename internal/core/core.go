@@ -27,11 +27,9 @@ import (
 	"fmt"
 	"runtime"
 
-	"repro/internal/check"
 	"repro/internal/faults"
 	"repro/internal/obs"
 	"repro/internal/perm"
-	"repro/internal/star"
 	"repro/internal/substar"
 	"repro/internal/superring"
 )
@@ -55,6 +53,11 @@ type Config struct {
 	// guarantee is unchanged; only the achieved length grows. See
 	// planUpgrades for the parity-alternation limit.
 	Opportunistic bool
+	// VerifyRepairs re-runs the full check.Ring after every successful
+	// Plan.Repair splice. By default only the spliced segment is
+	// verified (the point of the fast path); tests and paranoid callers
+	// set this to keep the one-shot self-verification discipline.
+	VerifyRepairs bool
 	// Obs receives the run's telemetry: phase spans (core.phase.*), S4
 	// cache activity, junction backtracks and worker utilization — see
 	// the README's Observability section for the glossary. nil disables
@@ -110,73 +113,34 @@ var ErrNoRing = errors.New("core: no healthy ring exists")
 // With fs nil or empty the ring is a Hamiltonian cycle. The paper's
 // precondition is n >= 3 and |Fv| + |Fe| <= n - 3; beyond it, Embed
 // fails unless cfg.BestEffort is set.
+//
+// Embed is the one-shot convenience wrapper over the session-oriented
+// engine: it builds a throwaway Embedder, runs one Plan and returns its
+// Result. Callers embedding repeatedly in the same dimension — or who
+// want incremental Repair — should hold an Embedder instead.
 func Embed(n int, fs *faults.Set, cfg Config) (*Result, error) {
-	if n < 3 || n > perm.MaxN {
-		return nil, fmt.Errorf("core: dimension %d out of range [3,%d]", n, perm.MaxN)
-	}
-	if fs == nil {
-		fs = faults.NewSet(n)
-	}
-	if fs.N() != n {
-		return nil, fmt.Errorf("core: fault set is for S_%d, embedding in S_%d", fs.N(), n)
-	}
-	nv, ne := fs.NumVertices(), fs.NumEdges()
-	withinBudget := nv+ne <= faults.MaxTolerated(n)
-	if !withinBudget && !cfg.BestEffort {
-		return nil, fmt.Errorf("%w: |Fv|=%d, |Fe|=%d, n=%d", ErrBudget, nv, ne, n)
-	}
-
-	res := &Result{
-		N:            n,
-		VertexFaults: nv,
-		EdgeFaults:   ne,
-		Guarantee:    perm.Factorial(n) - 2*nv,
-		Guaranteed:   withinBudget,
-		UpperBound:   check.BipartiteUpperBound(n, fs),
-	}
-
-	in := newInstr(cfg.Obs)
-	total := in.span("core.phase.total")
-	defer func() {
-		total.End()
-		in.finish()
-	}()
-
-	var err error
-	switch {
-	case n == 3:
-		err = embedS3(res, fs)
-	case n == 4:
-		err = embedS4(res, fs)
-	default:
-		err = embedLarge(res, fs, cfg, in)
-	}
+	e, err := NewEmbedder(n, cfg)
 	if err != nil {
 		return nil, err
 	}
-
-	minLen := 0
-	if res.Guaranteed {
-		minLen = res.Guarantee
-	}
-	vspan := in.span("core.phase.verify")
-	err = check.Ring(star.New(n), res.Ring, fs, minLen)
-	vspan.End()
+	p, err := e.Embed(fs)
 	if err != nil {
-		return nil, fmt.Errorf("core: self-verification failed: %w", err)
+		return nil, err
 	}
-	return res, nil
+	return p.Result(), nil
 }
 
 // embedLarge handles n >= 5: Lemma 2 separation, Lemma 3 construction
-// of the R4 with (P1)(P2)(P3), and Lemma 7 block routing.
-func embedLarge(res *Result, fs *faults.Set, cfg Config, in *instr) error {
+// of the R4 with (P1)(P2)(P3), and Lemma 7 block routing. Beyond
+// filling res it returns the skeleton — the R4 plus the per-block
+// routing state — that Plan.Repair re-uses for incremental splices.
+func embedLarge(res *Result, fs *faults.Set, cfg Config, in *instr) (*skeleton, error) {
 	n := res.N
 	sspan := in.span("core.phase.separation")
 	positions, separated := fs.SeparatingPositions()
 	sspan.End()
 	if !separated && !cfg.BestEffort {
-		return fmt.Errorf("core: internal: Lemma 2 separation failed for %v", fs)
+		return nil, fmt.Errorf("core: internal: Lemma 2 separation failed for %v", fs)
 	}
 	res.Positions = positions
 
@@ -184,7 +148,7 @@ func embedLarge(res *Result, fs *faults.Set, cfg Config, in *instr) error {
 	r4, err := buildR4(n, positions, fs, cfg)
 	bspan.End()
 	if err != nil {
-		return err
+		return nil, err
 	}
 	res.Blocks = r4.Len()
 	for _, p := range r4.Vertices() {
@@ -196,15 +160,15 @@ func embedLarge(res *Result, fs *faults.Set, cfg Config, in *instr) error {
 	if cfg.Opportunistic && !cfg.BestEffort && fs.NumVertices() >= 2 && fs.NumEdges() == 0 {
 		upgraded, exitParity := planUpgrades(r4, fs)
 		if exitParity != nil {
-			ring, err := routeR4x(r4, fs, opportunisticTargets(upgraded), exitParity, cfg, in)
+			rt, err := routeR4x(r4, fs, opportunisticTargets(upgraded), exitParity, cfg, in)
 			if err == nil {
 				for _, u := range upgraded {
 					if u {
 						res.Upgrades++
 					}
 				}
-				res.Ring = ring
-				return nil
+				res.Ring = rt.ring
+				return &skeleton{r4: r4, rt: rt}, nil
 			}
 			// Fall through to the plain paper routing: the guarantee
 			// never depends on the upgrade pass succeeding.
@@ -212,12 +176,12 @@ func embedLarge(res *Result, fs *faults.Set, cfg Config, in *instr) error {
 	}
 
 	targetsFor := paperTargets(cfg.BestEffort)
-	ring, err := routeR4x(r4, fs, func(_, vf int) []int { return targetsFor(vf) }, nil, cfg, in)
+	rt, err := routeR4x(r4, fs, func(_, vf int) []int { return targetsFor(vf) }, nil, cfg, in)
 	if err != nil {
-		return err
+		return nil, err
 	}
-	res.Ring = ring
-	return nil
+	res.Ring = rt.ring
+	return &skeleton{r4: r4, rt: rt}, nil
 }
 
 // paperTargets is the paper's per-block length policy: a healthy block

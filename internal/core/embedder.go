@@ -1,0 +1,454 @@
+package core
+
+import (
+	"errors"
+	"fmt"
+
+	"repro/internal/check"
+	"repro/internal/faults"
+	"repro/internal/pathsearch"
+	"repro/internal/perm"
+	"repro/internal/star"
+	"repro/internal/substar"
+	"repro/internal/superring"
+)
+
+// Embedder is a session-oriented handle on one star graph S_n: it owns
+// the substrate shared by every embedding of that dimension (the graph,
+// the configuration, and — transitively through internal/pathsearch —
+// the canonical S4 block cache) and turns fault sets into Plans. Create
+// one per dimension and reuse it across runs; the one-shot Embed
+// function remains as a convenience wrapper.
+type Embedder struct {
+	n   int
+	g   star.Graph
+	cfg Config
+}
+
+// NewEmbedder validates the dimension and returns an engine for S_n.
+func NewEmbedder(n int, cfg Config) (*Embedder, error) {
+	if n < 3 || n > perm.MaxN {
+		return nil, fmt.Errorf("core: dimension %d out of range [3,%d]", n, perm.MaxN)
+	}
+	return &Embedder{n: n, g: star.New(n), cfg: cfg}, nil
+}
+
+// N returns the engine's dimension.
+func (e *Embedder) N() int { return e.n }
+
+// Graph returns the underlying star graph.
+func (e *Embedder) Graph() star.Graph { return e.g }
+
+// Embed constructs a healthy ring in S_n avoiding the given faults and
+// returns it as a live Plan. The Plan owns a private clone of fs, so the
+// caller may keep mutating its set; new faults reach the Plan through
+// Repair. Preconditions and errors match the package-level Embed.
+func (e *Embedder) Embed(fs *faults.Set) (*Plan, error) {
+	n := e.n
+	if fs == nil {
+		fs = faults.NewSet(n)
+	} else {
+		if fs.N() != n {
+			return nil, fmt.Errorf("core: fault set is for S_%d, embedding in S_%d", fs.N(), n)
+		}
+		fs = fs.Clone()
+	}
+	nv, ne := fs.NumVertices(), fs.NumEdges()
+	withinBudget := nv+ne <= faults.MaxTolerated(n)
+	if !withinBudget && !e.cfg.BestEffort {
+		return nil, fmt.Errorf("%w: |Fv|=%d, |Fe|=%d, n=%d", ErrBudget, nv, ne, n)
+	}
+
+	res := &Result{
+		N:            n,
+		VertexFaults: nv,
+		EdgeFaults:   ne,
+		Guarantee:    perm.Factorial(n) - 2*nv,
+		Guaranteed:   withinBudget,
+		UpperBound:   check.BipartiteUpperBound(n, fs),
+	}
+
+	in := newInstr(e.cfg.Obs)
+	total := in.span("core.phase.total")
+	defer func() {
+		total.End()
+		in.finish()
+	}()
+
+	var sk *skeleton
+	var err error
+	switch {
+	case n == 3:
+		err = embedS3(res, fs)
+	case n == 4:
+		err = embedS4(res, fs)
+	default:
+		sk, err = embedLarge(res, fs, e.cfg, in)
+	}
+	if err != nil {
+		return nil, err
+	}
+
+	minLen := 0
+	if res.Guaranteed {
+		minLen = res.Guarantee
+	}
+	vspan := in.span("core.phase.verify")
+	err = check.Ring(e.g, res.Ring, fs, minLen)
+	vspan.End()
+	if err != nil {
+		return nil, fmt.Errorf("core: self-verification failed: %w", err)
+	}
+	return newPlan(e, res, fs, sk), nil
+}
+
+// skeleton is the pipeline state embedLarge leaves behind beyond the
+// ring itself: the R4 super-ring and the routing outcome (per-block
+// plans with their chosen junctions, plus segment offsets). The small-n
+// direct embeddings have none.
+type skeleton struct {
+	r4 *superring.Ring
+	rt *routed
+}
+
+// Plan is a live embedding: the verified Result plus the skeleton that
+// produced it — separating positions, the R4 ring, per-block plans with
+// their chosen junctions, and the block-to-ring-segment offsets. The
+// skeleton is what makes Repair incremental: a new fault that lands in
+// a previously healthy block invalidates exactly one 24-vertex segment,
+// which can be re-routed and spliced without touching the other n!/24-1
+// blocks.
+type Plan struct {
+	e   *Embedder
+	res *Result
+	fs  *faults.Set // owned; Repair mutates it
+
+	// nil r4 marks the small-n direct embeddings (n <= 4): no skeleton,
+	// every repair is a rebuild.
+	r4       *superring.Ring
+	blocks   []*blockPlan
+	offsets  []int // block k occupies Ring[offsets[k]:offsets[k+1]]
+	blockIdx map[substar.Pattern]int
+
+	broken bool // a failed rebuild poisons the plan
+}
+
+func newPlan(e *Embedder, res *Result, fs *faults.Set, sk *skeleton) *Plan {
+	p := &Plan{e: e, res: res, fs: fs}
+	if sk != nil {
+		p.r4 = sk.r4
+		p.blocks = sk.rt.plans
+		p.offsets = sk.rt.offsets
+		p.blockIdx = make(map[substar.Pattern]int, sk.r4.Len())
+		for k, pat := range sk.r4.Vertices() {
+			p.blockIdx[pat] = k
+		}
+	}
+	return p
+}
+
+// Result returns the plan's current verified embedding. The pointer is
+// live: Repair updates it in place.
+func (p *Plan) Result() *Result { return p.res }
+
+// N returns the plan's dimension.
+func (p *Plan) N() int { return p.e.n }
+
+// RingLen returns the current ring length.
+func (p *Plan) RingLen() int { return len(p.res.Ring) }
+
+// RingAt returns the i-th ring vertex (0 <= i < RingLen).
+func (p *Plan) RingAt(i int) perm.Code { return p.res.Ring[i] }
+
+// Ring returns a defensive copy of the current ring; mutating it cannot
+// corrupt the plan.
+func (p *Plan) Ring() []perm.Code {
+	return append([]perm.Code(nil), p.res.Ring...)
+}
+
+// Faulty reports whether v is a known-faulty vertex.
+func (p *Plan) Faulty(v perm.Code) bool { return p.fs.HasVertex(v) }
+
+// Faults returns a snapshot clone of the plan's fault set.
+func (p *Plan) Faults() *faults.Set { return p.fs.Clone() }
+
+// Blocks returns the number of R4 blocks (zero for n <= 4).
+func (p *Plan) Blocks() int { return len(p.blocks) }
+
+// OnRing reports whether v currently sits on the ring. With a skeleton
+// this is an O(1) block lookup plus a scan of one <= 24-vertex segment;
+// without one (n <= 4) the whole <= 24-vertex ring is scanned.
+func (p *Plan) OnRing(v perm.Code) bool {
+	seg := p.res.Ring
+	if p.r4 != nil {
+		k, ok := p.blockOf(v)
+		if !ok {
+			return false
+		}
+		seg = p.res.Ring[p.offsets[k]:p.offsets[k+1]]
+	}
+	for _, u := range seg {
+		if u == v {
+			return true
+		}
+	}
+	return false
+}
+
+// blockOf locates the R4 block containing v via the Lemma 2 separating
+// positions.
+func (p *Plan) blockOf(v perm.Code) (int, bool) {
+	pat := substar.PatternOf(p.e.n, v, p.res.Positions)
+	k, ok := p.blockIdx[pat]
+	return k, ok
+}
+
+// RepairOutcome classifies what Repair had to do.
+type RepairOutcome int
+
+const (
+	// RepairNoop: the vertex was already faulty; nothing changed.
+	RepairNoop RepairOutcome = iota
+	// RepairAvoided: the vertex was off-ring (a spare), so the existing
+	// ring is still healthy; only the fault accounting changed.
+	RepairAvoided
+	// RepairSplice: the fast path — one block re-routed via Lemma 4 and
+	// its segment spliced in place; the ring shrank by exactly 2.
+	RepairSplice
+	// RepairRebuild: the skeleton was invalidated; a full re-embedding
+	// replaced the plan.
+	RepairRebuild
+)
+
+// String implements fmt.Stringer.
+func (o RepairOutcome) String() string {
+	switch o {
+	case RepairNoop:
+		return "noop"
+	case RepairAvoided:
+		return "avoided"
+	case RepairSplice:
+		return "splice"
+	case RepairRebuild:
+		return "rebuild"
+	}
+	return fmt.Sprintf("RepairOutcome(%d)", int(o))
+}
+
+// RepairReport describes one Repair call.
+type RepairReport struct {
+	Outcome RepairOutcome
+	// Block is the re-routed block index (splice only; -1 otherwise).
+	Block int
+	// SegmentStart/SegmentOldLen frame the replaced segment in the
+	// pre-repair ring (splice only); the new segment is two shorter.
+	SegmentStart  int
+	SegmentOldLen int
+	// OldLen and NewLen are the ring lengths before and after.
+	OldLen, NewLen int
+	// BlocksRerouted is the work actually done: 0 (noop/avoided), 1
+	// (splice), or the full block count (rebuild).
+	BlocksRerouted int
+}
+
+// ErrPlanBroken reports Repair being called on a plan whose last rebuild
+// failed; its ring is stale and must not be used.
+var ErrPlanBroken = errors.New("core: plan is broken (a previous rebuild failed)")
+
+// Repair folds one newly failed vertex into the plan. The fast path
+// applies when the fault lands in a previously healthy block and leaves
+// the skeleton's invariants intact — (P1) still holds (the block gains
+// its first fault, so the Lemma 2 separation survives), (P3) still holds
+// (the vertex is not a junction endpoint and the neighbor blocks stay
+// fault-free) — in which case only that block is re-routed via Lemma 4
+// to a path two vertices shorter and the segment is spliced in place:
+// O(24-vertex search + splice) instead of a full O(n!) re-embedding.
+// Only the spliced segment is re-verified (the junction edges and every
+// other block are untouched); set Config.VerifyRepairs to re-run the
+// full check.Ring after every successful splice.
+//
+// When the fast path does not apply — off-skeleton dimensions, a second
+// fault in the same block, a junction vertex, an adjacent faulty block,
+// or a failed block search — Repair falls back to a full re-embedding of
+// the accumulated fault set.
+//
+// A vertex beyond the paper's budget returns ErrBudget without mutating
+// the plan (unless BestEffort). A fault landing off-ring returns
+// RepairAvoided: the ring is untouched and still meets the new, smaller
+// guarantee.
+func (p *Plan) Repair(v perm.Code) (RepairReport, error) {
+	rep := RepairReport{Block: -1, OldLen: len(p.res.Ring)}
+	if p.broken {
+		return rep, ErrPlanBroken
+	}
+	if p.fs.HasVertex(v) {
+		rep.Outcome = RepairNoop
+		rep.NewLen = rep.OldLen
+		return rep, nil
+	}
+	n := p.e.n
+	nv, ne := p.fs.NumVertices(), p.fs.NumEdges()
+	if nv+1+ne > faults.MaxTolerated(n) && !p.e.cfg.BestEffort {
+		return rep, fmt.Errorf("%w: |Fv|=%d, |Fe|=%d, n=%d", ErrBudget, nv+1, ne, n)
+	}
+	if err := p.fs.AddVertex(v); err != nil {
+		return rep, err
+	}
+	p.res.VertexFaults++
+	p.res.Guarantee = perm.Factorial(n) - 2*p.res.VertexFaults
+	p.res.Guaranteed = p.res.VertexFaults+p.res.EdgeFaults <= faults.MaxTolerated(n)
+	p.res.UpperBound = check.BipartiteUpperBound(n, p.fs)
+
+	in := newInstr(p.e.cfg.Obs)
+	defer in.finish()
+
+	if !p.OnRing(v) {
+		// A spare died: the ring never visited it, so it is still healthy
+		// and its unchanged length still meets the reduced guarantee.
+		in.repair("avoided")
+		rep.Outcome = RepairAvoided
+		rep.NewLen = rep.OldLen
+		return rep, nil
+	}
+
+	if k, ok := p.spliceTarget(v); ok {
+		span := in.span("core.phase.repair_splice")
+		err := p.splice(k, v)
+		span.End()
+		if err == nil {
+			in.repair("splices")
+			rep.Outcome = RepairSplice
+			rep.Block = k
+			rep.SegmentStart = p.offsets[k]
+			rep.SegmentOldLen = p.offsets[k+1] - p.offsets[k] + 2
+			rep.NewLen = len(p.res.Ring)
+			rep.BlocksRerouted = 1
+			return rep, nil
+		}
+		// Lemma 4 covers the strict regime, so a failed splice should
+		// only happen under BestEffort degradation; fall through.
+	}
+
+	span := in.span("core.phase.repair_rebuild")
+	err := p.rebuild()
+	span.End()
+	if err != nil {
+		return rep, err
+	}
+	in.repair("rebuilds")
+	rep.Outcome = RepairRebuild
+	rep.NewLen = len(p.res.Ring)
+	rep.BlocksRerouted = p.res.Blocks
+	return rep, nil
+}
+
+// CanSplice reports whether a failure of v would take the splice fast
+// path, without mutating the plan. (Off-ring and already-faulty vertices
+// report false: those repairs never re-route anything.)
+func (p *Plan) CanSplice(v perm.Code) bool {
+	if p.broken || p.fs.HasVertex(v) || !p.OnRing(v) {
+		return false
+	}
+	_, ok := p.spliceTarget(v)
+	return ok
+}
+
+// spliceTarget re-checks the skeleton invariants incrementally for a
+// fault at v and returns the block to re-route when they all hold:
+//
+//   - the block was fault-free, so it gains its first fault and (P1) —
+//     hence the Lemma 2 separation — survives;
+//   - v is not the block's entry or exit junction endpoint, and the two
+//     neighbor blocks carry no faults, so the Lemma 3 spread/healthy-
+//     junction discipline ((P3)) survives;
+//   - the block's current path is long enough to shed two vertices.
+func (p *Plan) spliceTarget(v perm.Code) (int, bool) {
+	if p.r4 == nil {
+		return -1, false
+	}
+	k, ok := p.blockOf(v)
+	if !ok {
+		return -1, false
+	}
+	pb := p.blocks[k]
+	if len(pb.avoidV) != 0 || len(pb.avoidE) != 0 {
+		return -1, false
+	}
+	if v == pb.entry || v == pb.exit {
+		return -1, false
+	}
+	m := len(p.blocks)
+	for _, j := range [2]int{(k - 1 + m) % m, (k + 1) % m} {
+		if j == k {
+			continue
+		}
+		nb := p.blocks[j]
+		if len(nb.avoidV) != 0 || len(nb.avoidE) != 0 {
+			return -1, false
+		}
+	}
+	if pb.length < 4 {
+		return -1, false
+	}
+	return k, true
+}
+
+// splice re-routes block k around its new fault v — Lemma 4 guarantees a
+// path two vertices shorter between the unchanged entry and exit — and
+// splices the segment into the ring in place. Only the new segment is
+// verified: the junction edges are untouched (same healthy endpoints,
+// and Repair adds no edge faults) and every other segment is unchanged.
+func (p *Plan) splice(k int, v perm.Code) error {
+	pb := p.blocks[k]
+	target := pb.length - 2
+	path, ok := pb.block.Path(pathsearch.PathSpec{
+		From: pb.entry, To: pb.exit,
+		AvoidV: []perm.Code{v}, AvoidE: pb.avoidE,
+		Target: target,
+	})
+	if !ok {
+		return fmt.Errorf("core: block %d admits no %d-vertex detour around the new fault", k, target)
+	}
+	if err := check.Path(p.e.g, path, p.fs); err != nil {
+		return fmt.Errorf("core: repair splice self-check: %w", err)
+	}
+
+	ring := p.res.Ring
+	start, oldEnd := p.offsets[k], p.offsets[k+1]
+	delta := (oldEnd - start) - len(path)
+	copy(ring[start:], path)
+	copy(ring[start+len(path):], ring[oldEnd:])
+	p.res.Ring = ring[:len(ring)-delta]
+	for j := k + 1; j < len(p.offsets); j++ {
+		p.offsets[j] -= delta
+	}
+	pb.avoidV = append(pb.avoidV, v)
+	pb.length = target
+	p.res.FaultyBlocks++
+
+	if p.e.cfg.VerifyRepairs {
+		minLen := 0
+		if p.res.Guaranteed {
+			minLen = p.res.Guarantee
+		}
+		if err := check.Ring(p.e.g, p.res.Ring, p.fs, minLen); err != nil {
+			// The splice is already applied; the rebuild fallback replaces
+			// the whole plan, so the inconsistent state cannot leak.
+			return fmt.Errorf("core: repair verification failed: %w", err)
+		}
+	}
+	return nil
+}
+
+// rebuild replaces the plan with a cold embedding of the accumulated
+// fault set. On failure the plan is poisoned: its ring predates the
+// fault that triggered the rebuild.
+func (p *Plan) rebuild() error {
+	np, err := p.e.Embed(p.fs)
+	if err != nil {
+		p.broken = true
+		return err
+	}
+	*p = *np
+	return nil
+}

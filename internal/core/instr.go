@@ -70,6 +70,17 @@ func (in *instr) finish() {
 	in.hits0, in.misses0, in.bypasses0 = h, m, b
 }
 
+// repair bumps one of the repair-outcome counters
+// (core.repair.{splices,rebuilds,avoided}). Resolved lazily: repairs are
+// rare next to block routing, and plain embedding runs then never
+// materialize the repair counters in their snapshots.
+func (in *instr) repair(outcome string) {
+	if in == nil {
+		return
+	}
+	in.reg.Counter("core.repair." + outcome).Inc()
+}
+
 func (in *instr) junctionBacktrack() {
 	if in == nil {
 		return

@@ -31,6 +31,16 @@ type junction struct {
 	u, w perm.Code
 }
 
+// routed is the materialized outcome of one RouteR4 run: the ring plus
+// the per-block state (entry/exit junctions, achieved lengths) and the
+// block-to-ring-segment offsets. Plan keeps it alive so Repair can
+// re-route a single block and splice its segment in place.
+type routed struct {
+	ring    []perm.Code
+	plans   []*blockPlan
+	offsets []int // block k occupies ring[offsets[k]:offsets[k+1]]
+}
+
 // RouteR4 is the executable Lemma 7: given an R4 with (P1)(P2)(P3), it
 // selects a healthy junction edge across every superedge and threads a
 // healthy path of the per-block target length through every block,
@@ -44,7 +54,11 @@ type junction struct {
 // routes its own R4 variants through the same engine; library users
 // should call Embed.
 func RouteR4(r4 *superring.Ring, fs *faults.Set, targetsFor func(int) []int, cfg Config) ([]perm.Code, error) {
-	return routeR4x(r4, fs, func(_, vf int) []int { return targetsFor(vf) }, nil, cfg, newInstr(cfg.Obs))
+	rt, err := routeR4x(r4, fs, func(_, vf int) []int { return targetsFor(vf) }, nil, cfg, newInstr(cfg.Obs))
+	if err != nil {
+		return nil, err
+	}
+	return rt.ring, nil
 }
 
 // routeR4x is RouteR4 with two extra degrees of freedom used by the
@@ -52,7 +66,7 @@ func RouteR4(r4 *superring.Ring, fs *faults.Set, targetsFor func(int) []int, cfg
 // exitParity is non-nil, a forced partite side for every block's exit
 // vertex (which pins the global parity chain that odd-length block
 // paths require).
-func routeR4x(r4 *superring.Ring, fs *faults.Set, targetsFor func(blockIdx, vf int) []int, exitParity []int, cfg Config, in *instr) ([]perm.Code, error) {
+func routeR4x(r4 *superring.Ring, fs *faults.Set, targetsFor func(blockIdx, vf int) []int, exitParity []int, cfg Config, in *instr) (*routed, error) {
 	m := r4.Len()
 	plans := make([]*blockPlan, m)
 	for k := 0; k < m; k++ {
@@ -99,7 +113,11 @@ func routeR4x(r4 *superring.Ring, fs *faults.Set, targetsFor func(blockIdx, vf i
 	if err != nil {
 		return nil, err
 	}
-	return assemble(plans, cfg, in)
+	ring, offsets, err := assemble(plans, cfg, in)
+	if err != nil {
+		return nil, err
+	}
+	return &routed{ring: ring, plans: plans, offsets: offsets}, nil
 }
 
 // chooseJunctions assigns one junction per superedge such that every
@@ -177,10 +195,11 @@ func chooseJunctions(plans []*blockPlan, cands [][]junction, in *instr) error {
 }
 
 // assemble materializes every block path and concatenates them into the
-// ring. Path extraction per block is independent given the junctions, so
-// it is fanned out over a worker pool; results land directly in their
+// ring, returning the ring and the per-block segment offsets. Path
+// extraction per block is independent given the junctions, so it is
+// fanned out over a worker pool; results land directly in their
 // precomputed segment of the output slice.
-func assemble(plans []*blockPlan, cfg Config, in *instr) ([]perm.Code, error) {
+func assemble(plans []*blockPlan, cfg Config, in *instr) ([]perm.Code, []int, error) {
 	m := len(plans)
 	offsets := make([]int, m+1)
 	for k, p := range plans {
@@ -236,7 +255,7 @@ func assemble(plans []*blockPlan, cfg Config, in *instr) ([]perm.Code, error) {
 	wg.Wait()
 	in.routeDone(workers, busyNS, rspan.End())
 	if outErr != nil {
-		return nil, outErr
+		return nil, nil, outErr
 	}
-	return ring, nil
+	return ring, offsets, nil
 }

@@ -67,7 +67,8 @@ func routeChain(chain *superring.Chain, fs *faults.Set, s, t perm.Code, cfg Conf
 			p.targets = chainTargets(k == odd, len(p.avoidV), cfg.BestEffort)
 		}
 		if err := chooseChainJunctions(plans, cands, s, t); err == nil {
-			return assemble(plans, cfg, in)
+			path, _, err := assemble(plans, cfg, in)
+			return path, err
 		}
 	}
 	return nil, fmt.Errorf("core: no odd-block designation routes the chain (s, t %v-parity)", needOdd)

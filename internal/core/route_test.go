@@ -90,10 +90,11 @@ func TestRouteR4ParityFilter(t *testing.T) {
 	// Derive a consistent plan: pick exits all parity 0; then entries
 	// are parity 1, and 24-vertex blocks connect parity-1 entries to
 	// parity-0 exits — consistent.
-	ring, err := routeR4x(r4, fs, func(_, vf int) []int { return []int{blockOrder - 2*vf} }, exitParity, Config{}, nil)
+	rt, err := routeR4x(r4, fs, func(_, vf int) []int { return []int{blockOrder - 2*vf} }, exitParity, Config{}, nil)
 	if err != nil {
 		t.Fatal(err)
 	}
+	ring := rt.ring
 	if len(ring) != perm.Factorial(n) {
 		t.Fatalf("ring %d", len(ring))
 	}
@@ -255,8 +256,8 @@ func TestSuperRingReuseAcrossRouters(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if len(opp) <= len(plain) {
-		t.Fatalf("opportunistic %d <= plain %d", len(opp), len(plain))
+	if len(opp.ring) <= len(plain) {
+		t.Fatalf("opportunistic %d <= plain %d", len(opp.ring), len(plain))
 	}
 	for i, p := range r4.Vertices() {
 		if p != snapshot[i] {

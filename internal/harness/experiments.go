@@ -54,15 +54,15 @@ func T1(cfg SweepConfig) ([]*Table, error) {
 	}
 	// Exhaustive: S4 with every single fault; S5 with every fault pair
 	// (its complete budget); S6 with every single fault.
-	if err := t1Exhaustive(t, 4, 1); err != nil {
+	if err := t1Exhaustive(t, 4, 1, cfg.Obs); err != nil {
 		return nil, err
 	}
 	for k := 1; k <= 2; k++ {
-		if err := t1Exhaustive(t, 5, k); err != nil {
+		if err := t1Exhaustive(t, 5, k, cfg.Obs); err != nil {
 			return nil, err
 		}
 	}
-	if err := t1Exhaustive(t, 6, 1); err != nil {
+	if err := t1Exhaustive(t, 6, 1, cfg.Obs); err != nil {
 		return nil, err
 	}
 	for n := 6; n <= cfg.MaxN; n++ {
@@ -79,7 +79,7 @@ func T1(cfg SweepConfig) ([]*Table, error) {
 					if err != nil {
 						return nil, fmt.Errorf("n=%d k=%d %s: %w", n, k, d.name, err)
 					}
-					res, err := core.Embed(n, fs, core.Config{})
+					res, err := core.Embed(n, fs, core.Config{Obs: cfg.Obs})
 					if err != nil {
 						return nil, fmt.Errorf("n=%d k=%d %s: %w", n, k, d.name, err)
 					}
@@ -102,7 +102,7 @@ func T1(cfg SweepConfig) ([]*Table, error) {
 
 // t1Exhaustive sweeps every k-subset of vertex faults in S_n (only
 // sensible for tiny n).
-func t1Exhaustive(t *Table, n, k int) error {
+func t1Exhaustive(t *Table, n, k int, reg *obs.Registry) error {
 	total := perm.Factorial(n)
 	want := total - 2*k
 	minLen, maxLen, trials := 1<<62, 0, 0
@@ -115,7 +115,7 @@ func t1Exhaustive(t *Table, n, k int) error {
 					return err
 				}
 			}
-			res, err := core.Embed(n, fs, core.Config{})
+			res, err := core.Embed(n, fs, core.Config{Obs: reg})
 			if err != nil {
 				return fmt.Errorf("exhaustive n=%d %v: %w", n, picked, err)
 			}
@@ -180,7 +180,7 @@ func T2(cfg SweepConfig) ([]*Table, error) {
 		k := faults.MaxTolerated(n)
 		rng := rand.New(rand.NewSource(int64(n)))
 		fs := faults.SamePartiteVertices(n, k, 0, rng)
-		res, err := core.Embed(n, fs, core.Config{})
+		res, err := core.Embed(n, fs, core.Config{Obs: cfg.Obs})
 		if err != nil {
 			return nil, err
 		}
@@ -210,11 +210,11 @@ func T3(cfg SweepConfig) ([]*Table, error) {
 			for seed := 0; seed < cfg.Seeds; seed++ {
 				rng := rand.New(rand.NewSource(int64(31*seed + n*1000 + k)))
 				fs := faults.RandomVertices(n, k, rng)
-				p, err := core.Embed(n, fs, core.Config{})
+				p, err := core.Embed(n, fs, core.Config{Obs: cfg.Obs})
 				if err != nil {
 					return nil, err
 				}
-				q, err := baseline.Tseng(n, fs, core.Config{})
+				q, err := baseline.Tseng(n, fs, core.Config{Obs: cfg.Obs})
 				if err != nil {
 					return nil, err
 				}
@@ -261,11 +261,11 @@ func T4(cfg SweepConfig) ([]*Table, error) {
 			if err != nil {
 				return nil, err
 			}
-			p, err := core.Embed(n, fs, core.Config{})
+			p, err := core.Embed(n, fs, core.Config{Obs: cfg.Obs})
 			if err != nil {
 				return nil, err
 			}
-			q, err := baseline.Latifi(n, fs, core.Config{})
+			q, err := baseline.Latifi(n, fs, core.Config{Obs: cfg.Obs})
 			if err != nil {
 				return nil, err
 			}
@@ -297,7 +297,7 @@ func T5(cfg SweepConfig) ([]*Table, error) {
 			for seed := 0; seed < cfg.Seeds; seed++ {
 				rng := rand.New(rand.NewSource(int64(17*seed + n*100 + k)))
 				fs := faults.RandomEdges(n, k, rng)
-				res, err := core.Embed(n, fs, core.Config{})
+				res, err := core.Embed(n, fs, core.Config{Obs: cfg.Obs})
 				if err != nil {
 					return nil, fmt.Errorf("T5 n=%d k=%d: %w", n, k, err)
 				}
@@ -332,7 +332,7 @@ func T6(cfg SweepConfig) ([]*Table, error) {
 			for seed := 0; seed < cfg.Seeds; seed++ {
 				rng := rand.New(rand.NewSource(int64(13*seed + n*50 + kv)))
 				fs := faults.Mixed(n, kv, ke, rng)
-				res, err := core.Embed(n, fs, core.Config{})
+				res, err := core.Embed(n, fs, core.Config{Obs: cfg.Obs})
 				if err != nil {
 					return nil, fmt.Errorf("T6 n=%d kv=%d ke=%d: %w", n, kv, ke, err)
 				}
@@ -374,18 +374,18 @@ func F1(cfg SweepConfig) ([]*Table, error) {
 		for seed := 0; seed < cfg.Seeds; seed++ {
 			rng := rand.New(rand.NewSource(int64(97*seed + k)))
 			fs := faults.RandomVertices(n, k, rng)
-			p, err := core.Embed(n, fs, core.Config{})
+			p, err := core.Embed(n, fs, core.Config{Obs: cfg.Obs})
 			if err != nil {
 				return nil, err
 			}
 			sumP += float64(p.Len())
-			q, err := baseline.Tseng(n, fs, core.Config{})
+			q, err := baseline.Tseng(n, fs, core.Config{Obs: cfg.Obs})
 			if err != nil {
 				return nil, err
 			}
 			sumT += float64(len(q.Ring))
 			if k > 0 {
-				if l, err := baseline.Latifi(n, fs, core.Config{}); err == nil {
+				if l, err := baseline.Latifi(n, fs, core.Config{Obs: cfg.Obs}); err == nil {
 					sumL += float64(len(l.Ring))
 					latifiOK++
 				}
@@ -470,11 +470,11 @@ func F3(cfg SweepConfig) ([]*Table, error) {
 				}
 			}
 		}
-		res, err := core.Embed(n, fs, core.Config{})
+		res, err := core.Embed(n, fs, core.Config{Obs: cfg.Obs})
 		if err != nil {
 			return nil, err
 		}
-		opp, err := core.Embed(n, fs, core.Config{Opportunistic: true})
+		opp, err := core.Embed(n, fs, core.Config{Opportunistic: true, Obs: cfg.Obs})
 		if err != nil {
 			return nil, err
 		}
@@ -524,7 +524,7 @@ func F4(cfg SweepConfig) ([]*Table, error) {
 						break
 					}
 				}
-				res, err := core.EmbedPath(n, fs, s, tt, core.Config{})
+				res, err := core.EmbedPath(n, fs, s, tt, core.Config{Obs: cfg.Obs})
 				if err != nil {
 					return nil, fmt.Errorf("F4 k=%d seed=%d: %w", k, seed, err)
 				}
@@ -554,10 +554,11 @@ func F5(cfg SweepConfig) ([]*Table, error) {
 		ID:    "F5",
 		Title: "Operational campaign (internal/sim): availability under failures",
 		Caption: "Each row is a deterministic campaign: work laps interleaved with on-ring " +
-			"failures and online re-embedding (re-embed cost: 4 ticks/block). Within the " +
-			"budget every failure costs exactly 2 ring slots (guarantee column); beyond it " +
-			"the machine continues best-effort.",
-		Headers: []string{"n", "failures", "laps", "final ring", "availability", "reembeds", "guarantee held"},
+			"failures and online repair (4 ticks per re-routed block). Failures absorbed by " +
+			"the splice fast path re-route one block; only skeleton-invalidating failures " +
+			"pay for a full re-embedding. Within the budget every failure costs exactly 2 " +
+			"ring slots (guarantee column); beyond it the machine continues best-effort.",
+		Headers: []string{"n", "failures", "laps", "final ring", "availability", "splices", "reembeds", "guarantee held"},
 	}
 	for _, n := range []int{5, 6, 7} {
 		if n > cfg.MaxN {
@@ -571,6 +572,7 @@ func F5(cfg SweepConfig) ([]*Table, error) {
 					HopCost:             1,
 					ReembedCostPerBlock: 4,
 					Embed:               core.Config{BestEffort: true},
+					Obs:                 cfg.Obs,
 				},
 				Failures:    failures,
 				LapsBetween: 2,
@@ -587,7 +589,7 @@ func F5(cfg SweepConfig) ([]*Table, error) {
 				held = "n/a (beyond budget)"
 			}
 			t.AddRow(n, failures, rep.Laps, rep.FinalRing,
-				fmt.Sprintf("%.2f%%", 100*rep.Availability), rep.Reembeds, held)
+				fmt.Sprintf("%.2f%%", 100*rep.Availability), rep.Splices, rep.Reembeds, held)
 		}
 	}
 	return []*Table{t}, nil
@@ -720,7 +722,7 @@ func F6(cfg SweepConfig) ([]*Table, error) {
 			for seed := 0; seed < cfg.Seeds; seed++ {
 				rng := rand.New(rand.NewSource(int64(7*seed + 100*n + ke)))
 				fs := faults.RandomEdges(n, ke, rng)
-				res, err := core.Embed(n, fs, core.Config{BestEffort: true})
+				res, err := core.Embed(n, fs, core.Config{BestEffort: true, Obs: cfg.Obs})
 				if err != nil {
 					return nil, fmt.Errorf("F6 n=%d ke=%d seed=%d: %w", n, ke, seed, err)
 				}
@@ -734,6 +736,90 @@ func F6(cfg SweepConfig) ([]*Table, error) {
 			t.AddRow(n, ke, budget, cfg.Seeds,
 				fmt.Sprintf("%d/%d", ham, cfg.Seeds), minLen, perm.Factorial(n))
 		}
+	}
+	return []*Table{t}, nil
+}
+
+// F7 measures the incremental repair engine: seeded campaigns of
+// random on-ring failures drive core.Plan.Repair, timing every repair
+// and classifying it as a splice (one 24-vertex block re-routed and
+// spliced in place) or a full rebuild, then timing a cold core.Embed
+// of the same final fault set for reference. The speedup column is the
+// headline claim of the Plan/Repair pipeline: the splice fast path is
+// orders of magnitude cheaper than cold embedding because it searches
+// one S_4 block instead of re-running the whole n! pipeline.
+func F7(cfg SweepConfig) ([]*Table, error) {
+	t := &Table{
+		ID:    "F7",
+		Title: "Repair latency: splice fast path vs full rebuild vs cold embedding",
+		Caption: "Seeded campaigns fail random on-ring processors up to the budget n-3; every " +
+			"repaired ring is re-checked against n!-2|Fv|. 'cold' is a fresh Embed of the " +
+			"final fault set; 'splice speedup' is mean cold / mean splice ('n/a' when no " +
+			"splice occurred or under a zero-width test clock). Splices win by roughly the " +
+			"n!/24 block ratio; rebuilds cost a full cold embedding.",
+		Headers: []string{"n", "blocks", "repairs", "splices", "rebuilds",
+			"mean splice", "mean rebuild", "mean cold", "splice speedup"},
+	}
+	clock := cfg.clock()
+	for n := 5; n <= cfg.MaxN; n++ {
+		var spliceTime, rebuildTime, coldTime time.Duration
+		repairs, splices, rebuilds := 0, 0, 0
+		blocks := perm.Factorial(n) / pathsearch.BlockOrder
+		for seed := 0; seed < cfg.Seeds; seed++ {
+			e, err := core.NewEmbedder(n, core.Config{Obs: cfg.Obs})
+			if err != nil {
+				return nil, err
+			}
+			p, err := e.Embed(nil)
+			if err != nil {
+				return nil, fmt.Errorf("F7 n=%d seed=%d: %w", n, seed, err)
+			}
+			rng := rand.New(rand.NewSource(int64(23*seed + 1000*n)))
+			for i := 0; i < faults.MaxTolerated(n); i++ {
+				v := p.RingAt(rng.Intn(p.RingLen()))
+				start := clock.Now()
+				rep, err := p.Repair(v)
+				d := obs.Since(clock, start)
+				if err != nil {
+					return nil, fmt.Errorf("F7 n=%d seed=%d fault %d: %w", n, seed, i, err)
+				}
+				repairs++
+				switch rep.Outcome {
+				case core.RepairSplice:
+					splices++
+					spliceTime += d
+				case core.RepairRebuild:
+					rebuilds++
+					rebuildTime += d
+				}
+				res := p.Result()
+				if !res.Guaranteed || res.Len() < res.Guarantee {
+					return nil, fmt.Errorf("F7 n=%d seed=%d: repaired ring %d under guarantee %d",
+						n, seed, res.Len(), res.Guarantee)
+				}
+			}
+			start := clock.Now()
+			if _, err := core.Embed(n, p.Faults(), core.Config{Obs: cfg.Obs}); err != nil {
+				return nil, fmt.Errorf("F7 n=%d seed=%d: cold embed of final fault set: %w",
+					n, seed, err)
+			}
+			coldTime += obs.Since(clock, start)
+		}
+		mean := func(total time.Duration, count int) (time.Duration, string) {
+			if count == 0 {
+				return 0, "n/a"
+			}
+			m := total / time.Duration(count)
+			return m, m.Round(time.Microsecond).String()
+		}
+		meanSplice, spliceStr := mean(spliceTime, splices)
+		_, rebuildStr := mean(rebuildTime, rebuilds)
+		meanCold, coldStr := mean(coldTime, cfg.Seeds)
+		speedup := "n/a"
+		if splices > 0 && meanSplice > 0 {
+			speedup = fmt.Sprintf("%.0fx", float64(meanCold)/float64(meanSplice))
+		}
+		t.AddRow(n, blocks, repairs, splices, rebuilds, spliceStr, rebuildStr, coldStr, speedup)
 	}
 	return []*Table{t}, nil
 }

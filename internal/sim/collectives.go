@@ -24,7 +24,7 @@ var ErrNotParticipant = errors.New("sim: processor is not on the current ring")
 // unknown entries are an error.
 func (m *Machine) AllReduce(data map[perm.Code]int) (int, error) {
 	for v := range data {
-		if _, ok := m.index[v]; !ok {
+		if !m.plan.OnRing(v) {
 			return 0, fmt.Errorf("%w: %s", ErrNotParticipant, v.StringN(m.cfg.N))
 		}
 	}
@@ -55,7 +55,7 @@ func (m *Machine) Broadcast() (int, error) {
 // algorithms. One lap of hops.
 func (m *Machine) PrefixSums(data map[perm.Code]int) (map[perm.Code]int, error) {
 	for v := range data {
-		if _, ok := m.index[v]; !ok {
+		if !m.plan.OnRing(v) {
 			return nil, fmt.Errorf("%w: %s", ErrNotParticipant, v.StringN(m.cfg.N))
 		}
 	}

@@ -32,10 +32,18 @@ func TestCampaignObsAccounting(t *testing.T) {
 		plain.FinalRing != instrumented.FinalRing {
 		t.Errorf("instrumentation perturbed the simulation: %+v vs %+v", plain, instrumented)
 	}
-	// One boot embedding plus one re-embedding per on-ring failure.
+	// One boot embedding plus one full re-embedding per rebuild repair;
+	// splices never run the cold pipeline.
 	wantEmbeds := int64(1 + instrumented.Reembeds)
 	if got := reg.Counter("sim.embeds").Value(); got != wantEmbeds {
 		t.Errorf("sim.embeds = %d, want %d", got, wantEmbeds)
+	}
+	if got := reg.Counter("sim.splices").Value(); got != int64(instrumented.Splices) {
+		t.Errorf("sim.splices = %d, want %d", got, instrumented.Splices)
+	}
+	if instrumented.Splices+instrumented.Reembeds != cfg.Failures {
+		t.Errorf("splices %d + reembeds %d != %d on-ring failures",
+			instrumented.Splices, instrumented.Reembeds, cfg.Failures)
 	}
 	if got := reg.Counter("sim.failures").Value(); got != int64(cfg.Failures) {
 		t.Errorf("sim.failures = %d, want %d", got, cfg.Failures)
@@ -43,14 +51,24 @@ func TestCampaignObsAccounting(t *testing.T) {
 	if got := reg.Gauge("sim.ring_length").Value(); got != int64(instrumented.FinalRing) {
 		t.Errorf("sim.ring_length = %d, want %d", got, instrumented.FinalRing)
 	}
-	if got := reg.Histogram("sim.phase.reembed").Stats().Count; got != wantEmbeds {
-		t.Errorf("sim.phase.reembed count = %d, want %d", got, wantEmbeds)
+	// The boot embedding is the only sim.phase.reembed span; online
+	// failures are timed under sim.phase.repair instead.
+	if got := reg.Histogram("sim.phase.reembed").Stats().Count; got != 1 {
+		t.Errorf("sim.phase.reembed count = %d, want 1", got)
+	}
+	if got := reg.Histogram("sim.phase.repair").Stats().Count; got != int64(cfg.Failures) {
+		t.Errorf("sim.phase.repair count = %d, want %d", got, cfg.Failures)
 	}
 	if got := reg.Counter("sim.token_lost").Value(); got != int64(instrumented.TokenLost) {
 		t.Errorf("sim.token_lost = %d, want %d", got, instrumented.TokenLost)
 	}
-	// The embedder inherited the registry through Config.Embed.
+	// The embedder inherited the registry through Config.Embed: the cold
+	// pipeline ran for the boot and every rebuild, and the repair
+	// counters account for every splice.
 	if reg.Histogram("core.phase.total").Stats().Count != wantEmbeds {
 		t.Error("core phases not threaded through sim.Config.Embed")
+	}
+	if got := reg.Counter("core.repair.splices").Value(); got != int64(instrumented.Splices) {
+		t.Errorf("core.repair.splices = %d, want %d", got, instrumented.Splices)
 	}
 }

@@ -3,14 +3,17 @@
 // embedded ring. It executes ring protocols hop by hop on the physical
 // topology (every hop is checked against real star-graph adjacency and
 // the live fault set), injects fail-stop vertex faults at runtime, and
-// re-embeds the ring online using the paper's algorithm — accounting
-// for the downtime each re-embedding costs.
+// repairs the ring online through the paper's algorithm — accounting
+// for the downtime each repair costs.
 //
 // The simulator is the operational counterpart of the paper's
 // motivation: a ring-structured computation that keeps running as
 // processors die, paying exactly two ring slots per failure while the
-// fault budget lasts. It backs the examples and the failure-injection
-// tests.
+// fault budget lasts. The machine holds a core.Embedder and a live
+// core.Plan: most failures are absorbed by Plan.Repair's splice fast
+// path (one block re-routed, downtime charged for one block), and only
+// skeleton-invalidating failures pay for a full re-embedding. It backs
+// the examples and the failure-injection tests.
 package sim
 
 import (
@@ -18,7 +21,6 @@ import (
 	"fmt"
 
 	"repro/internal/core"
-	"repro/internal/faults"
 	"repro/internal/obs"
 	"repro/internal/perm"
 	"repro/internal/star"
@@ -32,14 +34,16 @@ type Config struct {
 	// link; 0 means 1.
 	HopCost int64
 	// ReembedCostPerBlock models the scheduler recomputing the
-	// embedding: ticks per R4 block (n!/24 blocks); 0 means 1.
+	// embedding: ticks per R4 block actually re-routed — one for a
+	// repair splice, all n!/24 for a full re-embedding; 0 means 1.
 	ReembedCostPerBlock int64
 	// Embed configures the underlying embedder. BestEffort additionally
 	// lets the machine outlive its formal fault budget.
 	Embed core.Config
-	// Obs receives campaign accounting (sim.embeds, sim.failures,
-	// sim.token_lost counters, the sim.ring_length gauge and
-	// sim.phase.reembed spans). When Embed.Obs is unset it inherits
+	// Obs receives campaign accounting (sim.embeds, sim.splices,
+	// sim.failures, sim.token_lost counters, the sim.ring_length gauge,
+	// sim.phase.reembed spans around cold embeddings and sim.phase.repair
+	// spans around online repairs). When Embed.Obs is unset it inherits
 	// this registry. Instrumentation never feeds back into the
 	// simulation, so determinism in (config, seed) is preserved.
 	Obs *obs.Registry
@@ -47,14 +51,17 @@ type Config struct {
 
 // Stats accumulates over a machine's lifetime.
 type Stats struct {
-	Hops      int64 // physical link traversals
-	Laps      int64 // completed ring circulations
-	Reembeds  int   // ring reconstructions triggered by failures
-	Downtime  int64 // ticks spent re-embedding
+	Hops     int64 // physical link traversals
+	Laps     int64 // completed ring circulations
+	Reembeds int   // full ring reconstructions triggered by failures
+	// Splices counts failures absorbed by the repair fast path: one
+	// block re-routed and spliced, the rest of the ring untouched.
+	Splices   int
+	Downtime  int64 // ticks spent repairing or re-embedding
 	Uptime    int64 // ticks spent moving the token
 	TokenLost int   // failures that hit the current token holder
 	// RingLengths records the ring length after the initial embedding
-	// and after every re-embedding.
+	// and after every ring-changing repair (splice or rebuild).
 	RingLengths []int
 }
 
@@ -62,10 +69,9 @@ type Stats struct {
 type Machine struct {
 	cfg   Config
 	g     star.Graph
-	fs    *faults.Set
-	ring  []perm.Code
-	index map[perm.Code]int // ring position per vertex
-	token int               // ring position of the token holder
+	eng   *core.Embedder
+	plan  *core.Plan
+	token int // ring position of the token holder
 	clock int64
 	stats Stats
 }
@@ -84,16 +90,36 @@ func New(cfg Config) (*Machine, error) {
 	if cfg.Embed.Obs == nil {
 		cfg.Embed.Obs = cfg.Obs
 	}
-	m := &Machine{
-		cfg: cfg,
-		g:   star.New(cfg.N),
-		fs:  faults.NewSet(cfg.N),
+	eng, err := core.NewEmbedder(cfg.N, cfg.Embed)
+	if err != nil {
+		return nil, fmt.Errorf("sim: %w", err)
 	}
-	if err := m.reembed(); err != nil {
-		return nil, err
+	m := &Machine{cfg: cfg, g: star.New(cfg.N), eng: eng}
+
+	span := cfg.Obs.Span("sim.phase.reembed")
+	plan, err := eng.Embed(nil)
+	span.End()
+	if err != nil {
+		return nil, fmt.Errorf("%w: %v", ErrHalted, err)
 	}
-	m.stats.Reembeds = 0 // the boot embedding is not a re-embedding
+	m.plan = plan
+	cfg.Obs.Counter("sim.embeds").Inc()
+	m.chargeRepair(plan.Result().Blocks)
 	return m, nil
+}
+
+// chargeRepair charges downtime for re-routing the given number of
+// blocks (at least one) and records the resulting ring length.
+func (m *Machine) chargeRepair(blocks int) {
+	if blocks < 1 {
+		blocks = 1
+	}
+	cost := m.cfg.ReembedCostPerBlock * int64(blocks)
+	m.clock += cost
+	m.stats.Downtime += cost
+	length := m.plan.RingLen()
+	m.cfg.Obs.Gauge("sim.ring_length").Set(int64(length))
+	m.stats.RingLengths = append(m.stats.RingLengths, length)
 }
 
 // Clock returns the current simulated time in ticks.
@@ -103,57 +129,33 @@ func (m *Machine) Clock() int64 { return m.clock }
 func (m *Machine) Stats() Stats { return m.stats }
 
 // RingLength returns the current ring length.
-func (m *Machine) RingLength() int { return len(m.ring) }
+func (m *Machine) RingLength() int { return m.plan.RingLen() }
 
-// Ring returns the current embedded ring; callers must not modify it.
-func (m *Machine) Ring() []perm.Code { return m.ring }
+// Ring returns a copy of the current embedded ring; mutating it cannot
+// affect the machine.
+func (m *Machine) Ring() []perm.Code { return m.plan.Ring() }
+
+// Plan exposes the machine's live embedding plan (read-only use; drive
+// faults through FailVertex so the accounting stays consistent).
+func (m *Machine) Plan() *core.Plan { return m.plan }
 
 // Faults returns the number of failed processors so far.
-func (m *Machine) Faults() int { return m.fs.NumVertices() }
+func (m *Machine) Faults() int { return m.plan.Result().VertexFaults }
 
 // TokenHolder returns the processor currently holding the token.
-func (m *Machine) TokenHolder() perm.Code { return m.ring[m.token] }
-
-// reembed recomputes the ring for the current fault set and charges the
-// downtime. The token restarts at ring position 0.
-func (m *Machine) reembed() error {
-	span := m.cfg.Obs.Span("sim.phase.reembed")
-	res, err := core.Embed(m.cfg.N, m.fs, m.cfg.Embed)
-	span.End()
-	if err != nil {
-		return fmt.Errorf("%w: %v", ErrHalted, err)
-	}
-	m.cfg.Obs.Counter("sim.embeds").Inc()
-	m.cfg.Obs.Gauge("sim.ring_length").Set(int64(len(res.Ring)))
-	m.ring = res.Ring
-	m.index = make(map[perm.Code]int, len(res.Ring))
-	for i, v := range res.Ring {
-		m.index[v] = i
-	}
-	m.token = 0
-	blocks := res.Blocks
-	if blocks == 0 {
-		blocks = 1
-	}
-	cost := m.cfg.ReembedCostPerBlock * int64(blocks)
-	m.clock += cost
-	m.stats.Downtime += cost
-	m.stats.Reembeds++
-	m.stats.RingLengths = append(m.stats.RingLengths, len(res.Ring))
-	return nil
-}
+func (m *Machine) TokenHolder() perm.Code { return m.plan.RingAt(m.token) }
 
 // Step moves the token to the next processor on the ring, validating
 // the hop against the physical topology and the live fault set.
 func (m *Machine) Step() error {
-	from := m.ring[m.token]
-	next := (m.token + 1) % len(m.ring)
-	to := m.ring[next]
+	from := m.plan.RingAt(m.token)
+	next := (m.token + 1) % m.plan.RingLen()
+	to := m.plan.RingAt(next)
 	if !m.g.Adjacent(from, to) {
 		return fmt.Errorf("sim: internal: ring hop %s -> %s is not a physical link",
 			from.StringN(m.cfg.N), to.StringN(m.cfg.N))
 	}
-	if m.fs.HasVertex(from) || m.fs.HasVertex(to) {
+	if m.plan.Faulty(from) || m.plan.Faulty(to) {
 		return fmt.Errorf("sim: internal: token touched a failed processor")
 	}
 	m.token = next
@@ -169,7 +171,7 @@ func (m *Machine) Step() error {
 // Circulate completes the given number of full ring laps.
 func (m *Machine) Circulate(laps int) error {
 	for l := 0; l < laps; l++ {
-		for i := 0; i < len(m.ring); i++ {
+		for i := 0; i < m.plan.RingLen(); i++ {
 			if err := m.Step(); err != nil {
 				return err
 			}
@@ -182,8 +184,8 @@ func (m *Machine) Circulate(laps int) error {
 // (starting with the current holder). It is the building block for
 // reductions and broadcasts over the virtual ring.
 func (m *Machine) Visit(f func(v perm.Code)) error {
-	for i := 0; i < len(m.ring); i++ {
-		f(m.ring[m.token])
+	for i := 0; i < m.plan.RingLen(); i++ {
+		f(m.plan.RingAt(m.token))
 		if err := m.Step(); err != nil {
 			return err
 		}
@@ -191,39 +193,72 @@ func (m *Machine) Visit(f func(v perm.Code)) error {
 	return nil
 }
 
-// FailVertex marks a processor failed at the current instant and, if
-// the ring used it, re-embeds. Failing the token holder additionally
-// counts a lost token (the protocol above it would have to recover by
-// regeneration, which the simulator models as restarting the lap).
+// FailVertex marks a processor failed at the current instant and repairs
+// the ring through the plan. An off-ring (spare) failure costs nothing;
+// a failure absorbed by the splice fast path charges downtime for the
+// one re-routed block and keeps the token in place (shifted past the
+// shed vertices); a skeleton-invalidating failure pays for a full
+// re-embedding and restarts the token at ring position 0. Failing the
+// token holder additionally counts a lost token (the protocol above it
+// would have to recover by regeneration, which the simulator models as
+// restarting the lap — from the repaired segment after a splice, from
+// position 0 after a rebuild).
 func (m *Machine) FailVertex(v perm.Code) error {
-	if m.fs.HasVertex(v) {
+	if m.plan.Faulty(v) {
 		return nil
 	}
 	if !v.Valid(m.cfg.N) {
 		return fmt.Errorf("sim: %#v is not a processor of S_%d", v, m.cfg.N)
 	}
-	if v == m.ring[m.token] {
+	if v == m.TokenHolder() {
 		m.stats.TokenLost++
 		m.cfg.Obs.Counter("sim.token_lost").Inc()
 	}
-	if err := m.fs.AddVertex(v); err != nil {
-		return err
-	}
 	m.cfg.Obs.Counter("sim.failures").Inc()
-	if _, onRing := m.index[v]; !onRing {
-		// A spare processor died; the ring — which must still avoid it
-		// in the future — survives as-is only if it never used it, which
-		// is exactly the onRing check. Nothing to do.
+
+	span := m.cfg.Obs.Span("sim.phase.repair")
+	rep, err := m.plan.Repair(v)
+	span.End()
+	if err != nil {
+		return fmt.Errorf("%w: %v", ErrHalted, err)
+	}
+
+	switch rep.Outcome {
+	case core.RepairAvoided:
+		// A spare processor died; the ring never used it, so nothing to
+		// re-route and nothing to charge.
+		return nil
+	case core.RepairSplice:
+		m.stats.Splices++
+		m.cfg.Obs.Counter("sim.splices").Inc()
+		m.chargeRepair(rep.BlocksRerouted)
+		// Ring positions before the spliced segment are untouched;
+		// inside it the token restarts at the segment head; after it,
+		// positions shifted down by the two shed vertices.
+		delta := rep.OldLen - rep.NewLen
+		switch {
+		case m.token >= rep.SegmentStart+rep.SegmentOldLen:
+			m.token -= delta
+		case m.token >= rep.SegmentStart:
+			m.token = rep.SegmentStart
+		}
+		return nil
+	case core.RepairRebuild:
+		m.stats.Reembeds++
+		m.cfg.Obs.Counter("sim.embeds").Inc()
+		m.chargeRepair(rep.BlocksRerouted)
+		m.token = 0
 		return nil
 	}
-	return m.reembed()
+	return fmt.Errorf("sim: internal: unexpected repair outcome %v", rep.Outcome)
 }
 
 // GuaranteedLength returns the paper's bound for the current fault
 // count, when still within budget; otherwise 0.
 func (m *Machine) GuaranteedLength() int {
-	if m.fs.NumVertices() > faults.MaxTolerated(m.cfg.N) {
+	res := m.plan.Result()
+	if !res.Guaranteed {
 		return 0
 	}
-	return perm.Factorial(m.cfg.N) - 2*m.fs.NumVertices()
+	return res.Guarantee
 }

@@ -53,8 +53,8 @@ func TestFailureShrinksByTwo(t *testing.T) {
 		}
 	}
 	st := m.Stats()
-	if st.Reembeds != faults.MaxTolerated(6) {
-		t.Fatalf("reembeds %d", st.Reembeds)
+	if st.Reembeds+st.Splices != faults.MaxTolerated(6) {
+		t.Fatalf("reembeds %d + splices %d != %d", st.Reembeds, st.Splices, faults.MaxTolerated(6))
 	}
 	if st.Downtime == 0 {
 		t.Fatal("no downtime charged")
@@ -82,19 +82,26 @@ func TestFailSpareProcessorKeepsRing(t *testing.T) {
 	found := false
 	for r := 0; r < 120 && !found; r++ {
 		v := perm.Pack(perm.Unrank(5, r))
-		if !onRing[v] && !m.fs.HasVertex(v) {
+		if !onRing[v] && !m.plan.Faulty(v) {
 			spare, found = v, true
 		}
 	}
 	if !found {
 		t.Fatal("no spare vertex")
 	}
-	before := m.Stats().Reembeds
+	before := m.Stats()
 	if err := m.FailVertex(spare); err != nil {
 		t.Fatal(err)
 	}
-	if m.Stats().Reembeds != before {
-		t.Fatal("spare failure re-embedded")
+	after := m.Stats()
+	if after.Reembeds != before.Reembeds || after.Splices != before.Splices {
+		t.Fatal("spare failure re-routed the ring")
+	}
+	if after.Downtime != before.Downtime {
+		t.Fatal("spare failure charged downtime")
+	}
+	if m.Faults() != 2 {
+		t.Fatalf("faults %d, want 2", m.Faults())
 	}
 	if err := m.Circulate(1); err != nil {
 		t.Fatal(err)
@@ -169,6 +176,101 @@ func TestBestEffortBeyondBudget(t *testing.T) {
 	}
 	if m.RingLength() < 120-2*4-4 {
 		t.Fatalf("best-effort ring unreasonably short: %d", m.RingLength())
+	}
+}
+
+func TestHaltWhenBudgetExhausted(t *testing.T) {
+	// S_5 tolerates 2 faults; the third must halt without BestEffort.
+	m, err := New(Config{N: 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for k := 0; k < faults.MaxTolerated(5); k++ {
+		if err := m.FailVertex(m.Ring()[5]); err != nil {
+			t.Fatalf("failure %d: %v", k+1, err)
+		}
+	}
+	err = m.FailVertex(m.Ring()[5])
+	if !errors.Is(err, ErrHalted) {
+		t.Fatalf("want ErrHalted, got %v", err)
+	}
+}
+
+func TestRingReturnsDefensiveCopy(t *testing.T) {
+	m, err := New(Config{N: 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	r := m.Ring()
+	for i := range r {
+		r[i] = r[0] // clobber the caller's copy
+	}
+	// The machine must be unaffected: its ring still circulates over
+	// real, distinct, adjacent processors.
+	if err := m.Circulate(1); err != nil {
+		t.Fatalf("mutating Ring()'s result corrupted the machine: %v", err)
+	}
+	if m.Ring()[1] == m.Ring()[0] {
+		t.Fatal("machine ring was clobbered through the accessor")
+	}
+}
+
+func TestSpliceKeepsTokenInPlace(t *testing.T) {
+	m, err := New(Config{N: 6})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Park the token in the second block, then fail an interior vertex
+	// of the first: the repair splices and the holder must not move.
+	for i := 0; i < 30; i++ {
+		if err := m.Step(); err != nil {
+			t.Fatal(err)
+		}
+	}
+	holder := m.TokenHolder()
+	if err := m.FailVertex(m.Ring()[2]); err != nil {
+		t.Fatal(err)
+	}
+	if st := m.Stats(); st.Splices != 1 || st.Reembeds != 0 {
+		t.Fatalf("expected one splice, got %+v", st)
+	}
+	if m.TokenHolder() != holder {
+		t.Fatal("splice of an unrelated block moved the token holder")
+	}
+	if err := m.Circulate(1); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestSpliceTokenHolderLoss(t *testing.T) {
+	m, err := New(Config{N: 6})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Walk into the interior of the third block and kill the holder:
+	// the repair splices and the token restarts at the repaired
+	// segment's head instead of position 0.
+	for i := 0; i < 50; i++ {
+		if err := m.Step(); err != nil {
+			t.Fatal(err)
+		}
+	}
+	victim := m.TokenHolder()
+	if err := m.FailVertex(victim); err != nil {
+		t.Fatal(err)
+	}
+	st := m.Stats()
+	if st.TokenLost != 1 {
+		t.Fatalf("token lost %d", st.TokenLost)
+	}
+	if st.Splices != 1 || st.Reembeds != 0 {
+		t.Fatalf("expected one splice, got %+v", st)
+	}
+	if m.TokenHolder() == victim {
+		t.Fatal("token still on the failed processor")
+	}
+	if err := m.Circulate(1); err != nil {
+		t.Fatal(err)
 	}
 }
 

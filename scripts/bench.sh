@@ -3,12 +3,18 @@
 # machine-readable sweep.
 #
 # Writes into BENCH_OUT (default: repo root):
-#   BENCH_embed.txt   go test -bench output: BenchmarkEmbedTheorem1,
-#                     BenchmarkEmbedScaling, and the BenchmarkObs*
-#                     instrumentation-overhead suite (disabled path must
-#                     stay 0 allocs/op)
-#   BENCH_embed.json  starsweep -quick -exp F2 -json: construction time
-#                     and output size vs n as {"experiments": [...]}
+#   BENCH_embed.txt    go test -bench output: BenchmarkEmbedTheorem1,
+#                      BenchmarkEmbedScaling, and the BenchmarkObs*
+#                      instrumentation-overhead suite (disabled path must
+#                      stay 0 allocs/op)
+#   BENCH_embed.json   starsweep -quick -exp F2 -json: construction time
+#                      and output size vs n as {"experiments": [...]}
+#   BENCH_repair.txt   go test -bench output: BenchmarkRepair, the
+#                      splice-vs-cold sub-benchmarks of the incremental
+#                      repair engine
+#   BENCH_repair.json  starsweep -exp F7 -maxn 8 -json: repair latency
+#                      table; its "splice speedup" column at n=8 is the
+#                      acceptance claim (>= 10x over cold embedding)
 #
 # BENCHTIME (default 1x) is passed to -benchtime; use e.g.
 # BENCHTIME=2s scripts/bench.sh for stable numbers. ci.sh runs this as a
@@ -28,6 +34,13 @@ mkdir -p "$BENCH_OUT"
         -benchmem -benchtime "$BENCHTIME" ./internal/core
 } | tee "$BENCH_OUT/BENCH_embed.txt"
 
+go test -run '^$' -bench 'BenchmarkRepair' \
+    -benchmem -benchtime "$BENCHTIME" . | tee "$BENCH_OUT/BENCH_repair.txt"
+
 go run ./cmd/starsweep -quick -exp F2 -json > "$BENCH_OUT/BENCH_embed.json"
 
-echo "bench artifacts written to $BENCH_OUT/BENCH_embed.{txt,json}"
+# F7 needs n=8 for the headline speedup, so it bypasses -quick (which
+# caps the sweep at n=7) and trims the seed count instead.
+go run ./cmd/starsweep -exp F7 -maxn 8 -seeds 3 -json > "$BENCH_OUT/BENCH_repair.json"
+
+echo "bench artifacts written to $BENCH_OUT/BENCH_embed.{txt,json} and $BENCH_OUT/BENCH_repair.{txt,json}"

@@ -20,6 +20,12 @@
 //	res, err := repro.EmbedRing(7, fs, repro.Options{})
 //	// res.Ring is a healthy cycle of 7! - 2 = 5038 vertices.
 //
+// For online use — faults arriving while the ring is in service — build
+// an engine once with NewEmbedder and keep the Plan it returns:
+// Plan.Repair absorbs most new faults by re-routing one 24-vertex block
+// and splicing it in place, orders of magnitude cheaper than a fresh
+// embedding.
+//
 // The heavy lifting lives in the internal packages (documented in
 // DESIGN.md): internal/core implements Lemmas 2, 3, 7 and Theorem 1;
 // internal/superring the supervertex rings; internal/pathsearch the
@@ -84,6 +90,40 @@ func FormatVertex(v Vertex, n int) string { return v.StringN(n) }
 // has been re-verified against the fault set before it is returned.
 func EmbedRing(n int, fs *FaultSet, opts Options) (*Embedding, error) {
 	return core.Embed(n, fs, opts)
+}
+
+// Embedder is a reusable embedding engine for one S_n: it owns the
+// graph and the search caches so repeated embeddings and online repairs
+// share their setup cost (see core.Embedder).
+type Embedder = core.Embedder
+
+// Plan is a live embedding produced by an Embedder. Beyond the ring
+// itself it retains the construction skeleton, so Plan.Repair can
+// absorb a new vertex fault by re-routing a single 24-vertex block and
+// splicing it in place instead of re-running the whole pipeline.
+type Plan = core.Plan
+
+// RepairOutcome classifies what Plan.Repair did: RepairNoop,
+// RepairAvoided (off-ring fault), RepairSplice (fast path) or
+// RepairRebuild (full re-embedding).
+type RepairOutcome = core.RepairOutcome
+
+// RepairReport describes one Plan.Repair call (see core.RepairReport).
+type RepairReport = core.RepairReport
+
+// Repair outcomes.
+const (
+	RepairNoop    = core.RepairNoop    // already-known fault; nothing to do
+	RepairAvoided = core.RepairAvoided // fault off the ring; ring unchanged
+	RepairSplice  = core.RepairSplice  // one block re-routed and spliced
+	RepairRebuild = core.RepairRebuild // full re-embedding
+)
+
+// NewEmbedder returns a reusable embedding engine for S_n. Use it, via
+// Embedder.Embed and Plan.Repair, when faults arrive incrementally;
+// EmbedRing remains the one-shot entry point.
+func NewEmbedder(n int, opts Options) (*Embedder, error) {
+	return core.NewEmbedder(n, opts)
 }
 
 // PathEmbedding is a verified longest-path embedding (see
