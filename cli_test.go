@@ -242,3 +242,79 @@ func TestCLIStarinfoDisjoint(t *testing.T) {
 		t.Fatalf("disjoint output:\n%s", out)
 	}
 }
+
+// TestCLIStarringExport exercises the export flags end to end: the
+// Perfetto trace and NDJSON event log must validate through the same
+// checkers starmon and CI use.
+func TestCLIStarringExport(t *testing.T) {
+	if testing.Short() {
+		t.Skip("spawns the go tool")
+	}
+	dir := t.TempDir()
+	trace := filepath.Join(dir, "trace.json")
+	events := filepath.Join(dir, "events.ndjson")
+	out := runGo(t, "run", "./cmd/starring", "-n", "6", "-faults", "2", "-seed", "1",
+		"-trace-out", trace, "-events-out", events)
+	if !strings.Contains(out, "trace written to "+trace) {
+		t.Errorf("missing trace confirmation:\n%s", out)
+	}
+
+	out = runGo(t, "run", "./cmd/starmon", "-check-trace", trace)
+	if !strings.Contains(out, "trace ok:") {
+		t.Errorf("trace did not validate:\n%s", out)
+	}
+	out = runGo(t, "run", "./cmd/starmon", "-replay", events)
+	if !strings.Contains(out, "core.embed") {
+		t.Errorf("event log missing core.embed record:\n%s", out)
+	}
+}
+
+// TestCLIStarsweepSeries checks -series-json and -trace-out on the
+// sweep driver plus starmon's OpenMetrics checker against a saved
+// scrape from the sweep registry.
+func TestCLIStarsweepSeries(t *testing.T) {
+	if testing.Short() {
+		t.Skip("spawns the go tool")
+	}
+	dir := t.TempDir()
+	series := filepath.Join(dir, "series.json")
+	trace := filepath.Join(dir, "trace.json")
+	runGo(t, "run", "./cmd/starsweep", "-quick", "-exp", "F2",
+		"-series-json", series, "-series-period", "10ms", "-trace-out", trace)
+
+	raw, err := os.ReadFile(series)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var dump struct {
+		PeriodNS int64 `json:"period_ns"`
+		Series   []struct {
+			Name    string           `json:"name"`
+			Kind    string           `json:"kind"`
+			Samples []map[string]any `json:"samples"`
+		} `json:"series"`
+	}
+	if err := json.Unmarshal(raw, &dump); err != nil {
+		t.Fatalf("series file is not valid JSON: %v\n%s", err, raw)
+	}
+	if dump.PeriodNS != 10_000_000 {
+		t.Errorf("period_ns = %d, want 10ms", dump.PeriodNS)
+	}
+	found := false
+	for _, s := range dump.Series {
+		if strings.HasPrefix(s.Name, "harness.exp.") || strings.HasPrefix(s.Name, "core.") {
+			found = true
+		}
+		if len(s.Samples) == 0 {
+			t.Errorf("series %s has no samples", s.Name)
+		}
+	}
+	if !found {
+		t.Errorf("no sweep metrics in series dump:\n%s", raw)
+	}
+
+	out := runGo(t, "run", "./cmd/starmon", "-check-trace", trace)
+	if !strings.Contains(out, "trace ok:") {
+		t.Errorf("sweep trace did not validate:\n%s", out)
+	}
+}

@@ -1,0 +1,290 @@
+// Command starmon is a terminal monitor for the telemetry the other
+// commands export. It attaches to a running process started with
+// -debug-addr and renders live per-second counter rates, gauge values
+// and histogram quantiles from its /metrics endpoint; it replays an
+// NDJSON event log (-events-out) into a summary of faults, repair
+// outcomes and level counts; and it validates exported artifacts so
+// CI can gate on them.
+//
+// Usage:
+//
+//	starmon -attach localhost:6060                 # live monitor
+//	starmon -attach localhost:6060 -frames 5       # five frames, then exit
+//	starmon -replay events.ndjson                  # summarize an event log
+//	starmon -check-metrics http://host:6060/metrics
+//	starmon -check-metrics metrics.txt             # or a saved scrape
+//	starmon -check-trace trace.json                # Perfetto trace_event
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"net/http"
+	"os"
+	"sort"
+	"strconv"
+	"strings"
+	"time"
+
+	"repro/internal/obs"
+	"repro/internal/obs/export"
+)
+
+func main() {
+	os.Exit(run(os.Args[1:], os.Stdout, os.Stderr))
+}
+
+// run is main with its edges injected, so tests can drive every mode.
+func run(args []string, stdout, stderr io.Writer) int {
+	fs := flag.NewFlagSet("starmon", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	var (
+		attach       = fs.String("attach", "", "monitor a live process: host:port or base URL of its -debug-addr server")
+		interval     = fs.Duration("interval", time.Second, "polling period for -attach")
+		frames       = fs.Int("frames", 0, "stop -attach after this many frames (0 = run until interrupted)")
+		replay       = fs.String("replay", "", "summarize an NDJSON event log file")
+		checkMetrics = fs.String("check-metrics", "", "validate an OpenMetrics exposition (URL or file) and exit")
+		checkTrace   = fs.String("check-trace", "", "validate a Chrome trace_event JSON file and exit")
+	)
+	if err := fs.Parse(args); err != nil {
+		return 2
+	}
+
+	modes := 0
+	for _, m := range []string{*attach, *replay, *checkMetrics, *checkTrace} {
+		if m != "" {
+			modes++
+		}
+	}
+	if modes != 1 {
+		fmt.Fprintln(stderr, "starmon: need exactly one of -attach, -replay, -check-metrics, -check-trace")
+		fs.Usage()
+		return 2
+	}
+
+	var err error
+	switch {
+	case *checkMetrics != "":
+		err = runCheckMetrics(stdout, *checkMetrics)
+	case *checkTrace != "":
+		err = runCheckTrace(stdout, *checkTrace)
+	case *replay != "":
+		err = runReplay(stdout, *replay)
+	default:
+		err = runAttach(stdout, *attach, *interval, *frames)
+	}
+	if err != nil {
+		fmt.Fprintln(stderr, "starmon:", err)
+		return 1
+	}
+	return 0
+}
+
+// fetch reads an artifact from a URL or a local file.
+func fetch(src string) ([]byte, error) {
+	if strings.HasPrefix(src, "http://") || strings.HasPrefix(src, "https://") {
+		resp, err := http.Get(src)
+		if err != nil {
+			return nil, err
+		}
+		defer resp.Body.Close()
+		if resp.StatusCode != http.StatusOK {
+			return nil, fmt.Errorf("GET %s: %s", src, resp.Status)
+		}
+		return io.ReadAll(resp.Body)
+	}
+	return os.ReadFile(src)
+}
+
+func runCheckMetrics(w io.Writer, src string) error {
+	data, err := fetch(src)
+	if err != nil {
+		return err
+	}
+	families, err := export.ValidateOpenMetrics(data)
+	if err != nil {
+		return fmt.Errorf("%s: %w", src, err)
+	}
+	fmt.Fprintf(w, "openmetrics ok: %d metric families\n", families)
+	return nil
+}
+
+func runCheckTrace(w io.Writer, src string) error {
+	data, err := fetch(src)
+	if err != nil {
+		return err
+	}
+	complete, err := export.ValidateTrace(data)
+	if err != nil {
+		return fmt.Errorf("%s: %w", src, err)
+	}
+	if complete == 0 {
+		return fmt.Errorf("%s: trace has no complete events", src)
+	}
+	fmt.Fprintf(w, "trace ok: %d complete events\n", complete)
+	return nil
+}
+
+// runReplay folds an NDJSON event log into a one-screen summary:
+// record and level counts, per-event tallies, and the repair-outcome
+// breakdown the sim and core event streams carry.
+func runReplay(w io.Writer, path string) error {
+	f, err := os.Open(path)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	recs, err := obs.ReadLog(f)
+	if err != nil {
+		return err
+	}
+	if len(recs) == 0 {
+		fmt.Fprintln(w, "0 records")
+		return nil
+	}
+
+	levels := map[string]int{}
+	events := map[string]int{}
+	outcomes := map[string]int{}
+	for _, r := range recs {
+		levels[r.Level]++
+		events[r.Event]++
+		if out, ok := r.Fields["outcome"].(string); ok {
+			outcomes[r.Event+":"+out]++
+		}
+	}
+	span := time.Duration(recs[len(recs)-1].T - recs[0].T)
+	fmt.Fprintf(w, "%d records spanning %v\n", len(recs), span)
+	fmt.Fprintf(w, "levels: %s\n", joinCounts(levels))
+	fmt.Fprintln(w, "events:")
+	for _, name := range sortedKeys(events) {
+		fmt.Fprintf(w, "  %-24s %d\n", name, events[name])
+	}
+	if len(outcomes) > 0 {
+		fmt.Fprintln(w, "repair outcomes:")
+		for _, name := range sortedKeys(outcomes) {
+			fmt.Fprintf(w, "  %-24s %d\n", name, outcomes[name])
+		}
+	}
+	return nil
+}
+
+// runAttach polls the target's /metrics endpoint and renders one frame
+// per interval: counter rates against the previous frame, gauge values,
+// and summary quantiles.
+func runAttach(w io.Writer, target string, interval time.Duration, frames int) error {
+	if !strings.HasPrefix(target, "http://") && !strings.HasPrefix(target, "https://") {
+		target = "http://" + target
+	}
+	url := strings.TrimSuffix(target, "/") + "/metrics"
+	if interval <= 0 {
+		interval = time.Second
+	}
+
+	var prev map[string]float64
+	for frame := 1; frames == 0 || frame <= frames; frame++ {
+		data, err := fetch(url)
+		if err != nil {
+			return err
+		}
+		if _, err := export.ValidateOpenMetrics(data); err != nil {
+			return fmt.Errorf("%s: %w", url, err)
+		}
+		cur, kinds := parseExposition(data)
+		renderFrame(w, frame, interval, cur, prev, kinds)
+		prev = cur
+		if frames != 0 && frame == frames {
+			break
+		}
+		time.Sleep(interval)
+	}
+	return nil
+}
+
+// parseExposition reads an OpenMetrics text page into sample values
+// keyed by full sample name (labels included) plus each family's TYPE.
+func parseExposition(data []byte) (samples map[string]float64, kinds map[string]string) {
+	samples = map[string]float64{}
+	kinds = map[string]string{}
+	for _, line := range strings.Split(string(data), "\n") {
+		line = strings.TrimSpace(line)
+		if line == "" || line == "# EOF" {
+			continue
+		}
+		if strings.HasPrefix(line, "#") {
+			fields := strings.Fields(line)
+			if len(fields) >= 4 && fields[1] == "TYPE" {
+				kinds[fields[2]] = fields[3]
+			}
+			continue
+		}
+		// `name{labels} value [timestamp]` or `name value [timestamp]`.
+		cut := strings.LastIndex(line, "} ")
+		var name, rest string
+		if cut >= 0 {
+			name, rest = line[:cut+1], strings.TrimSpace(line[cut+2:])
+		} else {
+			sp := strings.IndexByte(line, ' ')
+			if sp < 0 {
+				continue
+			}
+			name, rest = line[:sp], strings.TrimSpace(line[sp+1:])
+		}
+		val := rest
+		if sp := strings.IndexByte(rest, ' '); sp >= 0 {
+			val = rest[:sp]
+		}
+		if v, err := strconv.ParseFloat(val, 64); err == nil {
+			samples[name] = v
+		}
+	}
+	return samples, kinds
+}
+
+// renderFrame prints one monitor frame. Counter families get a
+// per-second rate once a previous frame exists; everything else shows
+// its current value.
+func renderFrame(w io.Writer, frame int, interval time.Duration, cur, prev map[string]float64, kinds map[string]string) {
+	fmt.Fprintf(w, "frame %d (%d samples)\n", frame, len(cur))
+	for _, name := range sortedKeys(cur) {
+		family := name
+		if i := strings.IndexByte(name, '{'); i >= 0 {
+			family = name[:i]
+		}
+		kind := kinds[strings.TrimSuffix(family, "_total")]
+		if kind == "" {
+			kind = kinds[family]
+		}
+		switch kind {
+		case "counter":
+			line := fmt.Sprintf("  %-44s %12.0f", name, cur[name])
+			if prev != nil {
+				rate := (cur[name] - prev[name]) / interval.Seconds()
+				line += fmt.Sprintf("  %+.1f/s", rate)
+			}
+			fmt.Fprintln(w, line)
+		case "summary":
+			fmt.Fprintf(w, "  %-44s %12g\n", name, cur[name])
+		default:
+			fmt.Fprintf(w, "  %-44s %12.0f\n", name, cur[name])
+		}
+	}
+}
+
+func sortedKeys[V any](m map[string]V) []string {
+	keys := make([]string, 0, len(m))
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	return keys
+}
+
+func joinCounts(m map[string]int) string {
+	var parts []string
+	for _, k := range sortedKeys(m) {
+		parts = append(parts, fmt.Sprintf("%s=%d", k, m[k]))
+	}
+	return strings.Join(parts, " ")
+}

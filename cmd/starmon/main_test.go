@@ -1,0 +1,162 @@
+package main
+
+import (
+	"net/http/httptest"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+	"time"
+
+	"repro/internal/obs"
+	"repro/internal/obs/export"
+)
+
+// liveRegistry builds a registry with one metric of each kind.
+func liveRegistry() *obs.Registry {
+	reg := obs.NewRegistry()
+	reg.SetClock(obs.NewManual(time.Unix(50, 0)))
+	reg.Counter("t.run.steps").Add(7)
+	reg.Gauge("t.run.depth").Set(3)
+	reg.Histogram("t.run.latency").Observe(1500)
+	return reg
+}
+
+func TestRunCheckMetricsURL(t *testing.T) {
+	srv := httptest.NewServer(export.MetricsHandler(liveRegistry()))
+	defer srv.Close()
+
+	var out, errOut strings.Builder
+	if code := run([]string{"-check-metrics", srv.URL}, &out, &errOut); code != 0 {
+		t.Fatalf("exit %d, stderr: %s", code, errOut.String())
+	}
+	if !strings.Contains(out.String(), "openmetrics ok") {
+		t.Errorf("output %q", out.String())
+	}
+}
+
+func TestRunCheckMetricsFile(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "metrics.txt")
+	var page strings.Builder
+	if err := export.WriteOpenMetrics(&page, liveRegistry().Snapshot()); err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(path, []byte(page.String()), 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	var out, errOut strings.Builder
+	if code := run([]string{"-check-metrics", path}, &out, &errOut); code != 0 {
+		t.Fatalf("exit %d, stderr: %s", code, errOut.String())
+	}
+
+	// A corrupt page must fail the check.
+	bad := filepath.Join(t.TempDir(), "bad.txt")
+	if err := os.WriteFile(bad, []byte("not a metrics page\n"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if code := run([]string{"-check-metrics", bad}, &out, &errOut); code != 1 {
+		t.Errorf("corrupt page: exit %d, want 1", code)
+	}
+}
+
+func TestRunCheckTrace(t *testing.T) {
+	clock := obs.NewManual(time.Unix(10, 0))
+	reg := obs.NewRegistry()
+	reg.SetClock(clock)
+	rec := obs.NewRecorder(8)
+	reg.SetSink(rec)
+	sp := reg.Span("t.phase.total")
+	clock.Advance(time.Millisecond)
+	sp.End()
+
+	path := filepath.Join(t.TempDir(), "trace.json")
+	if err := export.WriteTraceFile(path, rec.Events()); err != nil {
+		t.Fatal(err)
+	}
+
+	var out, errOut strings.Builder
+	if code := run([]string{"-check-trace", path}, &out, &errOut); code != 0 {
+		t.Fatalf("exit %d, stderr: %s", code, errOut.String())
+	}
+	if !strings.Contains(out.String(), "trace ok: 1 complete events") {
+		t.Errorf("output %q", out.String())
+	}
+
+	// A span-free trace is structurally valid JSON but useless; the
+	// checker demands at least one complete event.
+	empty := filepath.Join(t.TempDir(), "empty.json")
+	if err := export.WriteTraceFile(empty, nil); err != nil {
+		t.Fatal(err)
+	}
+	if code := run([]string{"-check-trace", empty}, &out, &errOut); code != 1 {
+		t.Errorf("empty trace: exit %d, want 1", code)
+	}
+}
+
+func TestRunReplay(t *testing.T) {
+	var log strings.Builder
+	lg := obs.NewEventLog(&log, obs.LevelDebug, obs.NewManual(time.Unix(1, 0)))
+	lg.Log(obs.LevelInfo, "sim.fault", obs.F("vertex", "21345"))
+	lg.Log(obs.LevelInfo, "sim.repair", obs.F("outcome", "splice"))
+	lg.Log(obs.LevelInfo, "sim.repair", obs.F("outcome", "rebuild"))
+	lg.Log(obs.LevelDebug, "sim.token_move", obs.F("pos", 3))
+
+	path := filepath.Join(t.TempDir(), "events.ndjson")
+	if err := os.WriteFile(path, []byte(log.String()), 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	var out, errOut strings.Builder
+	if code := run([]string{"-replay", path}, &out, &errOut); code != 0 {
+		t.Fatalf("exit %d, stderr: %s", code, errOut.String())
+	}
+	text := out.String()
+	for _, want := range []string{
+		"4 records",
+		"debug=1",
+		"info=3",
+		"sim.repair",
+		"sim.repair:splice",
+		"sim.repair:rebuild",
+	} {
+		if !strings.Contains(text, want) {
+			t.Errorf("replay output missing %q:\n%s", want, text)
+		}
+	}
+}
+
+func TestRunAttachFrames(t *testing.T) {
+	reg := liveRegistry()
+	srv := httptest.NewServer(export.MetricsHandler(reg))
+	defer srv.Close()
+
+	var out, errOut strings.Builder
+	code := run([]string{
+		"-attach", strings.TrimPrefix(srv.URL, "http://"),
+		"-frames", "2", "-interval", "1ms",
+	}, &out, &errOut)
+	if code != 0 {
+		t.Fatalf("exit %d, stderr: %s", code, errOut.String())
+	}
+	text := out.String()
+	if !strings.Contains(text, "frame 1") || !strings.Contains(text, "frame 2") {
+		t.Fatalf("expected two frames:\n%s", text)
+	}
+	if !strings.Contains(text, "t_run_steps_total") {
+		t.Errorf("counter missing from frames:\n%s", text)
+	}
+	if !strings.Contains(text, "/s") {
+		t.Errorf("second frame should show a rate:\n%s", text)
+	}
+}
+
+func TestRunModeValidation(t *testing.T) {
+	var out, errOut strings.Builder
+	if code := run(nil, &out, &errOut); code != 2 {
+		t.Errorf("no mode: exit %d, want 2", code)
+	}
+	if code := run([]string{"-replay", "x", "-check-trace", "y"}, &out, &errOut); code != 2 {
+		t.Errorf("two modes: exit %d, want 2", code)
+	}
+}

@@ -9,11 +9,16 @@
 //	starring -n 6 -random 3 -print                  # dump the ring
 //	starring -n 7 -faults 4 -metrics-json m.json    # dump run telemetry
 //
-// -debug-addr serves expvar (/debug/vars, registry "starring") and
-// pprof (/debug/pprof/) while the run lasts; -metrics-json leaves a
-// machine-readable record of per-phase durations, S4 cache activity,
-// junction backtracks and worker utilization (see the README's
-// Observability section).
+// -debug-addr serves expvar (/debug/vars, registry "starring"),
+// pprof (/debug/pprof/) and an OpenMetrics endpoint (/metrics) while
+// the run lasts; -metrics-json leaves a machine-readable record of
+// per-phase durations, S4 cache activity, junction backtracks and
+// worker utilization (see the README's Observability section).
+// -trace-out writes the run's phase spans as a Chrome trace_event
+// JSON file loadable in Perfetto; -events-out streams structured
+// NDJSON events (core.embed, core.repair) to a file; -hold keeps the
+// process (and its debug server) alive for the given duration after
+// the run so an external scraper can pull /metrics.
 //
 // The embedded ring is always re-verified; the command exits nonzero on
 // any failure.
@@ -25,12 +30,14 @@ import (
 	"math/rand"
 	"os"
 	"strings"
+	"time"
 
 	"repro/internal/baseline"
 	"repro/internal/check"
 	"repro/internal/core"
 	"repro/internal/faults"
 	"repro/internal/obs"
+	"repro/internal/obs/export"
 	"repro/internal/perm"
 	"repro/internal/ringio"
 	"repro/internal/star"
@@ -52,8 +59,11 @@ func main() {
 		best    = flag.Bool("best-effort", false, "accept fault sets beyond the n-3 budget (no guarantee)")
 		workers = flag.Int("workers", 0, "parallel block-routing workers (0 = GOMAXPROCS)")
 
-		debugAddr   = flag.String("debug-addr", "", "serve expvar and pprof on this address (e.g. localhost:6060)")
+		debugAddr   = flag.String("debug-addr", "", "serve expvar, pprof and /metrics on this address (e.g. localhost:6060)")
 		metricsJSON = flag.String("metrics-json", "", "write the run's metrics as JSON to this file")
+		traceOut    = flag.String("trace-out", "", "write the run's spans as Chrome trace_event JSON (Perfetto) to this file")
+		eventsOut   = flag.String("events-out", "", "write structured NDJSON events to this file")
+		hold        = flag.Duration("hold", 0, "keep the process alive this long after the run (for /metrics scrapers)")
 	)
 	flag.Parse()
 
@@ -91,25 +101,13 @@ func main() {
 		}
 	}
 
-	var reg *obs.Registry
-	if *debugAddr != "" || *metricsJSON != "" {
-		reg = obs.NewRegistry()
-		reg.SetSink(obs.NewRecorder(256))
-		reg.PublishExpvar("starring")
-	}
-	if *debugAddr != "" {
-		addr, err := obs.StartDebugServer(*debugAddr)
-		if err != nil {
-			fatal(err)
-		}
-		fmt.Printf("debug server listening on http://%s/debug/vars (pprof under /debug/pprof/)\n", addr)
-	}
+	tel := startTelemetry(*debugAddr, *metricsJSON, *traceOut, *eventsOut, *hold)
 
-	cfg := core.Config{Workers: *workers, BestEffort: *best, Obs: reg}
+	cfg := core.Config{Workers: *workers, BestEffort: *best, Obs: tel.reg}
 
 	if *pathSrc != "" || *pathDst != "" {
 		runPathMode(*n, fs, *pathSrc, *pathDst, cfg, *print)
-		writeMetrics(reg, *metricsJSON)
+		tel.finish()
 		return
 	}
 
@@ -178,18 +176,82 @@ func main() {
 		}
 		fmt.Printf("saved %d-vertex ring to %s\n", len(ring), *save)
 	}
-	writeMetrics(reg, *metricsJSON)
+	tel.finish()
 }
 
-// writeMetrics dumps the registry to path when both are live.
-func writeMetrics(reg *obs.Registry, path string) {
-	if reg == nil || path == "" {
-		return
+// telemetry bundles the run's optional instrumentation: the registry
+// wired into the embedder, the span recorder behind -trace-out, the
+// NDJSON event stream and the debug server.
+type telemetry struct {
+	reg    *obs.Registry
+	rec    *obs.Recorder
+	events *os.File
+	srv    *obs.DebugServer
+
+	metricsJSON, traceOut string
+	hold                  time.Duration
+}
+
+// startTelemetry wires up whatever the flags asked for; with no
+// telemetry flags set the zero handle is inert and finish is a no-op.
+func startTelemetry(debugAddr, metricsJSON, traceOut, eventsOut string, hold time.Duration) *telemetry {
+	t := &telemetry{metricsJSON: metricsJSON, traceOut: traceOut, hold: hold}
+	if debugAddr == "" && metricsJSON == "" && traceOut == "" && eventsOut == "" {
+		return t
 	}
-	if err := reg.WriteJSONFile(path); err != nil {
-		fatal(err)
+	t.reg = obs.NewRegistry()
+	t.rec = obs.NewRecorder(256)
+	t.reg.SetSink(t.rec)
+	t.reg.PublishExpvar("starring")
+	if eventsOut != "" {
+		f, err := os.Create(eventsOut)
+		if err != nil {
+			fatal(err)
+		}
+		t.events = f
+		t.reg.SetEventLog(obs.NewEventLog(f, obs.LevelDebug, t.reg.Clock()))
 	}
-	fmt.Printf("metrics written to %s\n", path)
+	if debugAddr != "" {
+		srv, err := obs.StartDebugServer(debugAddr)
+		if err != nil {
+			fatal(err)
+		}
+		srv.Handle("/metrics", export.MetricsHandler(t.reg))
+		t.srv = srv
+		fmt.Printf("debug server listening on http://%s/debug/vars (pprof under /debug/pprof/, OpenMetrics under /metrics)\n", srv.Addr())
+	}
+	return t
+}
+
+// finish writes the requested artifacts, then honors -hold so an
+// external scraper can still reach the debug server afterwards.
+func (t *telemetry) finish() {
+	if t.reg != nil {
+		if t.metricsJSON != "" {
+			if err := t.reg.WriteJSONFile(t.metricsJSON); err != nil {
+				fatal(err)
+			}
+			fmt.Printf("metrics written to %s\n", t.metricsJSON)
+		}
+		if t.traceOut != "" {
+			if err := export.WriteTraceFile(t.traceOut, t.rec.Events()); err != nil {
+				fatal(err)
+			}
+			fmt.Printf("trace written to %s\n", t.traceOut)
+		}
+		if t.events != nil {
+			if err := t.events.Close(); err != nil {
+				fatal(err)
+			}
+		}
+	}
+	if t.hold > 0 {
+		fmt.Printf("holding for %v\n", t.hold)
+		time.Sleep(t.hold)
+	}
+	if t.srv != nil {
+		t.srv.Close()
+	}
 }
 
 // runPathMode embeds and reports a longest s-t path.

@@ -7,13 +7,18 @@
 //	starsweep [-exp T1..T6|F1..F7|A1|all] [-maxn N] [-seeds K]
 //	          [-quick] [-markdown | -json]
 //	          [-debug-addr addr] [-metrics-json path]
+//	          [-series-json path] [-series-period d] [-trace-out path]
 //
 // -json emits the selected tables as one JSON document,
 // {"experiments": [...]}, for downstream tooling (scripts/bench.sh
-// archives the quick F2 sweep this way). -debug-addr serves expvar and
-// pprof during the sweep; -metrics-json dumps per-experiment timing
-// spans (harness.exp.<ID>) and the embedder's phase metrics when the
-// sweep finishes.
+// archives the quick F2 sweep this way). -debug-addr serves expvar,
+// pprof and an OpenMetrics endpoint (/metrics) during the sweep;
+// -metrics-json dumps per-experiment timing spans (harness.exp.<ID>)
+// and the embedder's phase metrics when the sweep finishes.
+// -series-json samples the registry every -series-period (default 1s)
+// into ring-buffered time series and dumps them as JSON; -trace-out
+// writes the sweep's spans as a Chrome trace_event JSON file loadable
+// in Perfetto.
 package main
 
 import (
@@ -21,9 +26,11 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"time"
 
 	"repro/internal/harness"
 	"repro/internal/obs"
+	"repro/internal/obs/export"
 )
 
 func main() {
@@ -35,8 +42,11 @@ func main() {
 		markdown = flag.Bool("markdown", false, "emit GitHub-flavored markdown instead of aligned text")
 		jsonOut  = flag.Bool("json", false, "emit the tables as a JSON document instead of aligned text")
 
-		debugAddr   = flag.String("debug-addr", "", "serve expvar and pprof on this address (e.g. localhost:6060)")
-		metricsJSON = flag.String("metrics-json", "", "write the sweep's metrics as JSON to this file")
+		debugAddr    = flag.String("debug-addr", "", "serve expvar, pprof and /metrics on this address (e.g. localhost:6060)")
+		metricsJSON  = flag.String("metrics-json", "", "write the sweep's metrics as JSON to this file")
+		seriesJSON   = flag.String("series-json", "", "sample the registry periodically and write the time series as JSON to this file")
+		seriesPeriod = flag.Duration("series-period", time.Second, "sampling period for -series-json")
+		traceOut     = flag.String("trace-out", "", "write the sweep's spans as Chrome trace_event JSON (Perfetto) to this file")
 	)
 	flag.Parse()
 
@@ -44,18 +54,32 @@ func main() {
 		fatal(fmt.Errorf("-markdown and -json are mutually exclusive"))
 	}
 
-	var reg *obs.Registry
-	if *debugAddr != "" || *metricsJSON != "" {
+	var (
+		reg *obs.Registry
+		rec *obs.Recorder
+	)
+	if *debugAddr != "" || *metricsJSON != "" || *seriesJSON != "" || *traceOut != "" {
 		reg = obs.NewRegistry()
-		reg.SetSink(obs.NewRecorder(256))
+		rec = obs.NewRecorder(256)
+		reg.SetSink(rec)
 		reg.PublishExpvar("starsweep")
 	}
 	if *debugAddr != "" {
-		addr, err := obs.StartDebugServer(*debugAddr)
+		srv, err := obs.StartDebugServer(*debugAddr)
 		if err != nil {
 			fatal(err)
 		}
-		fmt.Fprintf(os.Stderr, "debug server listening on http://%s/debug/vars (pprof under /debug/pprof/)\n", addr)
+		defer srv.Close()
+		srv.Handle("/metrics", export.MetricsHandler(reg))
+		fmt.Fprintf(os.Stderr, "debug server listening on http://%s/debug/vars (pprof under /debug/pprof/, OpenMetrics under /metrics)\n", srv.Addr())
+	}
+	var (
+		sampler     *export.Sampler
+		stopSampler func()
+	)
+	if *seriesJSON != "" {
+		sampler = export.NewSampler(reg, export.SamplerConfig{Period: *seriesPeriod})
+		stopSampler = sampler.Start()
 	}
 
 	cfg := harness.SweepConfig{MaxN: *maxN, Seeds: *seeds, Quick: *quick, Obs: reg}
@@ -93,6 +117,21 @@ func main() {
 			fatal(err)
 		}
 		fmt.Fprintf(os.Stderr, "metrics written to %s\n", *metricsJSON)
+	}
+	if sampler != nil {
+		// stop takes one final sample so short sweeps still record their
+		// end state even when they finish inside the first period.
+		stopSampler()
+		if err := sampler.WriteJSONFile(*seriesJSON); err != nil {
+			fatal(err)
+		}
+		fmt.Fprintf(os.Stderr, "series written to %s\n", *seriesJSON)
+	}
+	if reg != nil && *traceOut != "" {
+		if err := export.WriteTraceFile(*traceOut, rec.Events()); err != nil {
+			fatal(err)
+		}
+		fmt.Fprintf(os.Stderr, "trace written to %s\n", *traceOut)
 	}
 }
 

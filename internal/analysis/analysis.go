@@ -19,6 +19,8 @@
 //	factsize     - unguarded int arithmetic on factorial-scale values
 //	walltime     - time.Now/time.Since outside internal/obs (timing
 //	               must flow through an injectable obs.Clock)
+//	metricname   - metric-name literals off the pkg.group.name dotted
+//	               convention, or duplicating a package constant
 //
 // Diagnostics print as "file:line: [name] message". A finding can be
 // suppressed at its site with a reasoned comment,
@@ -55,6 +57,7 @@ func All() []*Analyzer {
 		UncheckedErr,
 		FactSize,
 		WallTime,
+		MetricName,
 	}
 }
 

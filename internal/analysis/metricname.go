@@ -1,0 +1,172 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/constant"
+	"go/token"
+	"go/types"
+	"regexp"
+	"strings"
+)
+
+// MetricName flags metric-name arguments to obs.Registry's Counter,
+// Gauge, Histogram and Span methods that break the repository's naming
+// convention: a lowercase dotted path of at least two segments,
+// "pkg.group.name" (segments are [a-z][a-z0-9_]*). The README's
+// Observability glossary, the OpenMetrics exporter and the expvar
+// bridge all assume this shape, and a one-off name silently falls out
+// of every dashboard. Dynamically built names ("core.repair." +
+// outcome) are allowed when the literal prefix is itself a dotted path
+// ending in "."; a literal that duplicates a package-level string
+// constant is flagged toward the constant, since two spellings of one
+// name drift apart.
+var MetricName = &Analyzer{
+	Name: "metricname",
+	Doc:  "metric-name literals off the pkg.group.name convention",
+	Run:  runMetricName,
+}
+
+// metricNameRE is the convention for complete names: two or more
+// lowercase dotted segments.
+var metricNameRE = regexp.MustCompile(`^[a-z][a-z0-9_]*(\.[a-z][a-z0-9_]*)+$`)
+
+// metricPrefixRE covers the trimmed literal prefix of a dynamic name,
+// which may be a single segment ("sim." + kind).
+var metricPrefixRE = regexp.MustCompile(`^[a-z][a-z0-9_]*(\.[a-z][a-z0-9_]*)*$`)
+
+// metricMethods are the obs.Registry methods whose first argument is a
+// metric name.
+var metricMethods = map[string]bool{
+	"Counter":   true,
+	"Gauge":     true,
+	"Histogram": true,
+	"Span":      true,
+}
+
+func runMetricName(pass *Pass) {
+	if !pass.InternalPackage() {
+		return
+	}
+	consts := packageStringConsts(pass)
+	for _, file := range pass.Pkg.Files {
+		ast.Inspect(file, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok || len(call.Args) == 0 {
+				return true
+			}
+			sel, ok := call.Fun.(*ast.SelectorExpr)
+			if !ok {
+				return true
+			}
+			fn, ok := pass.Pkg.Info.Uses[sel.Sel].(*types.Func)
+			if !ok || !isRegistryMetricMethod(pass, fn) {
+				return true
+			}
+			checkMetricName(pass, fn.Name(), call.Args[0], consts)
+			return true
+		})
+	}
+}
+
+// packageStringConsts maps the value of every package-level string
+// constant with an explicit literal initializer to its name.
+func packageStringConsts(pass *Pass) map[string]string {
+	consts := map[string]string{}
+	for _, f := range pass.Pkg.Files {
+		for _, decl := range f.Decls {
+			gd, ok := decl.(*ast.GenDecl)
+			if !ok || gd.Tok != token.CONST {
+				continue
+			}
+			for _, spec := range gd.Specs {
+				vs, ok := spec.(*ast.ValueSpec)
+				if !ok {
+					continue
+				}
+				for i, name := range vs.Names {
+					if i >= len(vs.Values) {
+						break
+					}
+					lit, ok := vs.Values[i].(*ast.BasicLit)
+					if !ok || lit.Kind != token.STRING {
+						continue
+					}
+					if v, ok := stringConstOf(pass, lit); ok {
+						if _, dup := consts[v]; !dup {
+							consts[v] = name.Name
+						}
+					}
+				}
+			}
+		}
+	}
+	return consts
+}
+
+// isRegistryMetricMethod reports whether fn is one of the metric
+// constructors on the module's *obs.Registry.
+func isRegistryMetricMethod(pass *Pass, fn *types.Func) bool {
+	if !metricMethods[fn.Name()] {
+		return false
+	}
+	sig, ok := fn.Type().(*types.Signature)
+	if !ok || sig.Recv() == nil {
+		return false
+	}
+	t := sig.Recv().Type()
+	if pt, ok := t.(*types.Pointer); ok {
+		t = pt.Elem()
+	}
+	named, ok := t.(*types.Named)
+	if !ok {
+		return false
+	}
+	obj := named.Obj()
+	return obj.Name() == "Registry" && obj.Pkg() != nil &&
+		obj.Pkg().Path() == pass.Pkg.Module+"/internal/obs"
+}
+
+// stringConstOf resolves e's compile-time string value, if it has one.
+func stringConstOf(pass *Pass, e ast.Expr) (string, bool) {
+	tv, ok := pass.Pkg.Info.Types[e]
+	if !ok || tv.Value == nil || tv.Value.Kind() != constant.String {
+		return "", false
+	}
+	return constant.StringVal(tv.Value), true
+}
+
+// checkMetricName validates one name argument. Names that cannot be
+// resolved at compile time (a plain variable) are out of scope.
+func checkMetricName(pass *Pass, method string, arg ast.Expr, consts map[string]string) {
+	_, symbol := pass.EnclosingFuncName(arg.Pos())
+	if v, ok := stringConstOf(pass, arg); ok {
+		if lit, isLit := arg.(*ast.BasicLit); isLit {
+			if name, dup := consts[v]; dup {
+				pass.Reportf(lit.Pos(), symbol,
+					"%s(%q) duplicates the package constant %s; use the constant so the name cannot drift",
+					method, v, name)
+				return
+			}
+		}
+		if !metricNameRE.MatchString(v) {
+			pass.Reportf(arg.Pos(), symbol,
+				"%s(%q): metric names are lowercase dotted paths of two or more segments, like \"pkg.group.name\"",
+				method, v)
+		}
+		return
+	}
+	be, ok := arg.(*ast.BinaryExpr)
+	if !ok || be.Op != token.ADD {
+		return
+	}
+	prefix, ok := stringConstOf(pass, be.X)
+	if !ok {
+		return
+	}
+	trimmed, dotted := strings.CutSuffix(prefix, ".")
+	if !dotted || !metricPrefixRE.MatchString(trimmed) {
+		pass.Reportf(be.Pos(), symbol,
+			"%s(%q + ...): a dynamic metric name needs a lowercase dotted literal prefix ending in \".\"",
+			method, prefix)
+	}
+}

@@ -1,0 +1,34 @@
+// Package fixture seeds intentional metricname violations for the
+// golden-file tests; it is under testdata and never built by go build.
+package fixture
+
+import "repro/internal/obs"
+
+// ringLength is the sanctioned spelling of the gauge's name.
+const ringLength = "fixture.ring.length"
+
+// repairPrefix is a well-formed dynamic-name prefix.
+const repairPrefix = "fixture.repair."
+
+// Instrument registers one metric of each kind, mostly badly.
+func Instrument(reg *obs.Registry, outcome string) {
+	reg.Counter("BadName")                  // uppercase, undotted
+	reg.Gauge("single")                     // one segment only
+	reg.Histogram("fixture..latency")       // empty middle segment
+	reg.Span("Fixture.Phase.Total")         // uppercase segments
+	reg.Counter("fixture.repair" + outcome) // prefix misses the trailing dot
+	reg.Gauge("fixture.ring.length")        // duplicates the ringLength constant
+
+	reg.Counter("fixture.run.steps")    // clean: dotted lowercase path
+	reg.Gauge(ringLength)               // clean: uses the constant
+	reg.Counter(repairPrefix + outcome) // clean: dotted prefix constant
+	reg.Histogram("sim." + outcome)     // clean: single-segment prefix still dotted
+	//starlint:ignore metricname fixture demonstrates a reasoned suppression
+	reg.Span("LegacyPhase")
+}
+
+// Indirect goes through a plain variable; compile-time-opaque names are
+// out of scope.
+func Indirect(reg *obs.Registry, name string) {
+	reg.Counter(name)
+}

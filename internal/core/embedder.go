@@ -6,6 +6,7 @@ import (
 
 	"repro/internal/check"
 	"repro/internal/faults"
+	"repro/internal/obs"
 	"repro/internal/pathsearch"
 	"repro/internal/perm"
 	"repro/internal/star"
@@ -98,6 +99,11 @@ func (e *Embedder) Embed(fs *faults.Set) (*Plan, error) {
 	vspan.End()
 	if err != nil {
 		return nil, fmt.Errorf("core: self-verification failed: %w", err)
+	}
+	if lg := in.eventLog(); lg != nil {
+		lg.Log(obs.LevelInfo, "core.embed",
+			obs.F("n", n), obs.F("vertex_faults", nv), obs.F("edge_faults", ne),
+			obs.F("ring", len(res.Ring)), obs.F("guarantee", res.Guarantee))
 	}
 	return newPlan(e, res, fs, sk), nil
 }
@@ -308,6 +314,7 @@ func (p *Plan) Repair(v perm.Code) (RepairReport, error) {
 		in.repair("avoided")
 		rep.Outcome = RepairAvoided
 		rep.NewLen = rep.OldLen
+		p.logRepair(in, v, rep)
 		return rep, nil
 	}
 
@@ -323,6 +330,7 @@ func (p *Plan) Repair(v perm.Code) (RepairReport, error) {
 			rep.SegmentOldLen = p.offsets[k+1] - p.offsets[k] + 2
 			rep.NewLen = len(p.res.Ring)
 			rep.BlocksRerouted = 1
+			p.logRepair(in, v, rep)
 			return rep, nil
 		}
 		// Lemma 4 covers the strict regime, so a failed splice should
@@ -339,7 +347,23 @@ func (p *Plan) Repair(v perm.Code) (RepairReport, error) {
 	rep.Outcome = RepairRebuild
 	rep.NewLen = len(p.res.Ring)
 	rep.BlocksRerouted = p.res.Blocks
+	p.logRepair(in, v, rep)
 	return rep, nil
+}
+
+// logRepair emits the structured core.repair event when an event log is
+// attached: which vertex failed, what Repair did, and what it cost.
+func (p *Plan) logRepair(in *instr, v perm.Code, rep RepairReport) {
+	lg := in.eventLog()
+	if lg == nil {
+		return
+	}
+	lg.Log(obs.LevelInfo, "core.repair",
+		obs.F("vertex", v.StringN(p.e.n)),
+		obs.F("outcome", rep.Outcome.String()),
+		obs.F("blocks_rerouted", rep.BlocksRerouted),
+		obs.F("old_len", rep.OldLen),
+		obs.F("new_len", rep.NewLen))
 }
 
 // CanSplice reports whether a failure of v would take the splice fast

@@ -70,6 +70,16 @@ func (in *instr) finish() {
 	in.hits0, in.misses0, in.bypasses0 = h, m, b
 }
 
+// eventLog returns the registry's structured event log, nil when
+// disabled. Call sites guard on the result before building fields so
+// the disabled path constructs nothing.
+func (in *instr) eventLog() *obs.EventLog {
+	if in == nil {
+		return nil
+	}
+	return in.reg.EventLog()
+}
+
 // repair bumps one of the repair-outcome counters
 // (core.repair.{splices,rebuilds,avoided}). Resolved lazily: repairs are
 // rare next to block routing, and plain embedding runs then never

@@ -1,6 +1,7 @@
 package obs
 
 import (
+	"errors"
 	"expvar"
 	"net"
 	"net/http"
@@ -18,15 +19,26 @@ func (r *Registry) PublishExpvar(name string) {
 	expvar.Publish(name, expvar.Func(func() interface{} { return r.Snapshot() }))
 }
 
+// DebugServer is a running debug HTTP endpoint started by
+// StartDebugServer. Close releases its port, so sequential runs (and
+// tests) can reuse an address; additional handlers — the OpenMetrics
+// /metrics exposition from internal/obs/export, for one — attach
+// through Handle.
+type DebugServer struct {
+	ln  net.Listener
+	srv *http.Server
+	mux *http.ServeMux
+}
+
 // StartDebugServer serves /debug/vars (expvar, including registries
 // published via PublishExpvar) and /debug/pprof/* on its own mux at
-// addr ("host:port"; port 0 picks a free one). It returns the bound
-// address. The server runs until the process exits — CLIs call this
-// behind a -debug-addr flag for profiling long runs.
-func StartDebugServer(addr string) (string, error) {
+// addr ("host:port"; port 0 picks a free one). The server runs until
+// Close — CLIs call this behind a -debug-addr flag for profiling and
+// scraping long runs.
+func StartDebugServer(addr string) (*DebugServer, error) {
 	ln, err := net.Listen("tcp", addr)
 	if err != nil {
-		return "", err
+		return nil, err
 	}
 	mux := http.NewServeMux()
 	mux.Handle("/debug/vars", expvar.Handler())
@@ -36,6 +48,29 @@ func StartDebugServer(addr string) (string, error) {
 	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
 	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
 	srv := &http.Server{Handler: mux}
-	go srv.Serve(ln)
-	return ln.Addr().String(), nil
+	s := &DebugServer{ln: ln, srv: srv, mux: mux}
+	go func() { _ = srv.Serve(ln) }()
+	return s, nil
+}
+
+// Addr returns the bound "host:port" address.
+func (s *DebugServer) Addr() string { return s.ln.Addr().String() }
+
+// Handle registers an additional handler on the server's mux
+// (http.ServeMux registration is safe while serving).
+func (s *DebugServer) Handle(pattern string, h http.Handler) {
+	s.mux.Handle(pattern, h)
+}
+
+// Close stops the server and releases its listener. In-flight requests
+// are aborted; the address is immediately reusable.
+func (s *DebugServer) Close() error {
+	err := s.srv.Close()
+	// srv.Close only closes listeners Serve has already registered;
+	// closing ours directly makes Close safe however early it races the
+	// Serve goroutine.
+	if cerr := s.ln.Close(); cerr != nil && !errors.Is(cerr, net.ErrClosed) && err == nil {
+		err = cerr
+	}
+	return err
 }

@@ -21,10 +21,12 @@ func TestDebugServerAndExpvar(t *testing.T) {
 		t.Fatal("expvar not published")
 	}
 
-	addr, err := StartDebugServer("127.0.0.1:0")
+	srv, err := StartDebugServer("127.0.0.1:0")
 	if err != nil {
 		t.Fatal(err)
 	}
+	defer srv.Close()
+	addr := srv.Addr()
 
 	resp, err := http.Get("http://" + addr + "/debug/vars")
 	if err != nil {
@@ -74,5 +76,56 @@ func TestDebugServerAndExpvar(t *testing.T) {
 func TestDebugServerBadAddr(t *testing.T) {
 	if _, err := StartDebugServer("256.0.0.1:bad"); err == nil {
 		t.Fatal("nonsense address accepted")
+	}
+}
+
+// TestDebugServerSequential is the lifecycle regression test: Close
+// must release the port so a second server can bind the same address —
+// the pre-Close API leaked every listener for the process lifetime.
+func TestDebugServerSequential(t *testing.T) {
+	first, err := StartDebugServer("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	addr := first.Addr()
+	if err := first.Close(); err != nil {
+		t.Fatalf("Close: %v", err)
+	}
+
+	second, err := StartDebugServer(addr)
+	if err != nil {
+		t.Fatalf("rebinding %s after Close: %v", addr, err)
+	}
+	defer second.Close()
+
+	resp, err := http.Get("http://" + second.Addr() + "/debug/vars")
+	if err != nil {
+		t.Fatalf("second server not serving: %v", err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("/debug/vars on the second server: status %d", resp.StatusCode)
+	}
+}
+
+// TestDebugServerHandle checks that extra handlers can attach to a
+// running server (the hook the /metrics exposition uses).
+func TestDebugServerHandle(t *testing.T) {
+	srv, err := StartDebugServer("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+	srv.Handle("/extra", http.HandlerFunc(func(w http.ResponseWriter, _ *http.Request) {
+		io.WriteString(w, "extra ok")
+	}))
+	resp, err := http.Get("http://" + srv.Addr() + "/extra")
+	if err != nil {
+		t.Fatal(err)
+	}
+	body, err := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if err != nil || !strings.Contains(string(body), "extra ok") {
+		t.Fatalf("extra handler not served: %v %q", err, body)
 	}
 }

@@ -1,0 +1,160 @@
+package obs
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"io"
+	"strings"
+	"sync"
+)
+
+// Level orders structured events by severity. The zero value is
+// LevelDebug, the chattiest.
+type Level int8
+
+const (
+	LevelDebug Level = iota
+	LevelInfo
+	LevelWarn
+	LevelError
+)
+
+// String implements fmt.Stringer ("debug", "info", "warn", "error").
+func (l Level) String() string {
+	switch l {
+	case LevelDebug:
+		return "debug"
+	case LevelInfo:
+		return "info"
+	case LevelWarn:
+		return "warn"
+	case LevelError:
+		return "error"
+	}
+	return fmt.Sprintf("Level(%d)", int8(l))
+}
+
+// ParseLevel inverts Level.String.
+func ParseLevel(s string) (Level, error) {
+	switch strings.ToLower(s) {
+	case "debug":
+		return LevelDebug, nil
+	case "info":
+		return LevelInfo, nil
+	case "warn", "warning":
+		return LevelWarn, nil
+	case "error":
+		return LevelError, nil
+	}
+	return 0, fmt.Errorf("obs: unknown level %q (want debug|info|warn|error)", s)
+}
+
+// Field is one key/value attribute of a structured event.
+type Field struct {
+	K string
+	V interface{}
+}
+
+// F builds a Field; sugar for event call sites.
+func F(k string, v interface{}) Field { return Field{K: k, V: v} }
+
+// Record is one event-log line, as written and as re-read by ReadLog.
+// Fields is nil when the event carried none.
+type Record struct {
+	T      int64                  `json:"t_unix_ns"`
+	Level  string                 `json:"level"`
+	Event  string                 `json:"event"`
+	Fields map[string]interface{} `json:"fields,omitempty"`
+}
+
+// EventLog writes leveled structured events as NDJSON — one JSON object
+// per line — to an io.Writer. It is the narrative counterpart of the
+// registry's metrics: fault injections, repair outcomes and campaign
+// milestones land here with their attributes, for replay by
+// cmd/starmon or any line-oriented JSON tool.
+//
+// A nil *EventLog discards everything at the cost of a pointer test, so
+// instrumented code logs unconditionally; guard chatty sites (per-hop
+// token moves) with Enabled to skip field construction too. Writes are
+// serialized by an internal mutex; timestamps come from the injected
+// Clock.
+type EventLog struct {
+	mu    sync.Mutex
+	w     io.Writer
+	min   Level
+	clock Clock
+}
+
+// NewEventLog returns a log writing events at or above min to w on
+// clock (nil means Wall).
+func NewEventLog(w io.Writer, min Level, clock Clock) *EventLog {
+	if clock == nil {
+		clock = Wall
+	}
+	return &EventLog{w: w, min: min, clock: clock}
+}
+
+// Enabled reports whether an event at level would be written. Call
+// sites that build fields for high-volume debug events use this to skip
+// the work entirely.
+func (l *EventLog) Enabled(level Level) bool {
+	return l != nil && level >= l.min
+}
+
+// Log writes one event. Marshal failures (an unserializable field
+// value) are swallowed after replacing the fields with an error note —
+// the log is diagnostic output and must never fail the run it observes.
+func (l *EventLog) Log(level Level, event string, fields ...Field) {
+	if !l.Enabled(level) {
+		return
+	}
+	rec := Record{
+		T:     l.clock.Now().UnixNano(),
+		Level: level.String(),
+		Event: event,
+	}
+	if len(fields) > 0 {
+		rec.Fields = make(map[string]interface{}, len(fields))
+		for _, f := range fields {
+			rec.Fields[f.K] = f.V
+		}
+	}
+	line, err := json.Marshal(rec)
+	if err != nil {
+		rec.Fields = map[string]interface{}{"obs_marshal_error": err.Error()}
+		line, _ = json.Marshal(rec)
+	}
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if _, err := l.w.Write(line); err != nil {
+		return
+	}
+	_, _ = l.w.Write([]byte{'\n'})
+}
+
+// ReadLog parses an NDJSON event stream back into records, skipping
+// blank lines. A malformed line fails the whole read with its line
+// number — replay tooling should not silently drop evidence.
+func ReadLog(r io.Reader) ([]Record, error) {
+	var out []Record
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 0, 64*1024), 1<<20)
+	lineno := 0
+	for sc.Scan() {
+		lineno++
+		line := strings.TrimSpace(sc.Text())
+		if line == "" {
+			continue
+		}
+		var rec Record
+		if err := json.Unmarshal([]byte(line), &rec); err != nil {
+			return nil, fmt.Errorf("obs: event log line %d: %w", lineno, err)
+		}
+		out = append(out, rec)
+	}
+	if err := sc.Err(); err != nil {
+		return nil, fmt.Errorf("obs: event log: %w", err)
+	}
+	return out, nil
+}

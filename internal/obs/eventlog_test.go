@@ -1,0 +1,119 @@
+package obs
+
+import (
+	"strings"
+	"testing"
+	"time"
+)
+
+func TestEventLogRoundTrip(t *testing.T) {
+	clock := NewManual(time.Unix(500, 0))
+	var buf strings.Builder
+	lg := NewEventLog(&buf, LevelInfo, clock)
+
+	lg.Log(LevelDebug, "t.noise") // below min: dropped
+	lg.Log(LevelInfo, "t.fault", F("vertex", "213456"), F("count", 3))
+	clock.Advance(time.Second)
+	lg.Log(LevelWarn, "t.repair", F("outcome", "splice"))
+
+	recs, err := ReadLog(strings.NewReader(buf.String()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(recs) != 2 {
+		t.Fatalf("got %d records, want 2 (debug filtered):\n%s", len(recs), buf.String())
+	}
+	if recs[0].Event != "t.fault" || recs[0].Level != "info" {
+		t.Errorf("first record: %+v", recs[0])
+	}
+	if recs[0].T != time.Unix(500, 0).UnixNano() {
+		t.Errorf("timestamp not on the manual clock: %d", recs[0].T)
+	}
+	if recs[0].Fields["vertex"] != "213456" || recs[0].Fields["count"] != float64(3) {
+		t.Errorf("fields lost in round trip: %+v", recs[0].Fields)
+	}
+	if recs[1].Event != "t.repair" || recs[1].T <= recs[0].T {
+		t.Errorf("second record: %+v", recs[1])
+	}
+	if !strings.HasSuffix(buf.String(), "\n") {
+		t.Error("log is not newline-terminated NDJSON")
+	}
+	if strings.Count(buf.String(), "\n") != 2 {
+		t.Errorf("want one line per event:\n%q", buf.String())
+	}
+}
+
+func TestEventLogNilSafe(t *testing.T) {
+	var lg *EventLog
+	if lg.Enabled(LevelError) {
+		t.Error("nil log claims to be enabled")
+	}
+	lg.Log(LevelError, "t.event", F("k", "v")) // must not panic
+}
+
+func TestEventLogEnabled(t *testing.T) {
+	lg := NewEventLog(&strings.Builder{}, LevelWarn, nil)
+	if lg.Enabled(LevelInfo) || !lg.Enabled(LevelWarn) || !lg.Enabled(LevelError) {
+		t.Error("level threshold not honored")
+	}
+}
+
+func TestParseLevel(t *testing.T) {
+	for s, want := range map[string]Level{
+		"debug": LevelDebug, "info": LevelInfo, "WARN": LevelWarn,
+		"warning": LevelWarn, "Error": LevelError,
+	} {
+		got, err := ParseLevel(s)
+		if err != nil || got != want {
+			t.Errorf("ParseLevel(%q) = %v, %v; want %v", s, got, err, want)
+		}
+	}
+	if _, err := ParseLevel("loud"); err == nil {
+		t.Error("ParseLevel accepted nonsense")
+	}
+	for _, l := range []Level{LevelDebug, LevelInfo, LevelWarn, LevelError} {
+		back, err := ParseLevel(l.String())
+		if err != nil || back != l {
+			t.Errorf("round trip %v: %v, %v", l, back, err)
+		}
+	}
+}
+
+func TestReadLogMalformed(t *testing.T) {
+	if _, err := ReadLog(strings.NewReader("{\"t_unix_ns\":1}\nnot json\n")); err == nil {
+		t.Error("malformed line accepted")
+	}
+	recs, err := ReadLog(strings.NewReader("\n\n"))
+	if err != nil || len(recs) != 0 {
+		t.Errorf("blank-only input: %v, %v", recs, err)
+	}
+}
+
+// TestRegistryEventLog covers the attach point instrumented subsystems
+// reach events through.
+func TestRegistryEventLog(t *testing.T) {
+	var nilReg *Registry
+	if nilReg.EventLog() != nil {
+		t.Error("nil registry must hand out a nil (no-op) log")
+	}
+	nilReg.SetEventLog(NewEventLog(&strings.Builder{}, LevelInfo, nil)) // no-op, no panic
+
+	reg := NewRegistry()
+	if reg.EventLog() != nil {
+		t.Error("fresh registry must have no event log")
+	}
+	var buf strings.Builder
+	lg := NewEventLog(&buf, LevelInfo, nil)
+	reg.SetEventLog(lg)
+	if reg.EventLog() != lg {
+		t.Error("SetEventLog did not attach")
+	}
+	reg.EventLog().Log(LevelInfo, "t.attached")
+	if !strings.Contains(buf.String(), "t.attached") {
+		t.Error("event did not reach the attached log")
+	}
+	reg.SetEventLog(nil)
+	if reg.EventLog() != nil {
+		t.Error("SetEventLog(nil) did not detach")
+	}
+}

@@ -1,0 +1,206 @@
+package export
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"net/http"
+	"regexp"
+	"sort"
+	"strconv"
+	"strings"
+
+	"repro/internal/obs"
+)
+
+// The OpenMetrics text exposition (the format Prometheus scrapes).
+// Dotted obs names map to underscore families: "core.s4.cache_hits"
+// becomes counter core_s4_cache_hits (sample core_s4_cache_hits_total),
+// gauges keep their name, and each histogram is exposed as a summary —
+// p50/p95 quantiles plus _sum and _count, all in seconds — with the
+// tracked maximum as a companion <name>_max_seconds gauge.
+
+// openMetricsContentType is the content type Prometheus negotiates for
+// OpenMetrics 1.0.
+const openMetricsContentType = "application/openmetrics-text; version=1.0.0; charset=utf-8"
+
+// MetricName maps a dotted obs metric name onto the OpenMetrics
+// grammar: dots become underscores, anything else invalid becomes '_'.
+func MetricName(name string) string {
+	var b strings.Builder
+	b.Grow(len(name))
+	for i, r := range name {
+		switch {
+		case r >= 'a' && r <= 'z', r >= 'A' && r <= 'Z', r == '_', r == ':':
+			b.WriteRune(r)
+		case r >= '0' && r <= '9' && i > 0:
+			b.WriteRune(r)
+		default:
+			b.WriteByte('_')
+		}
+	}
+	return b.String()
+}
+
+// seconds renders nanoseconds as an OpenMetrics float in seconds.
+func seconds(ns int64) string {
+	return strconv.FormatFloat(float64(ns)/1e9, 'g', -1, 64)
+}
+
+// WriteOpenMetrics renders one registry snapshot as OpenMetrics text,
+// deterministically ordered, terminated by the mandatory "# EOF".
+func WriteOpenMetrics(w io.Writer, snap obs.Snapshot) error {
+	bw := bufio.NewWriter(w)
+
+	names := make([]string, 0, len(snap.Counters))
+	for name := range snap.Counters {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	for _, name := range names {
+		m := MetricName(name)
+		fmt.Fprintf(bw, "# TYPE %s counter\n", m)
+		fmt.Fprintf(bw, "%s_total %d\n", m, snap.Counters[name])
+	}
+
+	names = names[:0]
+	for name := range snap.Gauges {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	for _, name := range names {
+		m := MetricName(name)
+		fmt.Fprintf(bw, "# TYPE %s gauge\n", m)
+		fmt.Fprintf(bw, "%s %d\n", m, snap.Gauges[name])
+	}
+
+	names = names[:0]
+	for name := range snap.Histograms {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	for _, name := range names {
+		st := snap.Histograms[name]
+		m := MetricName(name)
+		fmt.Fprintf(bw, "# TYPE %s summary\n", m)
+		fmt.Fprintf(bw, "%s{quantile=\"0.5\"} %s\n", m, seconds(st.P50NS))
+		fmt.Fprintf(bw, "%s{quantile=\"0.95\"} %s\n", m, seconds(st.P95NS))
+		fmt.Fprintf(bw, "%s_sum %s\n", m, seconds(st.SumNS))
+		fmt.Fprintf(bw, "%s_count %d\n", m, st.Count)
+		fmt.Fprintf(bw, "# TYPE %s_max_seconds gauge\n", m)
+		fmt.Fprintf(bw, "%s_max_seconds %s\n", m, seconds(st.MaxNS))
+	}
+
+	fmt.Fprintln(bw, "# EOF")
+	return bw.Flush()
+}
+
+// MetricsHandler serves the registry's live snapshot as OpenMetrics
+// text; mount it at /metrics on the obs debug server.
+func MetricsHandler(r *obs.Registry) http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, _ *http.Request) {
+		w.Header().Set("Content-Type", openMetricsContentType)
+		_ = WriteOpenMetrics(w, r.Snapshot())
+	})
+}
+
+var (
+	omNameRE   = regexp.MustCompile(`^[a-zA-Z_:][a-zA-Z0-9_:]*$`)
+	omSampleRE = regexp.MustCompile(`^([a-zA-Z_:][a-zA-Z0-9_:]*)(\{[^{}]*\})? (\S+)( [0-9.e+-]+)?$`)
+	omTypes    = map[string]bool{
+		"counter": true, "gauge": true, "summary": true, "histogram": true,
+		"info": true, "stateset": true, "unknown": true,
+	}
+)
+
+// ValidateOpenMetrics checks that data is well-formed OpenMetrics text:
+// metadata lines declare known types over legal names, every sample
+// belongs to a declared family with the suffix its type allows, values
+// parse as floats, and the exposition ends with "# EOF". It returns the
+// number of metric families. It backs the exporter's unit tests, the
+// CI /metrics smoke leg, and starmon -check-metrics.
+func ValidateOpenMetrics(data []byte) (families int, err error) {
+	lines := strings.Split(string(data), "\n")
+	declared := map[string]string{} // family -> type
+	sawEOF := false
+	for i, line := range lines {
+		lineno := i + 1
+		if sawEOF {
+			if strings.TrimSpace(line) != "" {
+				return 0, fmt.Errorf("line %d: content after # EOF", lineno)
+			}
+			continue
+		}
+		if line == "" {
+			continue
+		}
+		if line == "# EOF" {
+			sawEOF = true
+			continue
+		}
+		if strings.HasPrefix(line, "#") {
+			fields := strings.Fields(line)
+			if len(fields) < 3 || fields[0] != "#" {
+				return 0, fmt.Errorf("line %d: malformed metadata line %q", lineno, line)
+			}
+			switch fields[1] {
+			case "TYPE":
+				if len(fields) != 4 {
+					return 0, fmt.Errorf("line %d: TYPE wants '# TYPE <name> <type>', got %q", lineno, line)
+				}
+				name, typ := fields[2], fields[3]
+				if !omNameRE.MatchString(name) {
+					return 0, fmt.Errorf("line %d: illegal metric family name %q", lineno, name)
+				}
+				if !omTypes[typ] {
+					return 0, fmt.Errorf("line %d: unknown metric type %q", lineno, typ)
+				}
+				if _, dup := declared[name]; dup {
+					return 0, fmt.Errorf("line %d: family %q declared twice", lineno, name)
+				}
+				declared[name] = typ
+			case "HELP", "UNIT":
+				// Optional metadata; name syntax is all we check.
+				if !omNameRE.MatchString(fields[2]) {
+					return 0, fmt.Errorf("line %d: illegal metric family name %q", lineno, fields[2])
+				}
+			default:
+				return 0, fmt.Errorf("line %d: unknown metadata keyword %q", lineno, fields[1])
+			}
+			continue
+		}
+		m := omSampleRE.FindStringSubmatch(line)
+		if m == nil {
+			return 0, fmt.Errorf("line %d: malformed sample line %q", lineno, line)
+		}
+		if _, err := strconv.ParseFloat(m[3], 64); err != nil {
+			return 0, fmt.Errorf("line %d: sample value %q is not a float", lineno, m[3])
+		}
+		if familyOf(m[1], declared) == "" {
+			return 0, fmt.Errorf("line %d: sample %q has no TYPE declaration", lineno, m[1])
+		}
+	}
+	if !sawEOF {
+		return 0, fmt.Errorf("missing # EOF terminator")
+	}
+	return len(declared), nil
+}
+
+// familyOf resolves a sample name to its declared family, honoring the
+// per-type suffixes OpenMetrics allows (_total, _sum, _count, _bucket,
+// _created), or "" when no declaration covers it.
+func familyOf(sample string, declared map[string]string) string {
+	if _, ok := declared[sample]; ok {
+		return sample
+	}
+	for _, suf := range []string{"_total", "_sum", "_count", "_bucket", "_created"} {
+		base, found := strings.CutSuffix(sample, suf)
+		if !found {
+			continue
+		}
+		if _, ok := declared[base]; ok {
+			return base
+		}
+	}
+	return ""
+}

@@ -1,0 +1,137 @@
+package export
+
+import (
+	"bytes"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+	"time"
+
+	"repro/internal/obs"
+)
+
+func TestWriteOpenMetrics(t *testing.T) {
+	reg := obs.NewRegistry()
+	reg.Counter("t.s4.cache_hits").Add(42)
+	reg.Gauge("t.route.workers").Set(8)
+	reg.Histogram("t.phase.route").Observe(1500 * time.Microsecond)
+
+	var buf bytes.Buffer
+	if err := WriteOpenMetrics(&buf, reg.Snapshot()); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+
+	for _, want := range []string{
+		"# TYPE t_s4_cache_hits counter\n",
+		"t_s4_cache_hits_total 42\n",
+		"# TYPE t_route_workers gauge\n",
+		"t_route_workers 8\n",
+		"# TYPE t_phase_route summary\n",
+		`t_phase_route{quantile="0.5"} `,
+		`t_phase_route{quantile="0.95"} `,
+		"t_phase_route_count 1\n",
+		"# TYPE t_phase_route_max_seconds gauge\n",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("exposition missing %q:\n%s", want, out)
+		}
+	}
+	if !strings.HasSuffix(strings.TrimRight(out, "\n"), "# EOF") {
+		t.Errorf("exposition not terminated by # EOF:\n%s", out)
+	}
+
+	families, err := ValidateOpenMetrics(buf.Bytes())
+	if err != nil {
+		t.Fatalf("our own exposition does not validate: %v\n%s", err, out)
+	}
+	// counter + gauge + summary + max gauge.
+	if families != 4 {
+		t.Errorf("families = %d, want 4", families)
+	}
+}
+
+func TestWriteOpenMetricsDeterministic(t *testing.T) {
+	reg := obs.NewRegistry()
+	for _, name := range []string{"t.b", "t.a", "t.c"} {
+		reg.Counter(name).Inc()
+	}
+	var first bytes.Buffer
+	if err := WriteOpenMetrics(&first, reg.Snapshot()); err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 5; i++ {
+		var again bytes.Buffer
+		if err := WriteOpenMetrics(&again, reg.Snapshot()); err != nil {
+			t.Fatal(err)
+		}
+		if again.String() != first.String() {
+			t.Fatalf("non-deterministic exposition:\n%s\nvs\n%s", first.String(), again.String())
+		}
+	}
+	if idx := strings.Index(first.String(), "t_a_total"); idx < 0 || idx > strings.Index(first.String(), "t_b_total") {
+		t.Errorf("families not sorted:\n%s", first.String())
+	}
+}
+
+func TestMetricsHandler(t *testing.T) {
+	reg := obs.NewRegistry()
+	reg.Counter("t.ops.count").Add(5)
+	ts := httptest.NewServer(MetricsHandler(reg))
+	defer ts.Close()
+
+	resp, err := http.Get(ts.URL)
+	if err != nil {
+		t.Fatal(err)
+	}
+	body, err := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ct := resp.Header.Get("Content-Type"); !strings.Contains(ct, "openmetrics-text") {
+		t.Errorf("content type %q is not the OpenMetrics negotiation", ct)
+	}
+	if _, err := ValidateOpenMetrics(body); err != nil {
+		t.Fatalf("handler served invalid OpenMetrics: %v\n%s", err, body)
+	}
+	if !strings.Contains(string(body), "t_ops_count_total 5") {
+		t.Errorf("live counter missing from scrape:\n%s", body)
+	}
+}
+
+func TestValidateOpenMetricsRejects(t *testing.T) {
+	cases := map[string]string{
+		"missing EOF":        "# TYPE a counter\na_total 1\n",
+		"undeclared sample":  "a_total 1\n# EOF\n",
+		"bad type":           "# TYPE a widget\n# EOF\n",
+		"bad value":          "# TYPE a gauge\na notanumber\n# EOF\n",
+		"duplicate family":   "# TYPE a gauge\n# TYPE a gauge\n# EOF\n",
+		"content after EOF":  "# EOF\n# TYPE a gauge\n",
+		"illegal name":       "# TYPE 9bad counter\n# EOF\n",
+		"malformed metadata": "# TYPE onlyname\n# EOF\n",
+	}
+	for label, text := range cases {
+		if _, err := ValidateOpenMetrics([]byte(text)); err == nil {
+			t.Errorf("%s: validator accepted %q", label, text)
+		}
+	}
+	if n, err := ValidateOpenMetrics([]byte("# EOF\n")); err != nil || n != 0 {
+		t.Errorf("empty exposition: n=%d err=%v", n, err)
+	}
+}
+
+func TestMetricName(t *testing.T) {
+	for in, want := range map[string]string{
+		"core.s4.cache_hits": "core_s4_cache_hits",
+		"harness.exp.F7":     "harness_exp_F7",
+		"9lead":              "_lead",
+		"a-b":                "a_b",
+	} {
+		if got := MetricName(in); got != want {
+			t.Errorf("MetricName(%q) = %q, want %q", in, got, want)
+		}
+	}
+}

@@ -1,0 +1,115 @@
+package export
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"io"
+	"os"
+
+	"repro/internal/obs"
+)
+
+// Chrome trace_event JSON (the Trace Event Format), loadable by
+// Perfetto and chrome://tracing. Every completed obs span becomes one
+// "complete" ("ph":"X") event, so the core.phase.* pipeline and the
+// repair spans render as a real timeline.
+
+// TraceEvent is one trace_event record. Timestamps and durations are
+// microseconds, the format's native unit.
+type TraceEvent struct {
+	Name string  `json:"name"`
+	Cat  string  `json:"cat"`
+	Ph   string  `json:"ph"`
+	TS   float64 `json:"ts"`
+	Dur  float64 `json:"dur"`
+	PID  int     `json:"pid"`
+	TID  int     `json:"tid"`
+}
+
+// Trace is the JSON-object form of a trace file.
+type Trace struct {
+	TraceEvents     []TraceEvent `json:"traceEvents"`
+	DisplayTimeUnit string       `json:"displayTimeUnit"`
+}
+
+// NewTrace converts recorded span events into a trace. Timestamps are
+// rebased to the earliest span so the timeline starts near zero.
+func NewTrace(events []obs.Event) Trace {
+	tr := Trace{TraceEvents: []TraceEvent{}, DisplayTimeUnit: "ms"}
+	var base int64
+	for i, e := range events {
+		if i == 0 || e.StartNS < base {
+			base = e.StartNS
+		}
+	}
+	for _, e := range events {
+		tr.TraceEvents = append(tr.TraceEvents, TraceEvent{
+			Name: e.Name,
+			Cat:  "obs",
+			Ph:   "X",
+			TS:   float64(e.StartNS-base) / 1e3,
+			Dur:  float64(e.DurNS) / 1e3,
+			PID:  1,
+			TID:  1,
+		})
+	}
+	return tr
+}
+
+// WriteTrace writes the spans as one indented trace_event JSON object.
+func WriteTrace(w io.Writer, events []obs.Event) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(NewTrace(events))
+}
+
+// WriteTraceFile writes the trace to path (the CLIs' -trace-out flag).
+func WriteTraceFile(path string, events []obs.Event) error {
+	var buf bytes.Buffer
+	if err := WriteTrace(&buf, events); err != nil {
+		return err
+	}
+	return os.WriteFile(path, buf.Bytes(), 0o644)
+}
+
+// ValidateTrace checks that data is a Perfetto-loadable trace_event
+// document — valid JSON in the object form, every event carrying a
+// name and a known phase, complete events with non-negative ts/dur —
+// and returns the number of complete ("X") events. It backs the
+// exporter's tests, the CI trace smoke leg, and starmon -check-trace.
+func ValidateTrace(data []byte) (complete int, err error) {
+	var tr struct {
+		TraceEvents []struct {
+			Name *string  `json:"name"`
+			Ph   *string  `json:"ph"`
+			TS   *float64 `json:"ts"`
+			Dur  *float64 `json:"dur"`
+		} `json:"traceEvents"`
+	}
+	if err := json.Unmarshal(data, &tr); err != nil {
+		return 0, fmt.Errorf("not trace_event JSON: %w", err)
+	}
+	if tr.TraceEvents == nil {
+		return 0, fmt.Errorf("missing traceEvents array")
+	}
+	for i, e := range tr.TraceEvents {
+		if e.Name == nil || *e.Name == "" {
+			return 0, fmt.Errorf("traceEvents[%d]: missing name", i)
+		}
+		if e.Ph == nil || *e.Ph == "" {
+			return 0, fmt.Errorf("traceEvents[%d]: missing ph", i)
+		}
+		if *e.Ph != "X" {
+			continue
+		}
+		if e.TS == nil || *e.TS < 0 {
+			return 0, fmt.Errorf("traceEvents[%d]: complete event needs ts >= 0", i)
+		}
+		if e.Dur == nil || *e.Dur < 0 {
+			return 0, fmt.Errorf("traceEvents[%d]: complete event needs dur >= 0", i)
+		}
+		complete++
+	}
+	return complete, nil
+}

@@ -1,0 +1,115 @@
+package export
+
+import (
+	"bytes"
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"testing"
+	"time"
+
+	"repro/internal/obs"
+)
+
+// spanEvents records two real spans through a registry on a manual
+// clock, giving deterministic starts and durations.
+func spanEvents(t *testing.T) []obs.Event {
+	t.Helper()
+	clock := obs.NewManual(time.Unix(100, 0))
+	reg := obs.NewRegistry()
+	reg.SetClock(clock)
+	rec := obs.NewRecorder(16)
+	reg.SetSink(rec)
+
+	outer := reg.Span("t.phase.total")
+	clock.Advance(3 * time.Millisecond)
+	inner := reg.Span("t.phase.route")
+	clock.Advance(2 * time.Millisecond)
+	inner.End()
+	outer.End()
+	return rec.Events()
+}
+
+func TestWriteTrace(t *testing.T) {
+	events := spanEvents(t)
+	var buf bytes.Buffer
+	if err := WriteTrace(&buf, events); err != nil {
+		t.Fatal(err)
+	}
+
+	complete, err := ValidateTrace(buf.Bytes())
+	if err != nil {
+		t.Fatalf("our own trace does not validate: %v\n%s", err, buf.String())
+	}
+	if complete != 2 {
+		t.Fatalf("complete events = %d, want 2", complete)
+	}
+
+	var tr Trace
+	if err := json.Unmarshal(buf.Bytes(), &tr); err != nil {
+		t.Fatal(err)
+	}
+	byName := map[string]TraceEvent{}
+	for _, e := range tr.TraceEvents {
+		byName[e.Name] = e
+	}
+	total, route := byName["t.phase.total"], byName["t.phase.route"]
+	if total.Ph != "X" || route.Ph != "X" {
+		t.Fatalf("events are not complete-phase: %+v", tr.TraceEvents)
+	}
+	// Rebased: the outer span starts at 0µs; the inner starts 3ms later
+	// and lasts 2ms; the outer lasts 5ms.
+	if total.TS != 0 || total.Dur != 5000 {
+		t.Errorf("outer span ts/dur = %v/%v µs, want 0/5000", total.TS, total.Dur)
+	}
+	if route.TS != 3000 || route.Dur != 2000 {
+		t.Errorf("inner span ts/dur = %v/%v µs, want 3000/2000", route.TS, route.Dur)
+	}
+}
+
+func TestWriteTraceFile(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "trace.json")
+	if err := WriteTraceFile(path, spanEvents(t)); err != nil {
+		t.Fatal(err)
+	}
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n, err := ValidateTrace(data); err != nil || n != 2 {
+		t.Fatalf("trace file: n=%d err=%v", n, err)
+	}
+}
+
+func TestWriteTraceEmpty(t *testing.T) {
+	var buf bytes.Buffer
+	if err := WriteTrace(&buf, nil); err != nil {
+		t.Fatal(err)
+	}
+	// An empty run must still produce a loadable document with a
+	// traceEvents array, not JSON null.
+	if n, err := ValidateTrace(buf.Bytes()); err != nil || n != 0 {
+		t.Fatalf("empty trace: n=%d err=%v\n%s", n, err, buf.String())
+	}
+}
+
+func TestValidateTraceRejects(t *testing.T) {
+	cases := map[string]string{
+		"not json":      "{",
+		"missing array": `{"displayTimeUnit":"ms"}`,
+		"missing name":  `{"traceEvents":[{"ph":"X","ts":0,"dur":1}]}`,
+		"missing ph":    `{"traceEvents":[{"name":"a","ts":0,"dur":1}]}`,
+		"negative ts":   `{"traceEvents":[{"name":"a","ph":"X","ts":-5,"dur":1}]}`,
+		"missing dur":   `{"traceEvents":[{"name":"a","ph":"X","ts":0}]}`,
+	}
+	for label, text := range cases {
+		if _, err := ValidateTrace([]byte(text)); err == nil {
+			t.Errorf("%s: validator accepted %q", label, text)
+		}
+	}
+	// Non-complete phases are allowed and not counted.
+	n, err := ValidateTrace([]byte(`{"traceEvents":[{"name":"m","ph":"M"},{"name":"a","ph":"X","ts":1,"dur":2}]}`))
+	if err != nil || n != 1 {
+		t.Errorf("mixed-phase trace: n=%d err=%v", n, err)
+	}
+}

@@ -1,0 +1,166 @@
+package export
+
+import (
+	"bytes"
+	"encoding/json"
+	"testing"
+	"time"
+
+	"repro/internal/obs"
+)
+
+// testRegistry builds a registry on a manual clock with one metric of
+// each kind.
+func testRegistry(start time.Time) (*obs.Registry, *obs.Manual) {
+	clock := obs.NewManual(start)
+	reg := obs.NewRegistry()
+	reg.SetClock(clock)
+	reg.Counter("t.ops.count").Add(3)
+	reg.Gauge("t.pool.size").Set(7)
+	reg.Histogram("t.phase.route").Observe(2 * time.Millisecond)
+	return reg, clock
+}
+
+func TestSamplerSeries(t *testing.T) {
+	start := time.Unix(1000, 0)
+	reg, clock := testRegistry(start)
+	s := NewSampler(reg, SamplerConfig{Capacity: 8})
+
+	s.Sample()
+	clock.Advance(time.Second)
+	reg.Counter("t.ops.count").Add(5)
+	reg.Gauge("t.pool.size").Set(2)
+	reg.Histogram("t.phase.route").Observe(4 * time.Millisecond)
+	s.Sample()
+
+	byName := map[string]Series{}
+	for _, sr := range s.Series() {
+		byName[sr.Name] = sr
+	}
+	// 1 counter + 1 gauge + 4 histogram sub-series.
+	if len(byName) != 6 {
+		t.Fatalf("got %d series, want 6: %v", len(byName), byName)
+	}
+
+	ops := byName["t.ops.count"]
+	if ops.Kind != "counter" || len(ops.Samples) != 2 {
+		t.Fatalf("t.ops.count series: %+v", ops)
+	}
+	if ops.Samples[0].V != 3 || ops.Samples[1].V != 8 {
+		t.Errorf("counter values = %d, %d; want 3, 8", ops.Samples[0].V, ops.Samples[1].V)
+	}
+	if ops.Samples[0].T != start.UnixNano() || ops.Samples[1].T != start.Add(time.Second).UnixNano() {
+		t.Errorf("timestamps not on the manual clock: %+v", ops.Samples)
+	}
+
+	if g := byName["t.pool.size"]; g.Kind != "gauge" || g.Samples[1].V != 2 {
+		t.Errorf("gauge series: %+v", g)
+	}
+	if c := byName["t.phase.route.count"]; c.Kind != "histogram" || c.Samples[0].V != 1 || c.Samples[1].V != 2 {
+		t.Errorf("histogram count series: %+v", c)
+	}
+	if mx := byName["t.phase.route.max_ns"]; mx.Samples[1].V < int64(4*time.Millisecond) {
+		t.Errorf("histogram max series did not track the 4ms observation: %+v", mx)
+	}
+	for _, name := range []string{"t.phase.route.p50_ns", "t.phase.route.p95_ns"} {
+		if sr, ok := byName[name]; !ok || len(sr.Samples) != 2 {
+			t.Errorf("missing histogram sub-series %s: %+v", name, sr)
+		}
+	}
+}
+
+// TestSamplerRingCapacity checks that the fixed-capacity ring keeps the
+// newest samples and drops the oldest.
+func TestSamplerRingCapacity(t *testing.T) {
+	start := time.Unix(2000, 0)
+	reg, clock := testRegistry(start)
+	s := NewSampler(reg, SamplerConfig{Capacity: 3})
+	for i := 0; i < 5; i++ {
+		reg.Counter("t.ops.count").Inc()
+		s.Sample()
+		clock.Advance(time.Second)
+	}
+	var ops Series
+	for _, sr := range s.Series() {
+		if sr.Name == "t.ops.count" {
+			ops = sr
+		}
+	}
+	if len(ops.Samples) != 3 {
+		t.Fatalf("ring kept %d samples, want 3", len(ops.Samples))
+	}
+	// Started at 3, +1 before each of 5 samples: values 4..8, ring keeps 6,7,8.
+	for i, want := range []int64{6, 7, 8} {
+		if ops.Samples[i].V != want {
+			t.Errorf("samples[%d].V = %d, want %d (oldest-first)", i, ops.Samples[i].V, want)
+		}
+	}
+	for i := 1; i < len(ops.Samples); i++ {
+		if ops.Samples[i].T <= ops.Samples[i-1].T {
+			t.Errorf("samples out of order: %+v", ops.Samples)
+		}
+	}
+}
+
+// TestSamplerSteadyStateAllocs is the acceptance check: once every
+// metric has a ring, Sample must not allocate.
+func TestSamplerSteadyStateAllocs(t *testing.T) {
+	reg, clock := testRegistry(time.Unix(3000, 0))
+	s := NewSampler(reg, SamplerConfig{Capacity: 16})
+	s.Sample() // materialize every ring
+	clock.Advance(time.Millisecond)
+
+	allocs := testing.AllocsPerRun(200, func() {
+		clock.Advance(time.Millisecond)
+		s.Sample()
+	})
+	if allocs != 0 {
+		t.Fatalf("steady-state Sample allocates %.1f times per run, want 0", allocs)
+	}
+}
+
+func TestSamplerStartStop(t *testing.T) {
+	reg := obs.NewRegistry()
+	reg.Counter("t.ops.count").Add(1)
+	s := NewSampler(reg, SamplerConfig{Period: time.Millisecond, Capacity: 1024})
+	stop := s.Start()
+	time.Sleep(20 * time.Millisecond)
+	stop()
+	stop() // idempotent
+
+	series := s.Series()
+	if len(series) == 0 || len(series[0].Samples) == 0 {
+		t.Fatalf("ticker recorded no samples: %+v", series)
+	}
+	n := len(series[0].Samples)
+	time.Sleep(5 * time.Millisecond)
+	if got := len(s.Series()[0].Samples); got != n {
+		t.Errorf("sampler kept ticking after stop: %d -> %d samples", n, got)
+	}
+}
+
+func TestSamplerWriteJSON(t *testing.T) {
+	reg, _ := testRegistry(time.Unix(4000, 0))
+	s := NewSampler(reg, SamplerConfig{Capacity: 4, Period: 250 * time.Millisecond})
+	s.Sample()
+
+	var buf bytes.Buffer
+	if err := s.WriteJSON(&buf); err != nil {
+		t.Fatal(err)
+	}
+	var dump SeriesDump
+	if err := json.Unmarshal(buf.Bytes(), &dump); err != nil {
+		t.Fatalf("WriteJSON output is not valid JSON: %v\n%s", err, buf.String())
+	}
+	if dump.PeriodNS != int64(250*time.Millisecond) {
+		t.Errorf("period_ns = %d", dump.PeriodNS)
+	}
+	if len(dump.Series) != 6 {
+		t.Errorf("got %d series, want 6", len(dump.Series))
+	}
+	for i := 1; i < len(dump.Series); i++ {
+		if dump.Series[i].Name <= dump.Series[i-1].Name {
+			t.Errorf("series not sorted by name: %q after %q", dump.Series[i].Name, dump.Series[i-1].Name)
+		}
+	}
+}

@@ -1,0 +1,225 @@
+package obs
+
+import (
+	"go/ast"
+	"go/parser"
+	"go/token"
+	"os"
+	"path/filepath"
+	"regexp"
+	"strconv"
+	"strings"
+	"testing"
+)
+
+// TestGlossaryComplete keeps the README's Observability glossary and
+// the code's registered metric names in lockstep, in both directions:
+// every name a non-test source file registers (Counter/Gauge/Histogram/
+// Span, including the lowercase instr helpers) must appear in the
+// glossary table, and every glossary entry must still be backed by a
+// registration site. Brace patterns (`core.phase.{total,route}`) are
+// expanded; `<ID>`-style entries and dynamic registrations with a
+// literal prefix ("core.repair." + outcome) are treated as prefix
+// wildcards.
+func TestGlossaryComplete(t *testing.T) {
+	root := filepath.Join("..", "..")
+	glossNames, glossPrefixes := readGlossary(t, filepath.Join(root, "README.md"))
+	codeNames, codePrefixes := scanMetricNames(t, root)
+
+	if len(glossNames)+len(glossPrefixes) == 0 {
+		t.Fatal("no glossary entries parsed from README.md")
+	}
+	if len(codeNames)+len(codePrefixes) == 0 {
+		t.Fatal("no metric registrations found in source")
+	}
+
+	hasPrefix := func(name string, prefixes map[string][]string) bool {
+		for p := range prefixes {
+			if strings.HasPrefix(name, p) {
+				return true
+			}
+		}
+		return false
+	}
+
+	// Code -> glossary: every registered name or dynamic prefix must be
+	// documented.
+	for name, sites := range codeNames {
+		if !glossNames[name] && !hasPrefix(name, glossPrefixes) {
+			t.Errorf("metric %q (registered at %s) is missing from the README glossary",
+				name, strings.Join(sites, ", "))
+		}
+	}
+	for prefix, sites := range codePrefixes {
+		covered := glossPrefixes[prefix] != nil
+		for g := range glossNames {
+			if strings.HasPrefix(g, prefix) {
+				covered = true
+			}
+		}
+		if !covered {
+			t.Errorf("dynamic metric prefix %q* (registered at %s) is missing from the README glossary",
+				prefix, strings.Join(sites, ", "))
+		}
+	}
+
+	// Glossary -> code: every documented entry must still exist.
+	for name := range glossNames {
+		if _, ok := codeNames[name]; !ok && !hasPrefix(name, codePrefixes) {
+			t.Errorf("glossary entry %q has no registration site in the code", name)
+		}
+	}
+	for prefix := range glossPrefixes {
+		covered := codePrefixes[prefix] != nil
+		for c := range codeNames {
+			if strings.HasPrefix(c, prefix) {
+				covered = true
+			}
+		}
+		if !covered {
+			t.Errorf("glossary wildcard %q* has no registration site in the code", prefix)
+		}
+	}
+}
+
+// glossaryToken pulls backticked tokens out of a table cell.
+var glossaryToken = regexp.MustCompile("`([^`]+)`")
+
+// readGlossary parses the metric table of the README's Observability
+// section into exact names and `<ID>`-style prefix wildcards (mapped to
+// a non-nil marker slice for uniform handling).
+func readGlossary(t *testing.T, path string) (names map[string]bool, prefixes map[string][]string) {
+	t.Helper()
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	names = map[string]bool{}
+	prefixes = map[string][]string{}
+	inTable := false
+	for _, line := range strings.Split(string(data), "\n") {
+		trimmed := strings.TrimSpace(line)
+		if strings.HasPrefix(trimmed, "| Metric ") {
+			inTable = true
+			continue
+		}
+		if !inTable {
+			continue
+		}
+		if !strings.HasPrefix(trimmed, "|") {
+			break
+		}
+		cells := strings.Split(trimmed, "|")
+		if len(cells) < 2 || strings.HasPrefix(strings.TrimSpace(cells[1]), "---") {
+			continue
+		}
+		for _, m := range glossaryToken.FindAllStringSubmatch(cells[1], -1) {
+			for _, expanded := range expandBraces(m[1]) {
+				if i := strings.IndexByte(expanded, '<'); i >= 0 {
+					prefixes[expanded[:i]] = []string{"README.md"}
+					continue
+				}
+				names[expanded] = true
+			}
+		}
+	}
+	return names, prefixes
+}
+
+// expandBraces expands every {a,b,c} alternation in pattern.
+func expandBraces(pattern string) []string {
+	open := strings.IndexByte(pattern, '{')
+	if open < 0 {
+		return []string{pattern}
+	}
+	close := strings.IndexByte(pattern[open:], '}')
+	if close < 0 {
+		return []string{pattern}
+	}
+	close += open
+	var out []string
+	for _, alt := range strings.Split(pattern[open+1:close], ",") {
+		out = append(out, expandBraces(pattern[:open]+alt+pattern[close+1:])...)
+	}
+	return out
+}
+
+// metricMethods are the method names whose first argument is a metric
+// name — the Registry constructors and core's lowercase instr helper.
+var metricMethods = map[string]bool{
+	"counter":   true,
+	"gauge":     true,
+	"histogram": true,
+	"span":      true,
+}
+
+// scanMetricNames walks every non-test .go file under root (skipping
+// testdata and hidden directories) and collects the string-literal
+// metric names passed to registration calls. A concatenation with a
+// literal prefix becomes a prefix wildcard. Values map to the
+// registration sites for error messages.
+func scanMetricNames(t *testing.T, root string) (names, prefixes map[string][]string) {
+	t.Helper()
+	names = map[string][]string{}
+	prefixes = map[string][]string{}
+	fset := token.NewFileSet()
+	err := filepath.WalkDir(root, func(path string, d os.DirEntry, err error) error {
+		if err != nil {
+			return err
+		}
+		if d.IsDir() {
+			name := d.Name()
+			if name == "testdata" || name == "vendor" ||
+				(path != root && (strings.HasPrefix(name, ".") || strings.HasPrefix(name, "_"))) {
+				return filepath.SkipDir
+			}
+			return nil
+		}
+		if !strings.HasSuffix(path, ".go") || strings.HasSuffix(path, "_test.go") {
+			return nil
+		}
+		f, err := parser.ParseFile(fset, path, nil, 0)
+		if err != nil {
+			return err
+		}
+		ast.Inspect(f, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok || len(call.Args) == 0 {
+				return true
+			}
+			sel, ok := call.Fun.(*ast.SelectorExpr)
+			if !ok || !metricMethods[strings.ToLower(sel.Sel.Name)] {
+				return true
+			}
+			site := func(pos token.Pos) string {
+				p := fset.Position(pos)
+				rel, relErr := filepath.Rel(root, p.Filename)
+				if relErr != nil {
+					rel = p.Filename
+				}
+				return filepath.ToSlash(rel) + ":" + strconv.Itoa(p.Line)
+			}
+			switch arg := call.Args[0].(type) {
+			case *ast.BasicLit:
+				if arg.Kind != token.STRING {
+					return true
+				}
+				if v, err := strconv.Unquote(arg.Value); err == nil {
+					names[v] = append(names[v], site(arg.Pos()))
+				}
+			case *ast.BinaryExpr:
+				if lit, ok := arg.X.(*ast.BasicLit); ok && lit.Kind == token.STRING && arg.Op == token.ADD {
+					if v, err := strconv.Unquote(lit.Value); err == nil {
+						prefixes[v] = append(prefixes[v], site(lit.Pos()))
+					}
+				}
+			}
+			return true
+		})
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return names, prefixes
+}

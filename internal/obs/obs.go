@@ -93,6 +93,7 @@ type Registry struct {
 	hists    map[string]*Histogram
 	clock    Clock
 	sink     Sink
+	events   *EventLog
 }
 
 // NewRegistry returns an empty registry on the wall clock.
@@ -135,6 +136,28 @@ func (r *Registry) SetSink(s Sink) {
 	r.mu.Lock()
 	r.sink = s
 	r.mu.Unlock()
+}
+
+// SetEventLog attaches the structured event log that instrumented
+// subsystems reach through EventLog() (nil detaches it).
+func (r *Registry) SetEventLog(l *EventLog) {
+	if r == nil {
+		return
+	}
+	r.mu.Lock()
+	r.events = l
+	r.mu.Unlock()
+}
+
+// EventLog returns the attached structured event log; nil (itself a
+// no-op log) when none is attached or the registry is nil.
+func (r *Registry) EventLog() *EventLog {
+	if r == nil {
+		return nil
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.events
 }
 
 // Counter returns the named counter, creating it on first use.
@@ -189,6 +212,35 @@ func (r *Registry) Histogram(name string) *Histogram {
 		r.hists[name] = h
 	}
 	return h
+}
+
+// Visitor receives one callback per live metric from Registry.Visit.
+// Implementations read the metric through its atomic accessors; they
+// must not call back into the registry (Visit holds its lock).
+type Visitor interface {
+	VisitCounter(name string, c *Counter)
+	VisitGauge(name string, g *Gauge)
+	VisitHistogram(name string, h *Histogram)
+}
+
+// Visit enumerates every metric without allocating — the export
+// Sampler's steady-state path. Order is unspecified; visitors that need
+// determinism must sort on their side.
+func (r *Registry) Visit(v Visitor) {
+	if r == nil {
+		return
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	for name, c := range r.counters {
+		v.VisitCounter(name, c)
+	}
+	for name, g := range r.gauges {
+		v.VisitGauge(name, g)
+	}
+	for name, h := range r.hists {
+		v.VisitHistogram(name, h)
+	}
 }
 
 // Snapshot is a point-in-time copy of a registry's metrics, shaped for

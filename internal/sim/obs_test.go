@@ -1,6 +1,7 @@
 package sim
 
 import (
+	"strings"
 	"testing"
 
 	"repro/internal/obs"
@@ -70,5 +71,91 @@ func TestCampaignObsAccounting(t *testing.T) {
 	}
 	if got := reg.Counter("core.repair.splices").Value(); got != int64(instrumented.Splices) {
 		t.Errorf("core.repair.splices = %d, want %d", got, instrumented.Splices)
+	}
+}
+
+// TestCampaignEventLog checks the structured event stream: every
+// injected failure emits a sim.fault and a sim.repair record (plus the
+// embedder's core.repair), per-hop token moves stay silent above debug
+// level, and instrumentation still does not perturb the simulation.
+func TestCampaignEventLog(t *testing.T) {
+	cfg := CampaignConfig{
+		Machine:     Config{N: 5},
+		Failures:    2,
+		LapsBetween: 1,
+		Seed:        42,
+	}
+	plain, err := RunCampaign(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	var buf strings.Builder
+	reg := obs.NewRegistry()
+	reg.SetEventLog(obs.NewEventLog(&buf, obs.LevelInfo, reg.Clock()))
+	cfg.Machine.Obs = reg
+	logged, err := RunCampaign(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if plain.Clock != logged.Clock || plain.Hops != logged.Hops || plain.FinalRing != logged.FinalRing {
+		t.Errorf("event logging perturbed the simulation: %+v vs %+v", plain, logged)
+	}
+
+	recs, err := obs.ReadLog(strings.NewReader(buf.String()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	count := map[string]int{}
+	for _, r := range recs {
+		count[r.Event]++
+	}
+	if count["sim.fault"] != cfg.Failures {
+		t.Errorf("sim.fault events = %d, want %d", count["sim.fault"], cfg.Failures)
+	}
+	if count["sim.repair"] != cfg.Failures {
+		t.Errorf("sim.repair events = %d, want %d", count["sim.repair"], cfg.Failures)
+	}
+	// The plan's own repair narrative rides along through the inherited
+	// registry, as does every cold embedding.
+	if count["core.repair"] != cfg.Failures {
+		t.Errorf("core.repair events = %d, want %d", count["core.repair"], cfg.Failures)
+	}
+	if want := 1 + logged.Reembeds; count["core.embed"] != want {
+		t.Errorf("core.embed events = %d, want %d", count["core.embed"], want)
+	}
+	if count["sim.token_move"] != 0 {
+		t.Errorf("token moves leaked into an info-level log: %d", count["sim.token_move"])
+	}
+	for _, r := range recs {
+		if r.Event == "sim.repair" {
+			out, _ := r.Fields["outcome"].(string)
+			if out != "splice" && out != "rebuild" && out != "avoided" {
+				t.Errorf("sim.repair outcome %q", out)
+			}
+		}
+	}
+
+	// At debug level the token's every hop is on the record.
+	var dbuf strings.Builder
+	dreg := obs.NewRegistry()
+	dreg.SetEventLog(obs.NewEventLog(&dbuf, obs.LevelDebug, dreg.Clock()))
+	cfg.Machine.Obs = dreg
+	debugRun, err := RunCampaign(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	drecs, err := obs.ReadLog(strings.NewReader(dbuf.String()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	moves := 0
+	for _, r := range drecs {
+		if r.Event == "sim.token_move" {
+			moves++
+		}
+	}
+	if int64(moves) != debugRun.Hops {
+		t.Errorf("sim.token_move events = %d, want one per hop (%d)", moves, debugRun.Hops)
 	}
 }

@@ -44,8 +44,12 @@ type Config struct {
 	// sim.failures, sim.token_lost counters, the sim.ring_length gauge,
 	// sim.phase.reembed spans around cold embeddings and sim.phase.repair
 	// spans around online repairs). When Embed.Obs is unset it inherits
-	// this registry. Instrumentation never feeds back into the
-	// simulation, so determinism in (config, seed) is preserved.
+	// this registry. An event log attached to the registry
+	// (obs.Registry.SetEventLog) additionally receives structured
+	// sim.fault / sim.repair events for every injected failure, and
+	// per-hop sim.token_move events at debug level. Instrumentation
+	// never feeds back into the simulation, so determinism in
+	// (config, seed) is preserved.
 	Obs *obs.Registry
 }
 
@@ -71,7 +75,8 @@ type Machine struct {
 	g     star.Graph
 	eng   *core.Embedder
 	plan  *core.Plan
-	token int // ring position of the token holder
+	log   *obs.EventLog // from the registry; nil (no-op) when absent
+	token int           // ring position of the token holder
 	clock int64
 	stats Stats
 }
@@ -94,7 +99,7 @@ func New(cfg Config) (*Machine, error) {
 	if err != nil {
 		return nil, fmt.Errorf("sim: %w", err)
 	}
-	m := &Machine{cfg: cfg, g: star.New(cfg.N), eng: eng}
+	m := &Machine{cfg: cfg, g: star.New(cfg.N), eng: eng, log: cfg.Obs.EventLog()}
 
 	span := cfg.Obs.Span("sim.phase.reembed")
 	plan, err := eng.Embed(nil)
@@ -165,6 +170,15 @@ func (m *Machine) Step() error {
 	if m.token == 0 {
 		m.stats.Laps++
 	}
+	// Per-hop events are debug-level and guarded, so a campaign that
+	// logs at info pays only this branch per step.
+	if m.log.Enabled(obs.LevelDebug) {
+		m.log.Log(obs.LevelDebug, "sim.token_move",
+			obs.F("from", from.StringN(m.cfg.N)),
+			obs.F("to", to.StringN(m.cfg.N)),
+			obs.F("pos", m.token),
+			obs.F("clock", m.clock))
+	}
 	return nil
 }
 
@@ -210,17 +224,35 @@ func (m *Machine) FailVertex(v perm.Code) error {
 	if !v.Valid(m.cfg.N) {
 		return fmt.Errorf("sim: %#v is not a processor of S_%d", v, m.cfg.N)
 	}
-	if v == m.TokenHolder() {
+	lost := v == m.TokenHolder()
+	if lost {
 		m.stats.TokenLost++
 		m.cfg.Obs.Counter("sim.token_lost").Inc()
 	}
 	m.cfg.Obs.Counter("sim.failures").Inc()
+	if m.log.Enabled(obs.LevelInfo) {
+		m.log.Log(obs.LevelInfo, "sim.fault",
+			obs.F("vertex", v.StringN(m.cfg.N)),
+			obs.F("token_lost", lost),
+			obs.F("clock", m.clock))
+	}
 
 	span := m.cfg.Obs.Span("sim.phase.repair")
 	rep, err := m.plan.Repair(v)
 	span.End()
 	if err != nil {
+		if m.log.Enabled(obs.LevelError) {
+			m.log.Log(obs.LevelError, "sim.halted",
+				obs.F("vertex", v.StringN(m.cfg.N)), obs.F("error", err.Error()))
+		}
 		return fmt.Errorf("%w: %v", ErrHalted, err)
+	}
+	if m.log.Enabled(obs.LevelInfo) {
+		m.log.Log(obs.LevelInfo, "sim.repair",
+			obs.F("vertex", v.StringN(m.cfg.N)),
+			obs.F("outcome", rep.Outcome.String()),
+			obs.F("ring", rep.NewLen),
+			obs.F("clock", m.clock))
 	}
 
 	switch rep.Outcome {

@@ -15,6 +15,9 @@
 #   BENCH_repair.json  starsweep -exp F7 -maxn 8 -json: repair latency
 #                      table; its "splice speedup" column at n=8 is the
 #                      acceptance claim (>= 10x over cold embedding)
+#   BENCH_obs.json     the F2 sweep's registry dump (phase histograms,
+#                      cache counters, worker utilization), for
+#                      run-over-run comparison of instrumentation data
 #
 # BENCHTIME (default 1x) is passed to -benchtime; use e.g.
 # BENCHTIME=2s scripts/bench.sh for stable numbers. ci.sh runs this as a
@@ -37,10 +40,11 @@ mkdir -p "$BENCH_OUT"
 go test -run '^$' -bench 'BenchmarkRepair' \
     -benchmem -benchtime "$BENCHTIME" . | tee "$BENCH_OUT/BENCH_repair.txt"
 
-go run ./cmd/starsweep -quick -exp F2 -json > "$BENCH_OUT/BENCH_embed.json"
+go run ./cmd/starsweep -quick -exp F2 -json \
+    -metrics-json "$BENCH_OUT/BENCH_obs.json" > "$BENCH_OUT/BENCH_embed.json"
 
 # F7 needs n=8 for the headline speedup, so it bypasses -quick (which
 # caps the sweep at n=7) and trims the seed count instead.
 go run ./cmd/starsweep -exp F7 -maxn 8 -seeds 3 -json > "$BENCH_OUT/BENCH_repair.json"
 
-echo "bench artifacts written to $BENCH_OUT/BENCH_embed.{txt,json} and $BENCH_OUT/BENCH_repair.{txt,json}"
+echo "bench artifacts written to $BENCH_OUT/BENCH_embed.{txt,json}, $BENCH_OUT/BENCH_repair.{txt,json} and $BENCH_OUT/BENCH_obs.json"

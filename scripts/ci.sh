@@ -8,8 +8,11 @@
 #   4. go test       -- full test suite
 #   5. go test -race -- core packages under the race detector (-short)
 #   6. starlint      -- the project's own analyzers (see cmd/starlint)
-#   7. bench smoke   -- scripts/bench.sh with -benchtime 1x
-#   8. fuzz smoke    -- each fuzz target for a few seconds
+#   7. obs smoke     -- starring -debug-addr end to end: scrape /metrics
+#                       (OpenMetrics parse), validate the Perfetto trace
+#                       and the NDJSON event log via starmon
+#   8. bench smoke   -- scripts/bench.sh with -benchtime 1x
+#   9. fuzz smoke    -- each fuzz target for a few seconds
 #
 # Runs from any directory; needs only the Go toolchain. Override the
 # fuzz budget with FUZZTIME (default 5s), e.g. FUZZTIME=30s scripts/ci.sh.
@@ -57,9 +60,56 @@ leg "race" go test -short -race \
     ./internal/perm ./internal/star ./internal/substar ./internal/faults \
     ./internal/superring ./internal/pathsearch ./internal/core \
     ./internal/check ./internal/ringio ./internal/sim \
-    ./internal/harness ./internal/baseline ./internal/obs || exit 1
+    ./internal/harness ./internal/baseline ./internal/obs \
+    ./internal/obs/export || exit 1
 
 leg "starlint" go run ./cmd/starlint ./... || exit 1
+
+# Obs smoke: run starring with a live debug server held open, scrape
+# its /metrics endpoint, and validate every exported artifact through
+# starmon's checkers (OpenMetrics parse, Perfetto trace with at least
+# one complete event, NDJSON replay).
+obs_smoke() {
+    local tmp pid addr i
+    tmp=$(mktemp -d)
+    go build -o "$tmp/starring" ./cmd/starring || return 1
+    go build -o "$tmp/starmon" ./cmd/starmon || return 1
+
+    "$tmp/starring" -n 6 -faults 2 -seed 1 -debug-addr 127.0.0.1:0 \
+        -trace-out "$tmp/trace.json" -events-out "$tmp/events.ndjson" \
+        -hold 60s >"$tmp/out.log" 2>&1 &
+    pid=$!
+
+    # The run announces its ephemeral address, then holds once the
+    # artifacts are on disk; poll for both before scraping.
+    addr=""
+    for i in $(seq 1 300); do
+        addr=$(sed -n 's#^debug server listening on http://\([^/]*\)/.*#\1#p' "$tmp/out.log")
+        if [ -n "$addr" ] && grep -q '^holding for' "$tmp/out.log"; then
+            break
+        fi
+        addr=""
+        sleep 0.1
+    done
+    if [ -z "$addr" ]; then
+        echo "starring never reached its hold phase:" >&2
+        cat "$tmp/out.log" >&2
+        kill "$pid" 2>/dev/null
+        return 1
+    fi
+
+    if ! "$tmp/starmon" -check-metrics "http://$addr/metrics"; then
+        kill "$pid" 2>/dev/null
+        return 1
+    fi
+    kill "$pid" 2>/dev/null
+    wait "$pid" 2>/dev/null
+
+    "$tmp/starmon" -check-trace "$tmp/trace.json" || return 1
+    "$tmp/starmon" -replay "$tmp/events.ndjson" >/dev/null || return 1
+}
+
+leg "obs smoke" obs_smoke || exit 1
 
 # Bench smoke: one iteration of every benchmark plus the JSON sweep,
 # into a throwaway directory — proves the bench pipeline stays runnable.

@@ -35,7 +35,7 @@ func TestStarlintFindsSeededViolations(t *testing.T) {
 	if testing.Short() {
 		t.Skip("spawns the go tool")
 	}
-	for _, name := range []string{"permalias", "globalrand", "nakedpanic", "uncheckederr", "factsize", "walltime"} {
+	for _, name := range []string{"permalias", "globalrand", "nakedpanic", "uncheckederr", "factsize", "walltime", "metricname"} {
 		t.Run(name, func(t *testing.T) {
 			out, code := runStarlint(t, "-analyzers", name, "./internal/analysis/testdata/src/"+name)
 			if code != 1 {
@@ -74,7 +74,7 @@ func TestStarlintListAndSubset(t *testing.T) {
 	if code != 0 {
 		t.Fatalf("-list failed (exit %d):\n%s", code, out)
 	}
-	for _, name := range []string{"permalias", "globalrand", "nakedpanic", "uncheckederr", "factsize", "walltime"} {
+	for _, name := range []string{"permalias", "globalrand", "nakedpanic", "uncheckederr", "factsize", "walltime", "metricname"} {
 		if !strings.Contains(out, name) {
 			t.Errorf("-list output missing %s:\n%s", name, out)
 		}
