@@ -7,6 +7,8 @@ import (
 	"path/filepath"
 	"strings"
 	"testing"
+
+	"repro/internal/obs/prof"
 )
 
 // End-to-end coverage of the command-line tools and examples: each is
@@ -217,9 +219,13 @@ func TestCLIStarsweepJSON(t *testing.T) {
 	out := runGo(t, "run", "./cmd/starsweep", "-quick", "-exp", "F2", "-json")
 	var doc struct {
 		Experiments []struct {
-			ID      string     `json:"id"`
-			Headers []string   `json:"headers"`
-			Rows    [][]string `json:"rows"`
+			ID      string   `json:"id"`
+			Headers []string `json:"headers"`
+			Rows    [][]struct {
+				Text string   `json:"text"`
+				Num  *float64 `json:"num"`
+				NS   *int64   `json:"ns"`
+			} `json:"rows"`
 		} `json:"experiments"`
 	}
 	if err := json.Unmarshal([]byte(out), &doc); err != nil {
@@ -228,8 +234,55 @@ func TestCLIStarsweepJSON(t *testing.T) {
 	if len(doc.Experiments) != 1 || doc.Experiments[0].ID != "F2" {
 		t.Fatalf("unexpected experiments: %+v", doc.Experiments)
 	}
-	if len(doc.Experiments[0].Rows) == 0 || len(doc.Experiments[0].Headers) == 0 {
-		t.Fatalf("empty F2 table: %+v", doc.Experiments[0])
+	f2 := doc.Experiments[0]
+	if len(f2.Rows) == 0 || len(f2.Headers) == 0 {
+		t.Fatalf("empty F2 table: %+v", f2)
+	}
+	// F2's columns are typed: n is numeric, the time column carries its
+	// exact nanosecond value so consumers never re-parse "150µs" strings.
+	row := f2.Rows[0]
+	if row[0].Num == nil || *row[0].Num < 3 {
+		t.Errorf("n column not typed: %+v", row[0])
+	}
+	if row[4].NS == nil {
+		t.Errorf("time column carries no ns value: %+v", row[4])
+	}
+	if row[4].Text == "" {
+		t.Errorf("time column lost its rendered text: %+v", row[4])
+	}
+}
+
+// TestCLIStarringProfiles exercises -cpuprofile and -memprofile end to
+// end: the CPU profile must exist, parse, and carry the phase=embed
+// goroutine label on at least one sample (the tentpole claim — profiles
+// attribute time to pipeline phases). n=9 keeps the embedder busy long
+// enough for the 100Hz profiler to catch labeled samples.
+func TestCLIStarringProfiles(t *testing.T) {
+	if testing.Short() {
+		t.Skip("spawns the go tool")
+	}
+	dir := t.TempDir()
+	cpu := filepath.Join(dir, "cpu.pprof")
+	mem := filepath.Join(dir, "mem.pprof")
+	out := runGo(t, "run", "./cmd/starring", "-n", "9", "-faults", "6", "-seed", "1",
+		"-cpuprofile", cpu, "-memprofile", mem)
+	if !strings.Contains(out, "cpu profile written to "+cpu) ||
+		!strings.Contains(out, "heap profile written to "+mem) {
+		t.Fatalf("missing profile confirmations:\n%s", out)
+	}
+	if fi, err := os.Stat(mem); err != nil || fi.Size() == 0 {
+		t.Errorf("heap profile missing or empty: %v", err)
+	}
+	data, err := os.ReadFile(cpu)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ok, err := prof.CPUProfileHasLabel(data, "phase", "embed")
+	if err != nil {
+		t.Fatalf("cpu profile does not parse: %v", err)
+	}
+	if !ok {
+		t.Errorf("no phase=embed labeled samples in %s", cpu)
 	}
 }
 

@@ -1,0 +1,161 @@
+// Command starbench is the perf-regression gate: it normalizes the
+// repository's benchmark artifacts into versioned records, compares
+// two records benchstat-style, and validates the run-over-run
+// trajectory file.
+//
+// Usage:
+//
+//	starbench -record out.json [-label L] [-append traj.ndjson] artifact...
+//	starbench -compare old.json new.json [-threshold 0.30] [-minns 1ms] [-v]
+//	starbench -check traj.ndjson
+//
+// -record ingests each artifact by sniffing its format — starsweep
+// -json documents (BENCH_embed.json, BENCH_repair.json), obs registry
+// snapshots (BENCH_obs.json), or go test -bench text (BENCH_*.txt) —
+// and writes one normalized record; -append additionally appends the
+// record as an NDJSON line to the trajectory history.
+//
+// -compare joins two records on metric name and classifies every
+// shared metric as ok / faster / REGRESSED against the relative
+// -threshold (default 30%); nanosecond metrics below -minns on both
+// sides never gate. Exit status 1 means at least one metric regressed
+// (the CI perf-gate leg keys off this), 2 means usage or I/O error.
+//
+// -check validates every line of a trajectory file against the record
+// schema, so a corrupt append fails CI instead of silently poisoning
+// later comparisons.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"time"
+
+	"repro/internal/bench"
+)
+
+func main() {
+	os.Exit(run(os.Args[1:], os.Stdout, os.Stderr))
+}
+
+// run is main minus the process exit, for tests.
+func run(args []string, stdout, stderr io.Writer) int {
+	fs := flag.NewFlagSet("starbench", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	var (
+		record     = fs.String("record", "", "normalize the artifact arguments into a record at this path")
+		label      = fs.String("label", "", "label stored in the record (default: current time, RFC 3339)")
+		appendPath = fs.String("append", "", "with -record: also append the record to this NDJSON trajectory file")
+		compare    = fs.Bool("compare", false, "compare two record files (old new); exit 1 on regression")
+		threshold  = fs.Float64("threshold", bench.DefaultThreshold, "relative change that counts as a regression")
+		minNS      = fs.Duration("minns", time.Duration(bench.DefaultMinNS), "noise floor: timings below this on both sides never gate")
+		check      = fs.String("check", "", "validate an NDJSON trajectory file and exit")
+		verbose    = fs.Bool("v", false, "with -compare: print every metric, not just changed ones")
+	)
+	if err := fs.Parse(args); err != nil {
+		return 2
+	}
+
+	modes := 0
+	for _, on := range []bool{*record != "", *compare, *check != ""} {
+		if on {
+			modes++
+		}
+	}
+	if modes != 1 {
+		fmt.Fprintln(stderr, "starbench: exactly one of -record, -compare, -check is required")
+		fs.Usage()
+		return 2
+	}
+
+	switch {
+	case *check != "":
+		return runCheck(*check, stdout, stderr)
+	case *compare:
+		return runCompare(fs.Args(), *threshold, *minNS, *verbose, stdout, stderr)
+	default:
+		return runRecord(*record, *label, *appendPath, fs.Args(), stdout, stderr)
+	}
+}
+
+func runRecord(out, label, appendPath string, artifacts []string, stdout, stderr io.Writer) int {
+	if len(artifacts) == 0 {
+		fmt.Fprintln(stderr, "starbench: -record needs at least one artifact file")
+		return 2
+	}
+	if label == "" {
+		label = time.Now().UTC().Format(time.RFC3339)
+	}
+	rec := bench.NewRecord(label)
+	for _, path := range artifacts {
+		data, err := os.ReadFile(path)
+		if err != nil {
+			fmt.Fprintln(stderr, "starbench:", err)
+			return 2
+		}
+		if err := bench.Ingest(rec, path, data); err != nil {
+			fmt.Fprintln(stderr, "starbench:", err)
+			return 2
+		}
+	}
+	if err := bench.WriteRecordFile(out, rec); err != nil {
+		fmt.Fprintln(stderr, "starbench:", err)
+		return 2
+	}
+	fmt.Fprintf(stdout, "recorded %d metrics from %d artifacts to %s\n",
+		len(rec.Metrics), len(artifacts), out)
+	if appendPath != "" {
+		if err := bench.AppendNDJSONFile(appendPath, rec); err != nil {
+			fmt.Fprintln(stderr, "starbench:", err)
+			return 2
+		}
+		fmt.Fprintf(stdout, "appended to %s\n", appendPath)
+	}
+	return 0
+}
+
+func runCompare(args []string, threshold float64, minNS time.Duration, verbose bool, stdout, stderr io.Writer) int {
+	if len(args) != 2 {
+		fmt.Fprintln(stderr, "starbench: -compare needs exactly two record files: old new")
+		return 2
+	}
+	old, err := bench.ReadRecordFile(args[0])
+	if err != nil {
+		fmt.Fprintln(stderr, "starbench:", err)
+		return 2
+	}
+	cur, err := bench.ReadRecordFile(args[1])
+	if err != nil {
+		fmt.Fprintln(stderr, "starbench:", err)
+		return 2
+	}
+	cmp := bench.Compare(old, cur, bench.Options{Threshold: threshold, MinNS: float64(minNS)})
+	cmp.Fprint(stdout, verbose)
+	if len(cmp.Regressions()) > 0 {
+		fmt.Fprintf(stderr, "starbench: performance regression: %s vs %s\n", args[1], args[0])
+		return 1
+	}
+	return 0
+}
+
+func runCheck(path string, stdout, stderr io.Writer) int {
+	f, err := os.Open(path)
+	if err != nil {
+		fmt.Fprintln(stderr, "starbench:", err)
+		return 2
+	}
+	defer f.Close()
+	n, err := bench.CheckNDJSON(f)
+	if err != nil {
+		fmt.Fprintln(stderr, "starbench:", err)
+		return 2
+	}
+	if n == 0 {
+		fmt.Fprintf(stderr, "starbench: %s has no records\n", path)
+		return 2
+	}
+	fmt.Fprintf(stdout, "trajectory ok: %d records in %s\n", n, path)
+	return 0
+}

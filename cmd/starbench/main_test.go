@@ -1,0 +1,157 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func writeFile(t *testing.T, dir, name, content string) string {
+	t.Helper()
+	path := filepath.Join(dir, name)
+	if err := os.WriteFile(path, []byte(content), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	return path
+}
+
+const benchText = `BenchmarkEmbedTheorem1-8  100  12000000 ns/op  500000 B/op  1200 allocs/op
+BenchmarkObsDisabled-8  100000000  8.8 ns/op  0 B/op  0 allocs/op
+`
+
+const benchTextSlow = `BenchmarkEmbedTheorem1-8  100  24000000 ns/op  500000 B/op  1200 allocs/op
+BenchmarkObsDisabled-8  100000000  8.8 ns/op  0 B/op  0 allocs/op
+`
+
+// TestRecordCompareGate drives the full acceptance flow: record two
+// runs, compare identical records (exit 0), then a synthetic 2x
+// slowdown (exit 1 with a REGRESSED verdict on the slowed metric).
+func TestRecordCompareGate(t *testing.T) {
+	dir := t.TempDir()
+	fast := writeFile(t, dir, "fast.txt", benchText)
+	slow := writeFile(t, dir, "slow.txt", benchTextSlow)
+	baseRec := filepath.Join(dir, "base.json")
+	slowRec := filepath.Join(dir, "slow.json")
+
+	var out, errOut strings.Builder
+	if code := run([]string{"-record", baseRec, "-label", "base", fast}, &out, &errOut); code != 0 {
+		t.Fatalf("record exit %d: %s", code, errOut.String())
+	}
+	if !strings.Contains(out.String(), "recorded") {
+		t.Fatalf("record output: %s", out.String())
+	}
+
+	out.Reset()
+	if code := run([]string{"-compare", baseRec, baseRec}, &out, &errOut); code != 0 {
+		t.Fatalf("identical records exit %d: %s\n%s", code, out.String(), errOut.String())
+	}
+	if !strings.Contains(out.String(), "0 regressed") {
+		t.Fatalf("identical compare output: %s", out.String())
+	}
+
+	if code := run([]string{"-record", slowRec, "-label", "slow", slow}, &out, &errOut); code != 0 {
+		t.Fatalf("record slow exit %d: %s", code, errOut.String())
+	}
+	out.Reset()
+	errOut.Reset()
+	code := run([]string{"-compare", baseRec, slowRec}, &out, &errOut)
+	if code != 1 {
+		t.Fatalf("2x slowdown exit %d, want 1\n%s%s", code, out.String(), errOut.String())
+	}
+	if !strings.Contains(out.String(), "REGRESSED") ||
+		!strings.Contains(out.String(), "BenchmarkEmbedTheorem1/ns_op") {
+		t.Fatalf("compare output missing verdict:\n%s", out.String())
+	}
+	if !strings.Contains(errOut.String(), "performance regression") {
+		t.Fatalf("stderr missing regression notice: %s", errOut.String())
+	}
+}
+
+// TestThresholdFlag loosens the gate past the synthetic slowdown.
+func TestThresholdFlag(t *testing.T) {
+	dir := t.TempDir()
+	fast := writeFile(t, dir, "fast.txt", benchText)
+	slow := writeFile(t, dir, "slow.txt", benchTextSlow)
+	baseRec := filepath.Join(dir, "base.json")
+	slowRec := filepath.Join(dir, "slow.json")
+	var out, errOut strings.Builder
+	run([]string{"-record", baseRec, fast}, &out, &errOut)
+	run([]string{"-record", slowRec, slow}, &out, &errOut)
+	if code := run([]string{"-compare", "-threshold", "1.5", baseRec, slowRec}, &out, &errOut); code != 0 {
+		t.Fatalf("threshold 150%% still gated: exit %d\n%s", code, errOut.String())
+	}
+}
+
+func TestAppendAndCheck(t *testing.T) {
+	dir := t.TempDir()
+	artifact := writeFile(t, dir, "bench.txt", benchText)
+	rec := filepath.Join(dir, "rec.json")
+	traj := filepath.Join(dir, "traj.ndjson")
+
+	var out, errOut strings.Builder
+	for i := 0; i < 2; i++ {
+		if code := run([]string{"-record", rec, "-append", traj, artifact}, &out, &errOut); code != 0 {
+			t.Fatalf("append run %d exit: %s", i, errOut.String())
+		}
+	}
+	out.Reset()
+	if code := run([]string{"-check", traj}, &out, &errOut); code != 0 {
+		t.Fatalf("check exit: %s", errOut.String())
+	}
+	if !strings.Contains(out.String(), "trajectory ok: 2 records") {
+		t.Fatalf("check output: %s", out.String())
+	}
+
+	bad := writeFile(t, dir, "bad.ndjson", "{\"schema\":1,\"metrics\":{\"m\":{\"value\":1,\"unit\":\"x\"}}}\nnot json\n")
+	errOut.Reset()
+	if code := run([]string{"-check", bad}, &out, &errOut); code != 2 {
+		t.Fatalf("corrupt trajectory accepted (exit %d)", code)
+	}
+	empty := writeFile(t, dir, "empty.ndjson", "")
+	if code := run([]string{"-check", empty}, &out, &errOut); code != 2 {
+		t.Fatalf("empty trajectory accepted (exit %d)", code)
+	}
+}
+
+func TestUsageErrors(t *testing.T) {
+	var out, errOut strings.Builder
+	cases := [][]string{
+		{},                            // no mode
+		{"-record", "x", "-compare"},  // two modes
+		{"-compare", "only-one.json"}, // wrong arity
+		{"-record", "out.json"},       // no artifacts
+		{"-compare", "missing-a.json", "missing-b.json"}, // unreadable
+	}
+	for _, args := range cases {
+		if code := run(args, &out, &errOut); code != 2 {
+			t.Errorf("args %v: exit %d, want 2", args, code)
+		}
+	}
+}
+
+func TestIngestMixedArtifacts(t *testing.T) {
+	dir := t.TempDir()
+	sweep := writeFile(t, dir, "sweep.json", `{"experiments":[{"id":"F2",
+	  "headers":["n","time"],"rows":[[{"text":"6","num":6},{"text":"1ms","ns":1000000}]]}]}`)
+	snap := writeFile(t, dir, "obs.json", `{"histograms":{"core.phase.total":
+	  {"count":3,"sum_ns":3,"p50_ns":100000,"p95_ns":400000}}}`)
+	text := writeFile(t, dir, "bench.txt", benchText)
+	rec := filepath.Join(dir, "rec.json")
+
+	var out, errOut strings.Builder
+	if code := run([]string{"-record", rec, sweep, snap, text}, &out, &errOut); code != 0 {
+		t.Fatalf("mixed record exit: %s", errOut.String())
+	}
+	if !strings.Contains(out.String(), "from 3 artifacts") {
+		t.Fatalf("record output: %s", out.String())
+	}
+	if code := run([]string{"-compare", "-v", rec, rec}, &out, &errOut); code != 0 {
+		t.Fatalf("self-compare exit: %s", errOut.String())
+	}
+	for _, want := range []string{"F2/n=6/time", "obs/core.phase.total/p95_ns", "BenchmarkEmbedTheorem1/ns_op"} {
+		if !strings.Contains(out.String(), want) {
+			t.Errorf("verbose compare missing %s:\n%s", want, out.String())
+		}
+	}
+}

@@ -244,10 +244,17 @@ func parseExposition(data []byte) (samples map[string]float64, kinds map[string]
 
 // renderFrame prints one monitor frame. Counter families get a
 // per-second rate once a previous frame exists; everything else shows
-// its current value.
+// its current value. The prof.RuntimeSampler gauges (runtime_*
+// families) render as their own section with human units, separating
+// process health from algorithm metrics.
 func renderFrame(w io.Writer, frame int, interval time.Duration, cur, prev map[string]float64, kinds map[string]string) {
 	fmt.Fprintf(w, "frame %d (%d samples)\n", frame, len(cur))
+	var runtimeNames []string
 	for _, name := range sortedKeys(cur) {
+		if strings.HasPrefix(name, "runtime_") {
+			runtimeNames = append(runtimeNames, name)
+			continue
+		}
 		family := name
 		if i := strings.IndexByte(name, '{'); i >= 0 {
 			family = name[:i]
@@ -269,6 +276,39 @@ func renderFrame(w io.Writer, frame int, interval time.Duration, cur, prev map[s
 		default:
 			fmt.Fprintf(w, "  %-44s %12.0f\n", name, cur[name])
 		}
+	}
+	if len(runtimeNames) > 0 {
+		fmt.Fprintln(w, "  runtime:")
+		for _, name := range runtimeNames {
+			fmt.Fprintf(w, "    %-42s %12s\n", name, formatRuntimeValue(name, cur[name]))
+		}
+	}
+}
+
+// formatRuntimeValue picks human units from the gauge name: byte
+// gauges render as KiB/MiB/GiB, *_ns gauges as durations, and counts
+// stay integers.
+func formatRuntimeValue(name string, v float64) string {
+	switch {
+	case strings.Contains(name, "bytes"):
+		return formatBytes(v)
+	case strings.HasSuffix(name, "_ns"):
+		return time.Duration(v).Round(time.Microsecond).String()
+	default:
+		return fmt.Sprintf("%.0f", v)
+	}
+}
+
+func formatBytes(v float64) string {
+	switch {
+	case v >= 1<<30:
+		return fmt.Sprintf("%.2f GiB", v/(1<<30))
+	case v >= 1<<20:
+		return fmt.Sprintf("%.2f MiB", v/(1<<20))
+	case v >= 1<<10:
+		return fmt.Sprintf("%.1f KiB", v/(1<<10))
+	default:
+		return fmt.Sprintf("%.0f B", v)
 	}
 }
 

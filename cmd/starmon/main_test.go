@@ -10,6 +10,7 @@ import (
 
 	"repro/internal/obs"
 	"repro/internal/obs/export"
+	"repro/internal/obs/prof"
 )
 
 // liveRegistry builds a registry with one metric of each kind.
@@ -148,6 +149,67 @@ func TestRunAttachFrames(t *testing.T) {
 	}
 	if !strings.Contains(text, "/s") {
 		t.Errorf("second frame should show a rate:\n%s", text)
+	}
+}
+
+// TestRunAttachRuntimeSection drives -attach against a registry fed by
+// a live prof.RuntimeSampler and checks the runtime gauges render as a
+// dedicated frame section with human units instead of raw floats.
+func TestRunAttachRuntimeSection(t *testing.T) {
+	reg := liveRegistry()
+	rt := prof.NewRuntimeSampler(reg)
+	rt.Sample()
+	srv := httptest.NewServer(export.MetricsHandler(reg))
+	defer srv.Close()
+
+	var out, errOut strings.Builder
+	code := run([]string{"-attach", srv.URL, "-frames", "1"}, &out, &errOut)
+	if code != 0 {
+		t.Fatalf("exit %d, stderr: %s", code, errOut.String())
+	}
+	text := out.String()
+	if !strings.Contains(text, "runtime:") {
+		t.Fatalf("missing runtime section:\n%s", text)
+	}
+	for _, gauge := range []string{
+		"runtime_mem_heap_bytes",
+		"runtime_gc_cycles",
+		"runtime_gc_pause_p95_ns",
+		"runtime_sched_goroutines",
+		"runtime_sched_latency_p95_ns",
+	} {
+		if !strings.Contains(text, gauge) {
+			t.Errorf("runtime section missing %s:\n%s", gauge, text)
+		}
+	}
+	// Heap bytes render with a binary-size unit, not a raw float.
+	if !strings.Contains(text, "iB") && !strings.Contains(text, " B\n") {
+		t.Errorf("heap gauge not humanized:\n%s", text)
+	}
+	// Runtime gauges must not also appear in the main metric listing
+	// (every runtime_* line is indented under the section header).
+	for _, line := range strings.Split(text, "\n") {
+		if strings.Contains(line, "runtime_") && !strings.HasPrefix(line, "    ") {
+			t.Errorf("runtime gauge outside the runtime section: %q", line)
+		}
+	}
+}
+
+func TestFormatRuntimeValue(t *testing.T) {
+	cases := []struct {
+		name string
+		v    float64
+		want string
+	}{
+		{"runtime_mem_heap_bytes", 5 << 20, "5.00 MiB"},
+		{"runtime_mem_heap_bytes", 512, "512 B"},
+		{"runtime_gc_pause_p95_ns", 1.5e6, "1.5ms"},
+		{"runtime_sched_goroutines", 12, "12"},
+	}
+	for _, c := range cases {
+		if got := formatRuntimeValue(c.name, c.v); got != c.want {
+			t.Errorf("formatRuntimeValue(%s, %g) = %q, want %q", c.name, c.v, got, c.want)
+		}
 	}
 }
 

@@ -20,6 +20,13 @@
 // process (and its debug server) alive for the given duration after
 // the run so an external scraper can pull /metrics.
 //
+// -cpuprofile captures a CPU profile whose samples carry phase labels
+// (phase=embed, phase=splice, ...) — `go tool pprof -tagfocus
+// phase=embed` isolates one pipeline phase; -memprofile writes a
+// post-run heap profile. When any telemetry flag enables the
+// registry, a prof.RuntimeSampler also publishes runtime_* gauges
+// (heap, GC pauses, goroutines, scheduling latency) every second.
+//
 // The embedded ring is always re-verified; the command exits nonzero on
 // any failure.
 package main
@@ -38,6 +45,7 @@ import (
 	"repro/internal/faults"
 	"repro/internal/obs"
 	"repro/internal/obs/export"
+	"repro/internal/obs/prof"
 	"repro/internal/perm"
 	"repro/internal/ringio"
 	"repro/internal/star"
@@ -63,6 +71,8 @@ func main() {
 		metricsJSON = flag.String("metrics-json", "", "write the run's metrics as JSON to this file")
 		traceOut    = flag.String("trace-out", "", "write the run's spans as Chrome trace_event JSON (Perfetto) to this file")
 		eventsOut   = flag.String("events-out", "", "write structured NDJSON events to this file")
+		cpuProfile  = flag.String("cpuprofile", "", "write a phase-labeled CPU profile of the run to this file")
+		memProfile  = flag.String("memprofile", "", "write a post-run heap profile to this file")
 		hold        = flag.Duration("hold", 0, "keep the process alive this long after the run (for /metrics scrapers)")
 	)
 	flag.Parse()
@@ -101,7 +111,7 @@ func main() {
 		}
 	}
 
-	tel := startTelemetry(*debugAddr, *metricsJSON, *traceOut, *eventsOut, *hold)
+	tel := startTelemetry(*debugAddr, *metricsJSON, *traceOut, *eventsOut, *cpuProfile, *memProfile, *hold)
 
 	cfg := core.Config{Workers: *workers, BestEffort: *best, Obs: tel.reg}
 
@@ -188,14 +198,26 @@ type telemetry struct {
 	events *os.File
 	srv    *obs.DebugServer
 
-	metricsJSON, traceOut string
-	hold                  time.Duration
+	cpuStop func() error
+	rtStop  func()
+
+	metricsJSON, traceOut  string
+	cpuProfile, memProfile string
+	hold                   time.Duration
 }
 
 // startTelemetry wires up whatever the flags asked for; with no
 // telemetry flags set the zero handle is inert and finish is a no-op.
-func startTelemetry(debugAddr, metricsJSON, traceOut, eventsOut string, hold time.Duration) *telemetry {
-	t := &telemetry{metricsJSON: metricsJSON, traceOut: traceOut, hold: hold}
+func startTelemetry(debugAddr, metricsJSON, traceOut, eventsOut, cpuProfile, memProfile string, hold time.Duration) *telemetry {
+	t := &telemetry{metricsJSON: metricsJSON, traceOut: traceOut,
+		cpuProfile: cpuProfile, memProfile: memProfile, hold: hold}
+	if cpuProfile != "" {
+		stop, err := prof.StartCPUProfile(cpuProfile)
+		if err != nil {
+			fatal(err)
+		}
+		t.cpuStop = stop
+	}
 	if debugAddr == "" && metricsJSON == "" && traceOut == "" && eventsOut == "" {
 		return t
 	}
@@ -203,6 +225,10 @@ func startTelemetry(debugAddr, metricsJSON, traceOut, eventsOut string, hold tim
 	t.rec = obs.NewRecorder(256)
 	t.reg.SetSink(t.rec)
 	t.reg.PublishExpvar("starring")
+	// Runtime health (heap, GC, scheduler) sampled alongside the
+	// algorithm metrics, so /metrics scrapes and the -metrics-json dump
+	// carry the runtime_* gauges too.
+	t.rtStop = prof.NewRuntimeSampler(t.reg).Start(time.Second)
 	if eventsOut != "" {
 		f, err := os.Create(eventsOut)
 		if err != nil {
@@ -226,7 +252,26 @@ func startTelemetry(debugAddr, metricsJSON, traceOut, eventsOut string, hold tim
 // finish writes the requested artifacts, then honors -hold so an
 // external scraper can still reach the debug server afterwards.
 func (t *telemetry) finish() {
+	// Stop the CPU profile before -hold so idle scraping time is not
+	// profiled alongside the run.
+	if t.cpuStop != nil {
+		if err := t.cpuStop(); err != nil {
+			fatal(err)
+		}
+		fmt.Printf("cpu profile written to %s\n", t.cpuProfile)
+	}
+	if t.memProfile != "" {
+		if err := prof.WriteHeapProfile(t.memProfile); err != nil {
+			fatal(err)
+		}
+		fmt.Printf("heap profile written to %s\n", t.memProfile)
+	}
 	if t.reg != nil {
+		if t.rtStop != nil {
+			// stop takes a final sample, so the JSON dump below reflects
+			// end-of-run runtime state even for sub-second runs.
+			t.rtStop()
+		}
 		if t.metricsJSON != "" {
 			if err := t.reg.WriteJSONFile(t.metricsJSON); err != nil {
 				fatal(err)

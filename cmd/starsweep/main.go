@@ -8,6 +8,7 @@
 //	          [-quick] [-markdown | -json]
 //	          [-debug-addr addr] [-metrics-json path]
 //	          [-series-json path] [-series-period d] [-trace-out path]
+//	          [-cpuprofile path] [-memprofile path]
 //
 // -json emits the selected tables as one JSON document,
 // {"experiments": [...]}, for downstream tooling (scripts/bench.sh
@@ -31,6 +32,7 @@ import (
 	"repro/internal/harness"
 	"repro/internal/obs"
 	"repro/internal/obs/export"
+	"repro/internal/obs/prof"
 )
 
 func main() {
@@ -47,6 +49,8 @@ func main() {
 		seriesJSON   = flag.String("series-json", "", "sample the registry periodically and write the time series as JSON to this file")
 		seriesPeriod = flag.Duration("series-period", time.Second, "sampling period for -series-json")
 		traceOut     = flag.String("trace-out", "", "write the sweep's spans as Chrome trace_event JSON (Perfetto) to this file")
+		cpuProfile   = flag.String("cpuprofile", "", "write a phase-labeled CPU profile of the sweep to this file")
+		memProfile   = flag.String("memprofile", "", "write a post-sweep heap profile to this file")
 	)
 	flag.Parse()
 
@@ -54,15 +58,40 @@ func main() {
 		fatal(fmt.Errorf("-markdown and -json are mutually exclusive"))
 	}
 
+	if *cpuProfile != "" {
+		stop, err := prof.StartCPUProfile(*cpuProfile)
+		if err != nil {
+			fatal(err)
+		}
+		defer func() {
+			if err := stop(); err != nil {
+				fatal(err)
+			}
+			fmt.Fprintf(os.Stderr, "cpu profile written to %s\n", *cpuProfile)
+		}()
+	}
+	if *memProfile != "" {
+		defer func() {
+			if err := prof.WriteHeapProfile(*memProfile); err != nil {
+				fatal(err)
+			}
+			fmt.Fprintf(os.Stderr, "heap profile written to %s\n", *memProfile)
+		}()
+	}
+
 	var (
-		reg *obs.Registry
-		rec *obs.Recorder
+		reg    *obs.Registry
+		rec    *obs.Recorder
+		rtStop func()
 	)
 	if *debugAddr != "" || *metricsJSON != "" || *seriesJSON != "" || *traceOut != "" {
 		reg = obs.NewRegistry()
 		rec = obs.NewRecorder(256)
 		reg.SetSink(rec)
 		reg.PublishExpvar("starsweep")
+		// Runtime health gauges (runtime_*) ride along with the sweep
+		// metrics on /metrics, -metrics-json and -series-json.
+		rtStop = prof.NewRuntimeSampler(reg).Start(time.Second)
 	}
 	if *debugAddr != "" {
 		srv, err := obs.StartDebugServer(*debugAddr)
@@ -112,6 +141,11 @@ func main() {
 		}
 	}
 
+	if rtStop != nil {
+		// stop takes a final sample so the dumps below reflect
+		// end-of-sweep runtime state even for sub-second sweeps.
+		rtStop()
+	}
 	if reg != nil && *metricsJSON != "" {
 		if err := reg.WriteJSONFile(*metricsJSON); err != nil {
 			fatal(err)

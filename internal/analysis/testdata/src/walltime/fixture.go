@@ -2,7 +2,11 @@
 // golden-file tests; it is under testdata and never built by go build.
 package fixture
 
-import "time"
+import (
+	"runtime"
+	"runtime/metrics"
+	"time"
+)
 
 // Stamp reads the wall clock directly instead of an injected obs.Clock.
 func Stamp() time.Time {
@@ -28,4 +32,28 @@ func Deadline(t time.Time) bool {
 // touch the process clock and stay clean.
 func Shift(t time.Time, d time.Duration) time.Time {
 	return t.Add(d - time.Second)
+}
+
+// HeapInUse reads allocator state directly: runtime.ReadMemStats
+// stops the world and bypasses the prof.RuntimeSampler gauges.
+func HeapInUse() uint64 {
+	var ms runtime.MemStats
+	runtime.ReadMemStats(&ms)
+	return ms.HeapInuse
+}
+
+// Goroutines reads runtime/metrics outside internal/obs/prof, the one
+// package sanctioned to own a metrics.Read site.
+func Goroutines() uint64 {
+	samples := []metrics.Sample{{Name: "/sched/goroutines:goroutines"}}
+	metrics.Read(samples)
+	return samples[0].Value.Uint64()
+}
+
+// SuppressedStats is a reasoned suppression of the runtime reader, the
+// same escape hatch the clock check honors.
+func SuppressedStats() {
+	var ms runtime.MemStats
+	//starlint:ignore walltime fixture demonstrates a reasoned suppression
+	runtime.ReadMemStats(&ms)
 }

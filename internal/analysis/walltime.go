@@ -6,16 +6,25 @@ import (
 	"strings"
 )
 
-// WallTime flags time.Now and time.Since in library packages outside
-// internal/obs. Reading the process wall clock directly makes timing
-// untestable and threatens the simulator's determinism; internal/obs
-// owns the module's single sanctioned time.Now site (obs.Wall) and
-// everything else must accept an injectable obs.Clock. Time arithmetic
-// (time.Duration math, t.Add, t.Sub) is not flagged — only the two
-// clock readers.
+// WallTime flags direct reads of process-global runtime state in
+// library packages:
+//
+//   - time.Now and time.Since outside internal/obs. Reading the
+//     process wall clock directly makes timing untestable and
+//     threatens the simulator's determinism; internal/obs owns the
+//     module's single sanctioned time.Now site (obs.Wall) and
+//     everything else must accept an injectable obs.Clock. Time
+//     arithmetic (time.Duration math, t.Add, t.Sub) is not flagged —
+//     only the two clock readers.
+//
+//   - runtime.ReadMemStats and runtime/metrics.Read outside
+//     internal/obs/prof. ReadMemStats stops the world, and ad-hoc
+//     runtime/metrics readers fragment the telemetry story;
+//     prof.RuntimeSampler is the one sanctioned reader and publishes
+//     the results as registry gauges every consumer shares.
 var WallTime = &Analyzer{
 	Name: "walltime",
-	Doc:  "time.Now/time.Since outside internal/obs",
+	Doc:  "time.Now/time.Since outside internal/obs; runtime stats readers outside internal/obs/prof",
 	Run:  runWallTime,
 }
 
@@ -24,9 +33,9 @@ func runWallTime(pass *Pass) {
 		return
 	}
 	obsPath := pass.Pkg.Module + "/internal/obs"
-	if pass.Pkg.ImportPath == obsPath || strings.HasPrefix(pass.Pkg.ImportPath, obsPath+"/") {
-		return
-	}
+	profPath := obsPath + "/prof"
+	inObs := pass.Pkg.ImportPath == obsPath || strings.HasPrefix(pass.Pkg.ImportPath, obsPath+"/")
+	inProf := pass.Pkg.ImportPath == profPath
 	for _, file := range pass.Pkg.Files {
 		ast.Inspect(file, func(n ast.Node) bool {
 			sel, ok := n.(*ast.SelectorExpr)
@@ -34,19 +43,34 @@ func runWallTime(pass *Pass) {
 				return true
 			}
 			fn, ok := pass.Pkg.Info.Uses[sel.Sel].(*types.Func)
-			if !ok || fn.Pkg() == nil || fn.Pkg().Path() != "time" {
+			if !ok || fn.Pkg() == nil {
 				return true
 			}
 			if sig, ok := fn.Type().(*types.Signature); ok && sig.Recv() != nil {
-				return true // a time.Time/Timer method, not a clock read
+				return true // a method, not a package-level reader
 			}
 			name := fn.Name()
-			if name != "Now" && name != "Since" {
-				return true
+			switch fn.Pkg().Path() {
+			case "time":
+				if inObs || (name != "Now" && name != "Since") {
+					return true
+				}
+				pass.Reportf(sel.Pos(), "time."+name,
+					"time.%s reads the process wall clock; inject an obs.Clock (obs.Wall in production) so timing stays testable and sims deterministic",
+					name)
+			case "runtime":
+				if inProf || name != "ReadMemStats" {
+					return true
+				}
+				pass.Reportf(sel.Pos(), "runtime.ReadMemStats",
+					"runtime.ReadMemStats stops the world on every call; internal/obs/prof owns runtime telemetry — read prof.RuntimeSampler's registry gauges instead")
+			case "runtime/metrics":
+				if inProf || name != "Read" {
+					return true
+				}
+				pass.Reportf(sel.Pos(), "metrics.Read",
+					"ad-hoc runtime/metrics.Read fragments runtime telemetry; internal/obs/prof owns the sanctioned reader (prof.RuntimeSampler) and publishes shared gauges")
 			}
-			pass.Reportf(sel.Pos(), "time."+name,
-				"time.%s reads the process wall clock; inject an obs.Clock (obs.Wall in production) so timing stays testable and sims deterministic",
-				name)
 			return true
 		})
 	}

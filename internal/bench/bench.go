@@ -1,0 +1,167 @@
+// Package bench is the performance-record layer behind cmd/starbench:
+// it normalizes the repository's heterogeneous benchmark artifacts
+// (starsweep -json sweeps, obs registry snapshots, go test -bench
+// text) into one versioned Record schema, compares two records
+// benchstat-style with a noise threshold, and maintains the append-only
+// BENCH_trajectory.ndjson history that scripts/bench.sh grows one line
+// per run.
+//
+// A Record is a flat map from metric name (e.g. "F2/n=7/time" or
+// "BenchmarkEmbedTheorem1/ns_op") to a typed Metric value. Names are
+// stable across runs so records from different commits join on them.
+package bench
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"io"
+	"os"
+)
+
+// SchemaVersion is the current Record schema. Readers accept only this
+// version so a future breaking change fails loudly instead of
+// comparing incompatible numbers.
+const SchemaVersion = 1
+
+// Better values for Metric.Better.
+const (
+	// LowerBetter marks latencies, allocation counts and sizes.
+	LowerBetter = "lower"
+	// HigherBetter marks throughputs and speedup ratios.
+	HigherBetter = "higher"
+)
+
+// Metric is one measured value.
+type Metric struct {
+	// Value is the measurement in Unit.
+	Value float64 `json:"value"`
+	// Unit names the dimension: "ns", "allocs/op", "B/op", "count",
+	// "ratio", "MiB".
+	Unit string `json:"unit"`
+	// Better is LowerBetter or HigherBetter; empty means LowerBetter.
+	Better string `json:"better,omitempty"`
+}
+
+// Record is one run's worth of normalized benchmark results.
+type Record struct {
+	// Schema is SchemaVersion; readers reject anything else.
+	Schema int `json:"schema"`
+	// Label identifies the run (commit, date, or caller-chosen tag).
+	Label string `json:"label,omitempty"`
+	// Sources lists the artifact files the record was built from.
+	Sources []string `json:"sources,omitempty"`
+	// Metrics maps stable metric names to values.
+	Metrics map[string]Metric `json:"metrics"`
+}
+
+// NewRecord returns an empty record at the current schema version.
+func NewRecord(label string) *Record {
+	return &Record{Schema: SchemaVersion, Label: label, Metrics: map[string]Metric{}}
+}
+
+// Add inserts a metric, overwriting any previous value under the name.
+func (r *Record) Add(name string, m Metric) {
+	if r.Metrics == nil {
+		r.Metrics = map[string]Metric{}
+	}
+	r.Metrics[name] = m
+}
+
+// Validate checks the schema version and shape.
+func (r *Record) Validate() error {
+	if r.Schema != SchemaVersion {
+		return fmt.Errorf("bench: record schema %d, want %d", r.Schema, SchemaVersion)
+	}
+	if len(r.Metrics) == 0 {
+		return fmt.Errorf("bench: record has no metrics")
+	}
+	for name, m := range r.Metrics {
+		if name == "" {
+			return fmt.Errorf("bench: empty metric name")
+		}
+		if m.Better != "" && m.Better != LowerBetter && m.Better != HigherBetter {
+			return fmt.Errorf("bench: metric %s: bad better %q", name, m.Better)
+		}
+	}
+	return nil
+}
+
+// lowerIsBetter resolves the Better default.
+func (m Metric) lowerIsBetter() bool { return m.Better != HigherBetter }
+
+// ReadRecordFile loads and validates a record from path.
+func ReadRecordFile(path string) (*Record, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	var r Record
+	if err := json.Unmarshal(data, &r); err != nil {
+		return nil, fmt.Errorf("bench: %s: %w", path, err)
+	}
+	if err := r.Validate(); err != nil {
+		return nil, fmt.Errorf("%s: %w", path, err)
+	}
+	return &r, nil
+}
+
+// WriteRecordFile writes the record to path as indented JSON.
+func WriteRecordFile(path string, r *Record) error {
+	if err := r.Validate(); err != nil {
+		return err
+	}
+	data, err := json.MarshalIndent(r, "", "  ")
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(path, append(data, '\n'), 0o644)
+}
+
+// AppendNDJSONFile appends the record as one NDJSON line to the
+// trajectory file at path, creating it if absent. The file is the
+// run-over-run history CI and scripts/bench.sh grow.
+func AppendNDJSONFile(path string, r *Record) error {
+	if err := r.Validate(); err != nil {
+		return err
+	}
+	line, err := json.Marshal(r)
+	if err != nil {
+		return err
+	}
+	f, err := os.OpenFile(path, os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644)
+	if err != nil {
+		return err
+	}
+	if _, err := f.Write(append(line, '\n')); err != nil {
+		_ = f.Close()
+		return err
+	}
+	return f.Close()
+}
+
+// CheckNDJSON validates a trajectory stream: every non-empty line must
+// be a valid Record. It returns the number of records read.
+func CheckNDJSON(r io.Reader) (int, error) {
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 0, 1<<20), 1<<24)
+	n := 0
+	for sc.Scan() {
+		line := sc.Bytes()
+		if len(line) == 0 {
+			continue
+		}
+		n++
+		var rec Record
+		if err := json.Unmarshal(line, &rec); err != nil {
+			return n, fmt.Errorf("bench: trajectory line %d: %w", n, err)
+		}
+		if err := rec.Validate(); err != nil {
+			return n, fmt.Errorf("trajectory line %d: %w", n, err)
+		}
+	}
+	if err := sc.Err(); err != nil {
+		return n, err
+	}
+	return n, nil
+}

@@ -1,0 +1,274 @@
+package bench
+
+import (
+	"math"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+	"time"
+)
+
+const sweepDoc = `{
+  "experiments": [{
+    "id": "F2",
+    "headers": ["n", "|Fv|", "ring len", "blocks", "time", "ring MiB"],
+    "rows": [
+      [{"text":"6","num":6}, {"text":"3","num":3}, {"text":"714","num":714},
+       {"text":"30","num":30}, {"text":"1.44ms","ns":1440000}, {"text":"0.01","num":0.01}],
+      [{"text":"7","num":7}, {"text":"4","num":4}, {"text":"5032","num":5032},
+       {"text":"210","num":210}, {"text":"3.56ms","ns":3560000}, {"text":"0.04","num":0.04}]
+    ]
+  }]
+}`
+
+const snapshotDoc = `{
+  "counters": {"core.s4.cache_hits": 12},
+  "gauges": {"core.route.workers": 4},
+  "histograms": {
+    "core.phase.total": {"count": 5, "sum_ns": 5000000, "p50_ns": 900000, "p95_ns": 2000000},
+    "core.phase.verify": {"count": 0, "sum_ns": 0, "p50_ns": 0, "p95_ns": 0}
+  }
+}`
+
+const goBenchDoc = `goos: linux
+goarch: amd64
+pkg: repro
+BenchmarkEmbedTheorem1-8   	     100	  12000000 ns/op	  500000 B/op	    1200 allocs/op
+BenchmarkObsDisabled-8     	100000000	         8.849 ns/op	       0 B/op	       0 allocs/op
+PASS
+`
+
+func TestIngestSweepJSON(t *testing.T) {
+	rec := NewRecord("test")
+	if err := Ingest(rec, "BENCH_embed.json", []byte(sweepDoc)); err != nil {
+		t.Fatal(err)
+	}
+	m, ok := rec.Metrics["F2/n=7/time"]
+	if !ok {
+		t.Fatalf("missing F2/n=7/time; have %v", names(rec))
+	}
+	if m.Value != 3560000 || m.Unit != "ns" {
+		t.Errorf("F2/n=7/time = %+v", m)
+	}
+	// Count columns (blocks, ring len) are workload shape, not perf.
+	if _, ok := rec.Metrics["F2/n=7/blocks"]; ok {
+		t.Error("count column ingested as a metric")
+	}
+	if len(rec.Sources) != 1 || rec.Sources[0] != "BENCH_embed.json" {
+		t.Errorf("sources = %v", rec.Sources)
+	}
+}
+
+func TestIngestSweepSpeedupRatio(t *testing.T) {
+	doc := `{"experiments":[{"id":"F7","headers":["n","splice speedup"],
+	  "rows":[[{"text":"8","num":8},{"text":"458x","num":458}]]}]}`
+	rec := NewRecord("test")
+	if err := Ingest(rec, "BENCH_repair.json", []byte(doc)); err != nil {
+		t.Fatal(err)
+	}
+	m, ok := rec.Metrics["F7/n=8/splice_speedup"]
+	if !ok || m.Better != HigherBetter || m.Value != 458 {
+		t.Fatalf("speedup metric = %+v (present %v)", m, ok)
+	}
+}
+
+func TestIngestSnapshotJSON(t *testing.T) {
+	rec := NewRecord("test")
+	if err := Ingest(rec, "BENCH_obs.json", []byte(snapshotDoc)); err != nil {
+		t.Fatal(err)
+	}
+	if m := rec.Metrics["obs/core.phase.total/p95_ns"]; m.Value != 2000000 || m.Unit != "ns" {
+		t.Errorf("p95 metric = %+v", m)
+	}
+	// Zero-count histograms are skipped, counters/gauges never ingested.
+	if _, ok := rec.Metrics["obs/core.phase.verify/p50_ns"]; ok {
+		t.Error("empty histogram ingested")
+	}
+}
+
+func TestIngestGoBench(t *testing.T) {
+	rec := NewRecord("test")
+	if err := Ingest(rec, "BENCH_embed.txt", []byte(goBenchDoc)); err != nil {
+		t.Fatal(err)
+	}
+	if m := rec.Metrics["BenchmarkEmbedTheorem1/ns_op"]; m.Value != 12000000 {
+		t.Errorf("ns_op = %+v", m)
+	}
+	if m := rec.Metrics["BenchmarkObsDisabled/allocs_op"]; m.Value != 0 || m.Unit != "allocs/op" {
+		t.Errorf("allocs_op = %+v", m)
+	}
+	if _, ok := rec.Metrics["BenchmarkObsDisabled-8/ns_op"]; ok {
+		t.Error("GOMAXPROCS suffix not stripped")
+	}
+}
+
+func TestIngestRejectsGarbage(t *testing.T) {
+	rec := NewRecord("test")
+	for _, bad := range []string{"", "not json not bench", `{"experiments": []}`, `{"histograms": {}}`} {
+		if err := Ingest(rec, "bad", []byte(bad)); err == nil {
+			t.Errorf("ingest accepted %q", bad)
+		}
+	}
+}
+
+// TestCompareDetectsSlowdown is the acceptance criterion: a synthetic
+// 2x slowdown on a metric above the noise floor must come back
+// REGRESSED, and identical records must produce zero regressions.
+func TestCompareDetectsSlowdown(t *testing.T) {
+	old := NewRecord("old")
+	old.Add("F2/n=7/time", Metric{Value: 5e6, Unit: "ns"})
+	old.Add("BenchmarkEmbedTheorem1/ns_op", Metric{Value: 12e6, Unit: "ns"})
+
+	same := Compare(old, old, Options{})
+	if reg := same.Regressions(); len(reg) != 0 {
+		t.Fatalf("identical records regressed: %+v", reg)
+	}
+
+	slow := NewRecord("new")
+	slow.Add("F2/n=7/time", Metric{Value: 10e6, Unit: "ns"}) // 2x slower
+	slow.Add("BenchmarkEmbedTheorem1/ns_op", Metric{Value: 12e6, Unit: "ns"})
+	cmp := Compare(old, slow, Options{})
+	reg := cmp.Regressions()
+	if len(reg) != 1 || reg[0].Name != "F2/n=7/time" {
+		t.Fatalf("regressions = %+v", reg)
+	}
+	if reg[0].Verdict != VerdictRegressed || math.Abs(reg[0].Change-1.0) > 1e-9 {
+		t.Errorf("delta = %+v", reg[0])
+	}
+}
+
+func TestCompareNoiseFloor(t *testing.T) {
+	// 2x slowdown on a 10µs timing: both sides below the 1ms floor.
+	old := NewRecord("old")
+	old.Add("tiny", Metric{Value: float64(10 * time.Microsecond), Unit: "ns"})
+	new := NewRecord("new")
+	new.Add("tiny", Metric{Value: float64(20 * time.Microsecond), Unit: "ns"})
+	if reg := Compare(old, new, Options{}).Regressions(); len(reg) != 0 {
+		t.Fatalf("sub-floor jitter regressed: %+v", reg)
+	}
+	// The floor does not apply to unit-less metrics like allocs/op.
+	old.Add("allocs", Metric{Value: 0, Unit: "allocs/op"})
+	new.Add("allocs", Metric{Value: 3, Unit: "allocs/op"})
+	if reg := Compare(old, new, Options{}).Regressions(); len(reg) != 1 {
+		t.Fatalf("alloc regression missed: %+v", reg)
+	}
+}
+
+func TestCompareHigherBetter(t *testing.T) {
+	old := NewRecord("old")
+	old.Add("speedup", Metric{Value: 400, Unit: "ratio", Better: HigherBetter})
+	worse := NewRecord("new")
+	worse.Add("speedup", Metric{Value: 100, Unit: "ratio", Better: HigherBetter})
+	if reg := Compare(old, worse, Options{}).Regressions(); len(reg) != 1 {
+		t.Fatalf("speedup collapse not flagged: %+v", reg)
+	}
+	better := NewRecord("new")
+	better.Add("speedup", Metric{Value: 900, Unit: "ratio", Better: HigherBetter})
+	cmp := Compare(old, better, Options{})
+	if len(cmp.Regressions()) != 0 || cmp.Deltas[0].Verdict != VerdictFaster {
+		t.Fatalf("improvement misclassified: %+v", cmp.Deltas)
+	}
+}
+
+func TestCompareDisjointMetrics(t *testing.T) {
+	old := NewRecord("old")
+	old.Add("gone", Metric{Value: 1, Unit: "count"})
+	old.Add("shared", Metric{Value: 1, Unit: "count"})
+	new := NewRecord("new")
+	new.Add("added", Metric{Value: 1, Unit: "count"})
+	new.Add("shared", Metric{Value: 1, Unit: "count"})
+	cmp := Compare(old, new, Options{})
+	if len(cmp.OnlyOld) != 1 || cmp.OnlyOld[0] != "gone" {
+		t.Errorf("OnlyOld = %v", cmp.OnlyOld)
+	}
+	if len(cmp.OnlyNew) != 1 || cmp.OnlyNew[0] != "added" {
+		t.Errorf("OnlyNew = %v", cmp.OnlyNew)
+	}
+	if len(cmp.Deltas) != 1 {
+		t.Errorf("Deltas = %+v", cmp.Deltas)
+	}
+}
+
+func TestRecordRoundTripAndTrajectory(t *testing.T) {
+	dir := t.TempDir()
+	rec := NewRecord("run-1")
+	rec.Add("m", Metric{Value: 42, Unit: "count"})
+
+	path := filepath.Join(dir, "rec.json")
+	if err := WriteRecordFile(path, rec); err != nil {
+		t.Fatal(err)
+	}
+	back, err := ReadRecordFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if back.Label != "run-1" || back.Metrics["m"].Value != 42 {
+		t.Fatalf("round trip lost data: %+v", back)
+	}
+
+	traj := filepath.Join(dir, "traj.ndjson")
+	for i := 0; i < 3; i++ {
+		if err := AppendNDJSONFile(traj, rec); err != nil {
+			t.Fatal(err)
+		}
+	}
+	f, err := os.Open(traj)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+	n, err := CheckNDJSON(f)
+	if err != nil || n != 3 {
+		t.Fatalf("CheckNDJSON = %d, %v", n, err)
+	}
+}
+
+func TestCheckNDJSONRejectsBadLines(t *testing.T) {
+	for _, bad := range []string{
+		"not json\n",
+		`{"schema": 99, "metrics": {"m": {"value": 1, "unit": "count"}}}` + "\n",
+		`{"schema": 1, "metrics": {}}` + "\n",
+	} {
+		if _, err := CheckNDJSON(strings.NewReader(bad)); err == nil {
+			t.Errorf("accepted %q", bad)
+		}
+	}
+}
+
+func TestReadRecordFileRejectsWrongSchema(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "bad.json")
+	os.WriteFile(path, []byte(`{"schema": 2, "metrics": {"m": {"value": 1, "unit": "x"}}}`), 0o644)
+	if _, err := ReadRecordFile(path); err == nil || !strings.Contains(err.Error(), "schema") {
+		t.Fatalf("wrong-schema record accepted: %v", err)
+	}
+}
+
+func TestComparisonFprint(t *testing.T) {
+	old := NewRecord("old")
+	old.Add("slow", Metric{Value: 5e6, Unit: "ns"})
+	old.Add("fine", Metric{Value: 5e6, Unit: "ns"})
+	new := NewRecord("new")
+	new.Add("slow", Metric{Value: 15e6, Unit: "ns"})
+	new.Add("fine", Metric{Value: 5e6, Unit: "ns"})
+	var b strings.Builder
+	Compare(old, new, Options{}).Fprint(&b, false)
+	out := b.String()
+	if !strings.Contains(out, "REGRESSED") || !strings.Contains(out, "slow") {
+		t.Fatalf("missing regression row:\n%s", out)
+	}
+	if strings.Contains(out, "fine") {
+		t.Fatalf("ok row shown without -v:\n%s", out)
+	}
+	if !strings.Contains(out, "compared 2 metrics: 1 regressed") {
+		t.Fatalf("missing summary:\n%s", out)
+	}
+}
+
+func names(r *Record) []string {
+	out := make([]string, 0, len(r.Metrics))
+	for k := range r.Metrics {
+		out = append(out, k)
+	}
+	return out
+}

@@ -1,0 +1,210 @@
+package bench
+
+import (
+	"fmt"
+	"io"
+	"math"
+	"sort"
+	"time"
+)
+
+// Verdicts for one compared metric.
+const (
+	// VerdictOK means the change is inside the noise threshold.
+	VerdictOK = "ok"
+	// VerdictFaster means the metric improved past the threshold.
+	VerdictFaster = "faster"
+	// VerdictRegressed means the metric worsened past the threshold.
+	VerdictRegressed = "REGRESSED"
+)
+
+// Options tunes Compare.
+type Options struct {
+	// Threshold is the relative change that counts as significant:
+	// 0.30 means a metric must move 30% to leave "ok". Zero means the
+	// DefaultThreshold.
+	Threshold float64
+	// MinNS is the noise floor for nanosecond metrics: if both sides
+	// are below it the comparison is always "ok" (micro-timings jitter
+	// far beyond any threshold). Zero means DefaultMinNS.
+	MinNS float64
+}
+
+// DefaultThreshold is the relative change treated as significant. 30%
+// is deliberately loose: the gate runs on shared CI machines, and the
+// repo's own embed benchmarks vary ~10-15% run over run.
+const DefaultThreshold = 0.30
+
+// DefaultMinNS is the timing noise floor (1ms): sub-millisecond
+// absolute timings are dominated by scheduler jitter at -benchtime 1x.
+const DefaultMinNS = float64(time.Millisecond)
+
+func (o Options) defaults() Options {
+	if o.Threshold == 0 {
+		o.Threshold = DefaultThreshold
+	}
+	if o.MinNS == 0 {
+		o.MinNS = DefaultMinNS
+	}
+	return o
+}
+
+// Delta is one metric's old-vs-new comparison.
+type Delta struct {
+	Name    string  `json:"name"`
+	Unit    string  `json:"unit"`
+	Old     float64 `json:"old"`
+	New     float64 `json:"new"`
+	Change  float64 `json:"change"` // relative: (new-old)/old
+	Verdict string  `json:"verdict"`
+}
+
+// Comparison is the full result of comparing two records.
+type Comparison struct {
+	Threshold float64 `json:"threshold"`
+	Deltas    []Delta `json:"deltas"`
+	// OnlyOld / OnlyNew list metrics present on one side only; they
+	// never fail the gate but are reported so schema drift is visible.
+	OnlyOld []string `json:"only_old,omitempty"`
+	OnlyNew []string `json:"only_new,omitempty"`
+}
+
+// Regressions returns the metrics that worsened past the threshold.
+func (c *Comparison) Regressions() []Delta {
+	var out []Delta
+	for _, d := range c.Deltas {
+		if d.Verdict == VerdictRegressed {
+			out = append(out, d)
+		}
+	}
+	return out
+}
+
+// Compare joins two records on metric name and classifies every shared
+// metric as ok / faster / REGRESSED. Metrics below the timing noise
+// floor on both sides are always ok.
+func Compare(old, new *Record, opts Options) *Comparison {
+	opts = opts.defaults()
+	c := &Comparison{Threshold: opts.Threshold}
+	names := make([]string, 0, len(old.Metrics))
+	for name := range old.Metrics {
+		if _, ok := new.Metrics[name]; ok {
+			names = append(names, name)
+		} else {
+			c.OnlyOld = append(c.OnlyOld, name)
+		}
+	}
+	for name := range new.Metrics {
+		if _, ok := old.Metrics[name]; !ok {
+			c.OnlyNew = append(c.OnlyNew, name)
+		}
+	}
+	sort.Strings(names)
+	sort.Strings(c.OnlyOld)
+	sort.Strings(c.OnlyNew)
+
+	for _, name := range names {
+		om, nm := old.Metrics[name], new.Metrics[name]
+		d := Delta{Name: name, Unit: nm.Unit, Old: om.Value, New: nm.Value}
+		d.Change = relChange(om.Value, nm.Value)
+		d.Verdict = classify(om, nm, d.Change, opts)
+		c.Deltas = append(c.Deltas, d)
+	}
+	return c
+}
+
+// relChange is (new-old)/old with the zero-denominator cases pinned:
+// 0 -> 0 is no change; 0 -> x is an unbounded increase.
+func relChange(old, new float64) float64 {
+	if old == new {
+		return 0
+	}
+	if old == 0 {
+		return math.Inf(sign(new))
+	}
+	return (new - old) / math.Abs(old)
+}
+
+func sign(v float64) int {
+	if v < 0 {
+		return -1
+	}
+	return 1
+}
+
+func classify(om, nm Metric, change float64, opts Options) string {
+	// Noise floor: timings too small to measure reliably never gate.
+	if nm.Unit == "ns" && math.Abs(om.Value) < opts.MinNS && math.Abs(nm.Value) < opts.MinNS {
+		return VerdictOK
+	}
+	worse := change > opts.Threshold
+	better := change < -opts.Threshold
+	if !nm.lowerIsBetter() {
+		worse, better = better, worse
+	}
+	switch {
+	case worse:
+		return VerdictRegressed
+	case better:
+		return VerdictFaster
+	default:
+		return VerdictOK
+	}
+}
+
+// Fprint renders the comparison as an aligned benchstat-style table.
+// With verbose false only non-ok rows (and the summary) print.
+func (c *Comparison) Fprint(w io.Writer, verbose bool) {
+	nameW := len("metric")
+	for _, d := range c.Deltas {
+		if !verbose && d.Verdict == VerdictOK {
+			continue
+		}
+		if len(d.Name) > nameW {
+			nameW = len(d.Name)
+		}
+	}
+	shown := 0
+	fmt.Fprintf(w, "%-*s  %14s  %14s  %8s  %s\n", nameW, "metric", "old", "new", "delta", "verdict")
+	for _, d := range c.Deltas {
+		if !verbose && d.Verdict == VerdictOK {
+			continue
+		}
+		shown++
+		fmt.Fprintf(w, "%-*s  %14s  %14s  %8s  %s\n",
+			nameW, d.Name, formatValue(d.Old, d.Unit), formatValue(d.New, d.Unit),
+			formatChange(d.Change), d.Verdict)
+	}
+	if shown == 0 {
+		fmt.Fprintf(w, "(all %d shared metrics within ±%.0f%%)\n", len(c.Deltas), c.Threshold*100)
+	}
+	if len(c.OnlyOld) > 0 {
+		fmt.Fprintf(w, "only in old record: %d metrics\n", len(c.OnlyOld))
+	}
+	if len(c.OnlyNew) > 0 {
+		fmt.Fprintf(w, "only in new record: %d metrics\n", len(c.OnlyNew))
+	}
+	reg := c.Regressions()
+	fmt.Fprintf(w, "compared %d metrics: %d regressed (threshold %.0f%%)\n",
+		len(c.Deltas), len(reg), c.Threshold*100)
+}
+
+func formatValue(v float64, unit string) string {
+	if unit == "ns" {
+		return time.Duration(v).Round(time.Microsecond).String()
+	}
+	if v == math.Trunc(v) && math.Abs(v) < 1e15 {
+		return fmt.Sprintf("%d %s", int64(v), unit)
+	}
+	return fmt.Sprintf("%.2f %s", v, unit)
+}
+
+func formatChange(change float64) string {
+	if math.IsInf(change, 1) {
+		return "+inf"
+	}
+	if math.IsInf(change, -1) {
+		return "-inf"
+	}
+	return fmt.Sprintf("%+.1f%%", change*100)
+}

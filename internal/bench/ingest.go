@@ -1,0 +1,172 @@
+package bench
+
+import (
+	"bufio"
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"strconv"
+	"strings"
+)
+
+// Ingest sniffs the artifact format and merges its metrics into rec.
+// Three formats are understood:
+//
+//   - starsweep -json documents ({"experiments": [...]}), the shape of
+//     BENCH_embed.json and BENCH_repair.json
+//   - obs registry snapshots ({"counters": ..., "histograms": ...}),
+//     the shape of BENCH_obs.json
+//   - go test -bench text (Benchmark... lines), the shape of
+//     BENCH_embed.txt and BENCH_repair.txt
+func Ingest(rec *Record, name string, data []byte) error {
+	trimmed := bytes.TrimSpace(data)
+	if len(trimmed) == 0 {
+		return fmt.Errorf("bench: %s: empty artifact", name)
+	}
+	var err error
+	switch {
+	case trimmed[0] == '{' && bytes.Contains(trimmed, []byte(`"experiments"`)):
+		err = IngestSweepJSON(rec, trimmed)
+	case trimmed[0] == '{':
+		err = IngestSnapshotJSON(rec, trimmed)
+	default:
+		err = IngestGoBench(rec, trimmed)
+	}
+	if err != nil {
+		return fmt.Errorf("bench: %s: %w", name, err)
+	}
+	rec.Sources = append(rec.Sources, name)
+	return nil
+}
+
+// sweepCell mirrors harness.Cell without importing the harness (the
+// bench layer consumes artifacts, not live tables).
+type sweepCell struct {
+	Text string   `json:"text"`
+	Num  *float64 `json:"num"`
+	NS   *int64   `json:"ns"`
+}
+
+// IngestSweepJSON extracts the typed cells of a starsweep -json
+// document. Timing cells (NS set) become "<exp>/<key>/<header>"
+// nanosecond metrics; "speedup" columns (trailing "x" ratios) become
+// higher-is-better ratios. Plain count columns are skipped — they are
+// workload shape, not performance.
+func IngestSweepJSON(rec *Record, data []byte) error {
+	var doc struct {
+		Experiments []struct {
+			ID      string        `json:"id"`
+			Headers []string      `json:"headers"`
+			Rows    [][]sweepCell `json:"rows"`
+		} `json:"experiments"`
+	}
+	if err := json.Unmarshal(data, &doc); err != nil {
+		return err
+	}
+	if len(doc.Experiments) == 0 {
+		return fmt.Errorf("no experiments in sweep document")
+	}
+	for _, exp := range doc.Experiments {
+		for _, row := range exp.Rows {
+			if len(row) == 0 || len(row) != len(exp.Headers) {
+				return fmt.Errorf("experiment %s: ragged row", exp.ID)
+			}
+			// The first column keys the row (the swept dimension n).
+			key := fmt.Sprintf("%s=%s", sanitize(exp.Headers[0]), row[0].Text)
+			for i, cell := range row {
+				name := fmt.Sprintf("%s/%s/%s", exp.ID, key, sanitize(exp.Headers[i]))
+				switch {
+				case cell.NS != nil:
+					rec.Add(name, Metric{Value: float64(*cell.NS), Unit: "ns"})
+				case cell.Num != nil && strings.Contains(exp.Headers[i], "speedup"):
+					rec.Add(name, Metric{Value: *cell.Num, Unit: "ratio", Better: HigherBetter})
+				}
+			}
+		}
+	}
+	return nil
+}
+
+// IngestSnapshotJSON extracts the phase histograms of an obs registry
+// snapshot (BENCH_obs.json): each histogram contributes p50 and p95
+// nanosecond metrics under "obs/<name>/p50_ns". Counters and gauges
+// are workload- and host-dependent, so they are not compared.
+func IngestSnapshotJSON(rec *Record, data []byte) error {
+	var snap struct {
+		Histograms map[string]struct {
+			Count int64 `json:"count"`
+			P50NS int64 `json:"p50_ns"`
+			P95NS int64 `json:"p95_ns"`
+		} `json:"histograms"`
+	}
+	if err := json.Unmarshal(data, &snap); err != nil {
+		return err
+	}
+	if len(snap.Histograms) == 0 {
+		return fmt.Errorf("no histograms in snapshot")
+	}
+	for name, h := range snap.Histograms {
+		if h.Count == 0 {
+			continue
+		}
+		rec.Add("obs/"+name+"/p50_ns", Metric{Value: float64(h.P50NS), Unit: "ns"})
+		rec.Add("obs/"+name+"/p95_ns", Metric{Value: float64(h.P95NS), Unit: "ns"})
+	}
+	return nil
+}
+
+// IngestGoBench parses go test -bench text output. Each benchmark line
+//
+//	BenchmarkEmbedTheorem1-8  100  12345 ns/op  67 B/op  8 allocs/op
+//
+// contributes "<name>/ns_op" (and B_op / allocs_op when -benchmem was
+// on). The -GOMAXPROCS suffix is stripped so records from machines
+// with different core counts still join.
+func IngestGoBench(rec *Record, data []byte) error {
+	sc := bufio.NewScanner(bytes.NewReader(data))
+	sc.Buffer(make([]byte, 0, 1<<16), 1<<22)
+	found := 0
+	for sc.Scan() {
+		fields := strings.Fields(sc.Text())
+		if len(fields) < 4 || !strings.HasPrefix(fields[0], "Benchmark") {
+			continue
+		}
+		name := fields[0]
+		if i := strings.LastIndex(name, "-"); i > 0 {
+			if _, err := strconv.Atoi(name[i+1:]); err == nil {
+				name = name[:i]
+			}
+		}
+		// fields[1] is the iteration count; value/unit pairs follow.
+		for i := 2; i+1 < len(fields); i += 2 {
+			v, err := strconv.ParseFloat(fields[i], 64)
+			if err != nil {
+				continue
+			}
+			switch fields[i+1] {
+			case "ns/op":
+				rec.Add(name+"/ns_op", Metric{Value: v, Unit: "ns"})
+				found++
+			case "B/op":
+				rec.Add(name+"/B_op", Metric{Value: v, Unit: "B/op"})
+			case "allocs/op":
+				rec.Add(name+"/allocs_op", Metric{Value: v, Unit: "allocs/op"})
+			}
+		}
+	}
+	if err := sc.Err(); err != nil {
+		return err
+	}
+	if found == 0 {
+		return fmt.Errorf("no benchmark lines found")
+	}
+	return nil
+}
+
+// sanitize maps header text onto metric-name-friendly tokens.
+func sanitize(s string) string {
+	s = strings.TrimSpace(s)
+	s = strings.ReplaceAll(s, " ", "_")
+	s = strings.ReplaceAll(s, "|", "")
+	return s
+}

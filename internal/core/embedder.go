@@ -7,6 +7,7 @@ import (
 	"repro/internal/check"
 	"repro/internal/faults"
 	"repro/internal/obs"
+	"repro/internal/obs/prof"
 	"repro/internal/pathsearch"
 	"repro/internal/perm"
 	"repro/internal/star"
@@ -76,29 +77,37 @@ func (e *Embedder) Embed(fs *faults.Set) (*Plan, error) {
 		in.finish()
 	}()
 
+	// The whole construction (and its self-verification) runs under the
+	// phase=embed pprof label, so CPU profiles captured while embedding —
+	// -cpuprofile or a live /debug/pprof/profile scrape — attribute their
+	// samples to it. The parallel routing workers inherit the label.
 	var sk *skeleton
 	var err error
-	switch {
-	case n == 3:
-		err = embedS3(res, fs)
-	case n == 4:
-		err = embedS4(res, fs)
-	default:
-		sk, err = embedLarge(res, fs, e.cfg, in)
-	}
+	prof.Do("embed", func() {
+		switch {
+		case n == 3:
+			err = embedS3(res, fs)
+		case n == 4:
+			err = embedS4(res, fs)
+		default:
+			sk, err = embedLarge(res, fs, e.cfg, in)
+		}
+		if err != nil {
+			return
+		}
+		minLen := 0
+		if res.Guaranteed {
+			minLen = res.Guarantee
+		}
+		vspan := in.span("core.phase.verify")
+		verr := check.Ring(e.g, res.Ring, fs, minLen)
+		vspan.End()
+		if verr != nil {
+			err = fmt.Errorf("core: self-verification failed: %w", verr)
+		}
+	})
 	if err != nil {
 		return nil, err
-	}
-
-	minLen := 0
-	if res.Guaranteed {
-		minLen = res.Guarantee
-	}
-	vspan := in.span("core.phase.verify")
-	err = check.Ring(e.g, res.Ring, fs, minLen)
-	vspan.End()
-	if err != nil {
-		return nil, fmt.Errorf("core: self-verification failed: %w", err)
 	}
 	if lg := in.eventLog(); lg != nil {
 		lg.Log(obs.LevelInfo, "core.embed",
@@ -320,7 +329,8 @@ func (p *Plan) Repair(v perm.Code) (RepairReport, error) {
 
 	if k, ok := p.spliceTarget(v); ok {
 		span := in.span("core.phase.repair_splice")
-		err := p.splice(k, v)
+		var err error
+		prof.Do("splice", func() { err = p.splice(k, v) })
 		span.End()
 		if err == nil {
 			in.repair("splices")
@@ -338,7 +348,10 @@ func (p *Plan) Repair(v perm.Code) (RepairReport, error) {
 	}
 
 	span := in.span("core.phase.repair_rebuild")
-	err := p.rebuild()
+	var err error
+	// The nested Embed re-labels its own extent phase=embed; samples in
+	// the rebuild bookkeeping around it stay phase=rebuild.
+	prof.Do("rebuild", func() { err = p.rebuild() })
 	span.End()
 	if err != nil {
 		return rep, err

@@ -7,6 +7,7 @@ import (
 
 	"repro/internal/faults"
 	"repro/internal/obs"
+	"repro/internal/obs/prof"
 )
 
 // TestEmbedMetrics embeds with a live registry and checks that every
@@ -106,16 +107,19 @@ func TestObsDisabledAllocs(t *testing.T) {
 
 // BenchmarkObsDisabled measures the per-block cost of the disabled
 // instrumentation path — the exact hook sequence the assemble worker
-// loop executes per routed block. Expect single-digit nanoseconds and
-// 0 allocs/op.
+// loop executes per routed block, plus a disabled runtime sampler (the
+// state every uninstrumented run carries now that prof.RuntimeSampler
+// exists). Expect single-digit nanoseconds and 0 allocs/op.
 func BenchmarkObsDisabled(b *testing.B) {
 	var in *instr
+	rt := prof.NewRuntimeSampler(nil)
 	var busy int64
 	b.ReportAllocs()
 	for i := 0; i < b.N; i++ {
 		start := in.now()
 		in.blockRouted()
 		in.workerDone(start, &busy)
+		rt.Sample()
 	}
 }
 

@@ -425,8 +425,8 @@ func F2(cfg SweepConfig) ([]*Table, error) {
 			return nil, err
 		}
 		elapsed := obs.Since(clock, start).Round(10 * time.Microsecond)
-		t.AddRow(n, k, res.Len(), res.Blocks, elapsed.String(),
-			fmt.Sprintf("%.2f", float64(res.Len()*8)/(1<<20)))
+		t.AddRow(n, k, res.Len(), res.Blocks, elapsed,
+			float64(res.Len()*8)/(1<<20))
 	}
 	return []*Table{t}, nil
 }
@@ -649,7 +649,7 @@ func A1(cfg SweepConfig) ([]*Table, error) {
 		if err != nil {
 			return nil, err
 		}
-		t.AddRow(variant.label, d.Round(10*time.Microsecond).String(), "-", variant.note)
+		t.AddRow(variant.label, d.Round(10*time.Microsecond), "-", variant.note)
 	}
 
 	// Separation ablation.
@@ -805,21 +805,25 @@ func F7(cfg SweepConfig) ([]*Table, error) {
 			}
 			coldTime += obs.Since(clock, start)
 		}
-		mean := func(total time.Duration, count int) (time.Duration, string) {
+		// Mean cells keep the exact nanosecond value typed; only the text
+		// is rounded. Zero-count means render "n/a" with no value, so
+		// machine consumers skip them instead of reading 0 ns.
+		mean := func(total time.Duration, count int) (time.Duration, Cell) {
 			if count == 0 {
-				return 0, "n/a"
+				return 0, TextCell("n/a")
 			}
 			m := total / time.Duration(count)
-			return m, m.Round(time.Microsecond).String()
+			return m, Cell{Text: m.Round(time.Microsecond).String(), NS: ptrInt64(int64(m))}
 		}
-		meanSplice, spliceStr := mean(spliceTime, splices)
-		_, rebuildStr := mean(rebuildTime, rebuilds)
-		meanCold, coldStr := mean(coldTime, cfg.Seeds)
-		speedup := "n/a"
+		meanSplice, spliceCell := mean(spliceTime, splices)
+		_, rebuildCell := mean(rebuildTime, rebuilds)
+		meanCold, coldCell := mean(coldTime, cfg.Seeds)
+		speedup := TextCell("n/a")
 		if splices > 0 && meanSplice > 0 {
-			speedup = fmt.Sprintf("%.0fx", float64(meanCold)/float64(meanSplice))
+			ratio := float64(meanCold) / float64(meanSplice)
+			speedup = NumCell(fmt.Sprintf("%.0fx", ratio), ratio)
 		}
-		t.AddRow(n, blocks, repairs, splices, rebuilds, spliceStr, rebuildStr, coldStr, speedup)
+		t.AddRow(n, blocks, repairs, splices, rebuilds, spliceCell, rebuildCell, coldCell, speedup)
 	}
 	return []*Table{t}, nil
 }

@@ -11,31 +11,74 @@ package harness
 import (
 	"fmt"
 	"io"
+	"strconv"
 	"strings"
+	"time"
 
 	"repro/internal/obs"
 )
+
+// Cell is one table cell: the rendered text plus the typed value it
+// came from, so machine consumers (starsweep -json, cmd/starbench) read
+// numbers instead of re-parsing "150µs"-style strings. Exactly one of
+// Num/NS is set for numeric cells; plain text cells carry neither.
+type Cell struct {
+	Text string `json:"text"`
+	// Num is the numeric value for count/ratio cells (ints and floats).
+	Num *float64 `json:"num,omitempty"`
+	// NS is the duration in nanoseconds for timing cells.
+	NS *int64 `json:"ns,omitempty"`
+}
+
+// TextCell wraps a plain, untyped cell.
+func TextCell(s string) Cell { return Cell{Text: s} }
+
+// NumCell pairs rendered text with its numeric value.
+func NumCell(text string, v float64) Cell { return Cell{Text: text, Num: &v} }
+
+// DurationCell renders d with time.Duration formatting and keeps the
+// exact nanosecond value.
+func DurationCell(d time.Duration) Cell {
+	ns := int64(d)
+	return Cell{Text: d.String(), NS: &ns}
+}
+
+// ptrInt64 is for building Cells whose text rounds a duration the NS
+// field keeps exact.
+func ptrInt64(v int64) *int64 { return &v }
 
 // Table is a rendered experiment result: a titled grid plus the
 // commentary tying it back to the paper's claim. The JSON tags shape
 // starsweep -json output.
 type Table struct {
-	ID      string     `json:"id"`
-	Title   string     `json:"title"`
-	Caption string     `json:"caption"`
-	Headers []string   `json:"headers"`
-	Rows    [][]string `json:"rows"`
+	ID      string   `json:"id"`
+	Title   string   `json:"title"`
+	Caption string   `json:"caption"`
+	Headers []string `json:"headers"`
+	Rows    [][]Cell `json:"rows"`
 }
 
-// AddRow appends a row of cells, formatting each value with %v.
+// AddRow appends a row of cells. Ints, floats and time.Durations become
+// typed cells (formatting matches the old stringified rows exactly:
+// "%v" for ints, "%.2f" for floats, Duration.String for durations);
+// pre-built Cells pass through for custom text such as "n/a" or "12x";
+// anything else is formatted with %v as plain text.
 func (t *Table) AddRow(cells ...interface{}) {
-	row := make([]string, len(cells))
+	row := make([]Cell, len(cells))
 	for i, c := range cells {
 		switch v := c.(type) {
+		case Cell:
+			row[i] = v
+		case time.Duration:
+			row[i] = DurationCell(v)
+		case int:
+			row[i] = NumCell(strconv.Itoa(v), float64(v))
+		case int64:
+			row[i] = NumCell(strconv.FormatInt(v, 10), float64(v))
 		case float64:
-			row[i] = fmt.Sprintf("%.2f", v)
+			row[i] = NumCell(fmt.Sprintf("%.2f", v), v)
 		default:
-			row[i] = fmt.Sprintf("%v", c)
+			row[i] = TextCell(fmt.Sprintf("%v", c))
 		}
 	}
 	t.Rows = append(t.Rows, row)
@@ -50,8 +93,8 @@ func (t *Table) Fprint(w io.Writer) {
 	}
 	for _, row := range t.Rows {
 		for i, c := range row {
-			if i < len(widths) && len(c) > widths[i] {
-				widths[i] = len(c)
+			if i < len(widths) && len(c.Text) > widths[i] {
+				widths[i] = len(c.Text)
 			}
 		}
 	}
@@ -69,7 +112,7 @@ func (t *Table) Fprint(w io.Writer) {
 	}
 	line(rule)
 	for _, row := range t.Rows {
-		line(row)
+		line(cellTexts(row))
 	}
 	if t.Caption != "" {
 		fmt.Fprintf(w, "\n%s\n", wrap(t.Caption, 72))
@@ -88,12 +131,21 @@ func (t *Table) Markdown(w io.Writer) {
 	}
 	fmt.Fprintf(w, "| %s |\n", strings.Join(sep, " | "))
 	for _, row := range t.Rows {
-		fmt.Fprintf(w, "| %s |\n", strings.Join(row, " | "))
+		fmt.Fprintf(w, "| %s |\n", strings.Join(cellTexts(row), " | "))
 	}
 	if t.Caption != "" {
 		fmt.Fprintf(w, "\n%s\n", t.Caption)
 	}
 	fmt.Fprintln(w)
+}
+
+// cellTexts projects a row onto its rendered strings.
+func cellTexts(row []Cell) []string {
+	out := make([]string, len(row))
+	for i, c := range row {
+		out[i] = c.Text
+	}
+	return out
 }
 
 func pad(s string, w int) string {

@@ -36,7 +36,7 @@ func TestAllExperimentsQuick(t *testing.T) {
 				// No experiment may report a violation marker.
 				for _, row := range tab.Rows {
 					for _, cell := range row {
-						if cell == "NO" {
+						if cell.Text == "NO" {
 							t.Fatalf("%s reports a violated claim: %v", e.ID, row)
 						}
 					}

@@ -38,8 +38,11 @@ func TestF2UsesInjectedClock(t *testing.T) {
 		t.Fatal(err)
 	}
 	for _, row := range tables[0].Rows {
-		if got := row[4]; got != "0s" {
+		if got := row[4].Text; got != "0s" {
 			t.Errorf("time column %q, want 0s under a frozen clock (row %v)", got, row)
+		}
+		if row[4].NS == nil || *row[4].NS != 0 {
+			t.Errorf("time column carries no zero typed value: %+v", row[4])
 		}
 	}
 	if !strings.Contains(strings.Join(tables[0].Headers, " "), "time") {

@@ -1,0 +1,74 @@
+package prof
+
+import (
+	"fmt"
+	"io"
+	"net/http"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"repro/internal/obs"
+)
+
+// TestDebugServerLabeledProfile is the DebugServer x profiler
+// integration check: while a labeled workload holds the process busy, a
+// CPU profile is pulled over HTTP from /debug/pprof/profile — exactly
+// what an operator does against a long starsweep run — and must carry
+// the phase label. Closing the server afterwards must release the
+// listener for an immediate rebind (the PR 4 lifecycle fix).
+func TestDebugServerLabeledProfile(t *testing.T) {
+	if testing.Short() {
+		t.Skip("profiles over HTTP for ~1s")
+	}
+	srv, err := obs.StartDebugServer("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	addr := srv.Addr()
+
+	var stop atomic.Bool
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		for !stop.Load() {
+			Do("embed", func() {
+				spinSink = spin(time.Now().Add(50 * time.Millisecond))
+			})
+		}
+	}()
+
+	resp, err := http.Get(fmt.Sprintf("http://%s/debug/pprof/profile?seconds=1", addr))
+	if err != nil {
+		t.Fatal(err)
+	}
+	data, readErr := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	stop.Store(true)
+	<-done
+	if readErr != nil {
+		t.Fatal(readErr)
+	}
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("GET /debug/pprof/profile: %s\n%s", resp.Status, data)
+	}
+
+	ok, err := CPUProfileHasLabel(data, "phase", "embed")
+	if err != nil {
+		t.Fatalf("parse scraped profile: %v", err)
+	}
+	if !ok {
+		t.Error("scraped profile has no phase=embed sample")
+	}
+
+	if err := srv.Close(); err != nil {
+		t.Fatalf("Close: %v", err)
+	}
+	// The port must be immediately reusable once the profile request is
+	// over — the listener-lifecycle guarantee the sweep smoke relies on.
+	srv2, err := obs.StartDebugServer(addr)
+	if err != nil {
+		t.Fatalf("rebind %s after Close: %v", addr, err)
+	}
+	srv2.Close()
+}

@@ -1,0 +1,212 @@
+package prof
+
+import (
+	"bytes"
+	"compress/gzip"
+	"errors"
+	"fmt"
+	"io"
+)
+
+// CPUProfileHasLabel reports whether any sample in a pprof protobuf
+// profile (gzipped or raw, as written by runtime/pprof) carries the
+// string label key=value. It is a minimal stdlib-only reader of the
+// three profile.proto fields involved — Profile.string_table,
+// Profile.sample and Sample.label — used by the tests and CI to certify
+// that phase labels set via Do actually reach captured profiles.
+func CPUProfileHasLabel(data []byte, key, value string) (bool, error) {
+	raw, err := maybeGunzip(data)
+	if err != nil {
+		return false, err
+	}
+	strings, samples, err := splitProfile(raw)
+	if err != nil {
+		return false, err
+	}
+	ki, vi := -1, -1
+	for i, s := range strings {
+		if s == key {
+			ki = i
+		}
+		if s == value {
+			vi = i
+		}
+	}
+	if ki < 0 || vi < 0 {
+		return false, nil
+	}
+	for _, sample := range samples {
+		ok, err := sampleHasLabel(sample, uint64(ki), uint64(vi))
+		if err != nil {
+			return false, err
+		}
+		if ok {
+			return true, nil
+		}
+	}
+	return false, nil
+}
+
+func maybeGunzip(data []byte) ([]byte, error) {
+	if len(data) < 2 || data[0] != 0x1f || data[1] != 0x8b {
+		return data, nil
+	}
+	zr, err := gzip.NewReader(bytes.NewReader(data))
+	if err != nil {
+		return nil, err
+	}
+	defer zr.Close()
+	return io.ReadAll(zr)
+}
+
+// Profile message field numbers (profile.proto).
+const (
+	profileFieldSample      = 2
+	profileFieldStringTable = 6
+	sampleFieldLabel        = 3
+	labelFieldKey           = 1
+	labelFieldStr           = 2
+)
+
+// splitProfile walks the top-level Profile message, collecting the
+// string table and the raw bytes of every Sample submessage.
+func splitProfile(data []byte) (strings []string, samples [][]byte, err error) {
+	for len(data) > 0 {
+		field, wire, rest, err := readTag(data)
+		if err != nil {
+			return nil, nil, err
+		}
+		data = rest
+		switch wire {
+		case 0: // varint
+			if _, data, err = readVarint(data); err != nil {
+				return nil, nil, err
+			}
+		case 1: // fixed64
+			if len(data) < 8 {
+				return nil, nil, errors.New("prof: truncated fixed64")
+			}
+			data = data[8:]
+		case 2: // length-delimited
+			var chunk []byte
+			if chunk, data, err = readBytes(data); err != nil {
+				return nil, nil, err
+			}
+			switch field {
+			case profileFieldStringTable:
+				strings = append(strings, string(chunk))
+			case profileFieldSample:
+				samples = append(samples, chunk)
+			}
+		case 5: // fixed32
+			if len(data) < 4 {
+				return nil, nil, errors.New("prof: truncated fixed32")
+			}
+			data = data[4:]
+		default:
+			return nil, nil, fmt.Errorf("prof: unsupported wire type %d", wire)
+		}
+	}
+	return strings, samples, nil
+}
+
+// sampleHasLabel scans one Sample message for a Label submessage whose
+// key and str string-table indices match.
+func sampleHasLabel(data []byte, keyIdx, strIdx uint64) (bool, error) {
+	for len(data) > 0 {
+		field, wire, rest, err := readTag(data)
+		if err != nil {
+			return false, err
+		}
+		data = rest
+		switch wire {
+		case 0:
+			if _, data, err = readVarint(data); err != nil {
+				return false, err
+			}
+		case 1:
+			if len(data) < 8 {
+				return false, errors.New("prof: truncated fixed64")
+			}
+			data = data[8:]
+		case 2:
+			var chunk []byte
+			if chunk, data, err = readBytes(data); err != nil {
+				return false, err
+			}
+			if field != sampleFieldLabel {
+				continue
+			}
+			var k, s uint64
+			lbl := chunk
+			for len(lbl) > 0 {
+				lf, lw, lrest, err := readTag(lbl)
+				if err != nil {
+					return false, err
+				}
+				lbl = lrest
+				if lw == 0 {
+					var v uint64
+					if v, lbl, err = readVarint(lbl); err != nil {
+						return false, err
+					}
+					switch lf {
+					case labelFieldKey:
+						k = v
+					case labelFieldStr:
+						s = v
+					}
+					continue
+				}
+				if lw == 2 {
+					if _, lbl, err = readBytes(lbl); err != nil {
+						return false, err
+					}
+					continue
+				}
+				return false, fmt.Errorf("prof: unsupported label wire type %d", lw)
+			}
+			if k == keyIdx && s == strIdx {
+				return true, nil
+			}
+		case 5:
+			if len(data) < 4 {
+				return false, errors.New("prof: truncated fixed32")
+			}
+			data = data[4:]
+		default:
+			return false, fmt.Errorf("prof: unsupported wire type %d", wire)
+		}
+	}
+	return false, nil
+}
+
+func readTag(data []byte) (field int, wire int, rest []byte, err error) {
+	v, rest, err := readVarint(data)
+	if err != nil {
+		return 0, 0, nil, err
+	}
+	return int(v >> 3), int(v & 7), rest, nil
+}
+
+func readVarint(data []byte) (uint64, []byte, error) {
+	var v uint64
+	for i := 0; i < len(data) && i < 10; i++ {
+		v |= uint64(data[i]&0x7f) << (7 * uint(i))
+		if data[i]&0x80 == 0 {
+			return v, data[i+1:], nil
+		}
+	}
+	return 0, nil, errors.New("prof: truncated varint")
+}
+
+func readBytes(data []byte) (chunk, rest []byte, err error) {
+	n, rest, err := readVarint(data)
+	if err != nil {
+		return nil, nil, err
+	}
+	if n > uint64(len(rest)) {
+		return nil, nil, errors.New("prof: truncated length-delimited field")
+	}
+	return rest[:n], rest[n:], nil
+}

@@ -15,6 +15,7 @@ import (
 	"sync"
 
 	"repro/internal/obs"
+	"repro/internal/obs/prof"
 	"repro/internal/perm"
 	"repro/internal/star"
 )
@@ -200,7 +201,13 @@ func (s *S4) FindPath(q Query) ([]uint8, bool) {
 		d.budget = q.budgetCap
 	}
 	d.path = append(d.path, q.From)
-	found := d.run(q.From, q.ForbidV|1<<uint(q.From))
+	// Cold searches (cache misses and bypasses) are where FindPath's CPU
+	// actually goes, so they run under their own pprof label; the hit
+	// path above stays label-free — a map lookup needs no attribution.
+	var found bool
+	prof.Do("s4-search", func() {
+		found = d.run(q.From, q.ForbidV|1<<uint(q.From))
+	})
 
 	var path []uint8
 	if found {

@@ -18,10 +18,15 @@
 #   BENCH_obs.json     the F2 sweep's registry dump (phase histograms,
 #                      cache counters, worker utilization), for
 #                      run-over-run comparison of instrumentation data
+#   BENCH_record.json  all of the above normalized into one starbench
+#                      record (the input to `starbench -compare`)
+#   BENCH_trajectory.ndjson  append-only history: one record line per
+#                      bench.sh run, validated with `starbench -check`
 #
 # BENCHTIME (default 1x) is passed to -benchtime; use e.g.
 # BENCHTIME=2s scripts/bench.sh for stable numbers. ci.sh runs this as a
-# smoke leg with a throwaway BENCH_OUT.
+# smoke leg with a throwaway BENCH_OUT, then gates on the record (see
+# its perf gate leg).
 set -eu
 
 cd "$(dirname "$0")/.."
@@ -47,4 +52,14 @@ go run ./cmd/starsweep -quick -exp F2 -json \
 # caps the sweep at n=7) and trims the seed count instead.
 go run ./cmd/starsweep -exp F7 -maxn 8 -seeds 3 -json > "$BENCH_OUT/BENCH_repair.json"
 
-echo "bench artifacts written to $BENCH_OUT/BENCH_embed.{txt,json}, $BENCH_OUT/BENCH_repair.{txt,json} and $BENCH_OUT/BENCH_obs.json"
+# Normalize every artifact into one starbench record and append it to
+# the run-over-run trajectory, then validate the whole history.
+go run ./cmd/starbench -record "$BENCH_OUT/BENCH_record.json" \
+    -label "$(git rev-parse --short HEAD 2>/dev/null || date -u +%Y-%m-%dT%H:%M:%SZ)" \
+    -append "$BENCH_OUT/BENCH_trajectory.ndjson" \
+    "$BENCH_OUT/BENCH_embed.txt" "$BENCH_OUT/BENCH_embed.json" \
+    "$BENCH_OUT/BENCH_repair.txt" "$BENCH_OUT/BENCH_repair.json" \
+    "$BENCH_OUT/BENCH_obs.json"
+go run ./cmd/starbench -check "$BENCH_OUT/BENCH_trajectory.ndjson"
+
+echo "bench artifacts written to $BENCH_OUT/BENCH_embed.{txt,json}, $BENCH_OUT/BENCH_repair.{txt,json}, $BENCH_OUT/BENCH_obs.json and $BENCH_OUT/BENCH_record.json (trajectory: $BENCH_OUT/BENCH_trajectory.ndjson)"

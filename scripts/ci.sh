@@ -12,10 +12,19 @@
 #                       (OpenMetrics parse), validate the Perfetto trace
 #                       and the NDJSON event log via starmon
 #   8. bench smoke   -- scripts/bench.sh with -benchtime 1x
-#   9. fuzz smoke    -- each fuzz target for a few seconds
+#   9. perf gate     -- starbench: validate the bench trajectory, then
+#                       compare the fresh record against the baseline
+#                       (STARBENCH_BASELINE; defaults to the fresh
+#                       record itself, i.e. pipeline-only smoke) at
+#                       STARBENCH_THRESHOLD (default 0.30)
+#  10. fuzz smoke    -- each fuzz target for a few seconds
 #
 # Runs from any directory; needs only the Go toolchain. Override the
 # fuzz budget with FUZZTIME (default 5s), e.g. FUZZTIME=30s scripts/ci.sh.
+# Point STARBENCH_BASELINE at a committed record (e.g. a saved
+# BENCH_record.json from the last release) to turn the perf gate into a
+# real regression check; without it the leg proves the gate pipeline
+# end to end against the run's own numbers.
 set -u
 
 cd "$(dirname "$0")/.."
@@ -61,7 +70,7 @@ leg "race" go test -short -race \
     ./internal/superring ./internal/pathsearch ./internal/core \
     ./internal/check ./internal/ringio ./internal/sim \
     ./internal/harness ./internal/baseline ./internal/obs \
-    ./internal/obs/export || exit 1
+    ./internal/obs/export ./internal/obs/prof ./internal/bench || exit 1
 
 leg "starlint" go run ./cmd/starlint ./... || exit 1
 
@@ -113,7 +122,22 @@ leg "obs smoke" obs_smoke || exit 1
 
 # Bench smoke: one iteration of every benchmark plus the JSON sweep,
 # into a throwaway directory — proves the bench pipeline stays runnable.
-leg "bench smoke" env BENCH_OUT="$(mktemp -d)" BENCHTIME=1x scripts/bench.sh || exit 1
+# The directory is kept for the perf gate below.
+BENCH_TMP=$(mktemp -d)
+leg "bench smoke" env BENCH_OUT="$BENCH_TMP" BENCHTIME=1x scripts/bench.sh || exit 1
+
+# Perf gate: validate the trajectory bench.sh appended, then compare
+# the fresh record against the baseline. With no STARBENCH_BASELINE the
+# record is compared to itself, which still exercises ingestion,
+# joining and verdict logic and fails on schema breakage.
+perf_gate() {
+    local rec="$BENCH_TMP/BENCH_record.json"
+    go run ./cmd/starbench -check "$BENCH_TMP/BENCH_trajectory.ndjson" || return 1
+    go run ./cmd/starbench -compare -threshold "${STARBENCH_THRESHOLD:-0.30}" \
+        "${STARBENCH_BASELINE:-$rec}" "$rec"
+}
+
+leg "perf gate" perf_gate || exit 1
 
 # Fuzz smoke: one target per invocation (the go tool's -fuzz accepts a
 # single match), a few seconds each. These catch regressions in input
