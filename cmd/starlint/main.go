@@ -1,20 +1,25 @@
 // starlint runs the project's static analyzers (internal/analysis)
-// over the module: permalias, globalrand, nakedpanic, uncheckederr,
-// factsize and walltime, the disciplines that keep the n!-2|Fv|
-// reproduction deterministic and aliasing-safe. It is zero-dependency: packages are
-// parsed and type-checked with the standard library only.
+// over the module: the per-body disciplines (permalias, globalrand,
+// nakedpanic, uncheckederr, factsize, walltime, metricname) plus the
+// facts-engine analyzers that reason transitively through call chains
+// (hotalloc, maporder, goroleak) — everything that keeps the n!-2|Fv|
+// reproduction deterministic, aliasing-safe and allocation-free on its
+// hot paths. It is zero-dependency: packages are parsed and
+// type-checked with the standard library only.
 //
 // Usage:
 //
-//	starlint [-config file] [-analyzers a,b,...] [packages]
+//	starlint [-config file] [-analyzers a,b,...] [-json] [-strict-config] [packages]
 //
 // With no arguments (or "./...") every package of the enclosing module
 // is analyzed, skipping testdata. Arguments naming directories analyze
 // exactly those directories, which is how fixture packages under
 // testdata are linted deliberately.
 //
-// Diagnostics print one per line as "file:line: [analyzer] message".
-// Exit status: 0 clean, 1 findings, 2 load or usage failure.
+// Diagnostics print one per line as "file:line: [analyzer] message";
+// -json instead emits a machine-readable array (file, line, column,
+// analyzer, symbol, message) for CI to archive and diff. Exit status:
+// 0 clean, 1 findings, 2 load or usage failure.
 //
 // Findings are suppressed at a site with a reasoned comment on the
 // offending line or the line above:
@@ -25,6 +30,12 @@
 // module root, if present):
 //
 //	allow <analyzer> <symbol>
+//	hotpath <symbol>
+//
+// where a hotpath line opts the symbol into hotalloc enforcement, like
+// a //starlint:hotpath doc directive. Suppressions and config entries
+// that no longer suppress anything are reported as stale — warnings by
+// default, findings (exit 1) under -strict-config.
 package main
 
 import (
@@ -46,6 +57,8 @@ func run(args []string) int {
 	configPath := fs.String("config", "", "allowlist config file (default: <module root>/.starlint if present)")
 	names := fs.String("analyzers", "", "comma-separated analyzer subset (default: all)")
 	list := fs.Bool("list", false, "list analyzers and exit")
+	jsonOut := fs.Bool("json", false, "emit diagnostics as a JSON array instead of text")
+	strictConfig := fs.Bool("strict-config", false, "treat stale suppressions and config entries as findings")
 	if err := fs.Parse(args); err != nil {
 		return 2
 	}
@@ -95,13 +108,31 @@ func run(args []string) int {
 		return 2
 	}
 
-	diags := analysis.Run(pkgs, analyzers, cfg)
-	for _, d := range diags {
-		d.Pos.Filename = relPath(d.Pos.Filename)
-		fmt.Println(d)
+	diags, stale := analysis.Analyze(pkgs, analyzers, cfg)
+	for i := range diags {
+		diags[i].Pos.Filename = relPath(diags[i].Pos.Filename)
 	}
-	if len(diags) > 0 {
-		fmt.Fprintf(os.Stderr, "starlint: %d finding(s)\n", len(diags))
+	if *jsonOut {
+		if err := analysis.WriteJSON(os.Stdout, diags); err != nil {
+			fmt.Fprintf(os.Stderr, "starlint: %v\n", err)
+			return 2
+		}
+	} else {
+		for _, d := range diags {
+			fmt.Println(d)
+		}
+	}
+	for _, s := range stale {
+		s.Pos.Filename = relPath(s.Pos.Filename)
+		if *strictConfig {
+			fmt.Fprintf(os.Stderr, "%s\n", s)
+		} else {
+			fmt.Fprintf(os.Stderr, "starlint: warning: %s\n", s)
+		}
+	}
+	failed := len(diags) > 0 || (*strictConfig && len(stale) > 0)
+	if failed {
+		fmt.Fprintf(os.Stderr, "starlint: %d finding(s), %d stale suppression(s)\n", len(diags), len(stale))
 		return 1
 	}
 	return 0

@@ -21,6 +21,19 @@
 //	               must flow through an injectable obs.Clock)
 //	metricname   - metric-name literals off the pkg.group.name dotted
 //	               convention, or duplicating a package constant
+//	hotalloc     - allocations reachable from //starlint:hotpath
+//	               functions, transitively through module call chains
+//	maporder     - map iteration order reaching a returned slice,
+//	               emitted metric/event, or written output unsorted
+//	goroleak     - goroutine launches with no join path (WaitGroup,
+//	               channel receive, or stop closure)
+//
+// The last three are built on the facts engine (see facts.go): one
+// shared traversal computes per-function facts — allocates, joins,
+// mapOrdered — and propagates them bottom-up across the package graph
+// in dependency order, so the analyzers reason transitively through
+// call chains instead of one function body at a time. All analyzers
+// share one flattened AST per package (see Inspector).
 //
 // Diagnostics print as "file:line: [name] message". A finding can be
 // suppressed at its site with a reasoned comment,
@@ -29,7 +42,10 @@
 //
 // placed on the offending line or the line directly above it, or
 // allowlisted for a whole symbol through the driver config (see
-// Config). cmd/starlint is the command-line driver.
+// Config). Suppressions and allow entries that no longer match any
+// finding are themselves reported as stale, so the ignore surface
+// cannot silently outgrow the problems it was written for.
+// cmd/starlint is the command-line driver.
 package analysis
 
 import (
@@ -58,6 +74,9 @@ func All() []*Analyzer {
 		FactSize,
 		WallTime,
 		MetricName,
+		HotAlloc,
+		MapOrder,
+		GoroLeak,
 	}
 }
 
@@ -87,10 +106,13 @@ func (d Diagnostic) String() string {
 	return fmt.Sprintf("%s:%d: [%s] %s", d.Pos.Filename, d.Pos.Line, d.Analyzer, d.Message)
 }
 
-// A Pass carries one analyzer's view of one package.
+// A Pass carries one analyzer's view of one package, plus the
+// run-wide facts and driver config shared by every pass.
 type Pass struct {
 	Analyzer *Analyzer
 	Pkg      *Package
+	Facts    *Facts  // per-function facts over every loaded package; may be nil
+	Cfg      *Config // driver config (hotpath entries); may be nil
 
 	diags *[]Diagnostic
 }
@@ -166,12 +188,45 @@ func FuncSymbol(fn *types.Func) string {
 // may be nil. Malformed suppression comments are themselves reported
 // under the pseudo-analyzer name "starlint".
 func Run(pkgs []*Package, analyzers []*Analyzer, cfg *Config) []Diagnostic {
+	diags, _ := Analyze(pkgs, analyzers, cfg)
+	return diags
+}
+
+// A Stale records a suppression comment or config entry that no longer
+// suppresses anything. The ignore surface is part of the lint contract:
+// an entry that outlived its finding hides future regressions at the
+// same site.
+type Stale struct {
+	Pos     token.Position
+	Message string
+}
+
+// String renders the stale entry in the driver's one-line format.
+func (s Stale) String() string {
+	return fmt.Sprintf("%s:%d: %s", s.Pos.Filename, s.Pos.Line, s.Message)
+}
+
+// Analyze is Run plus stale detection: it additionally returns every
+// //starlint:ignore comment and config entry that suppressed nothing
+// during this run. Staleness is only judged for entries whose analyzer
+// actually ran ("all" entries need the full suite), so a subset run
+// never produces false stale reports.
+func Analyze(pkgs []*Package, analyzers []*Analyzer, cfg *Config) ([]Diagnostic, []Stale) {
+	runset := make(map[string]bool, len(analyzers))
+	for _, a := range analyzers {
+		runset[a.Name] = true
+	}
+	fullSuite := len(runset) == len(All())
+	cfg.resetUsage()
+
+	facts := ComputeFacts(pkgs)
 	var diags []Diagnostic
+	var stale []Stale
 	for _, pkg := range pkgs {
-		sup := collectSuppressions(pkg, analyzers, &diags)
+		sup := collectSuppressions(pkg, &diags)
 		var raw []Diagnostic
 		for _, a := range analyzers {
-			pass := &Pass{Analyzer: a, Pkg: pkg, diags: &raw}
+			pass := &Pass{Analyzer: a, Pkg: pkg, Facts: facts, Cfg: cfg, diags: &raw}
 			a.Run(pass)
 		}
 		for _, d := range raw {
@@ -183,7 +238,9 @@ func Run(pkgs []*Package, analyzers []*Analyzer, cfg *Config) []Diagnostic {
 			}
 			diags = append(diags, d)
 		}
+		stale = append(stale, sup.stale(runset, fullSuite)...)
 	}
+	stale = append(stale, cfg.stale(runset)...)
 	sort.Slice(diags, func(i, j int) bool {
 		a, b := diags[i], diags[j]
 		if a.Pos.Filename != b.Pos.Filename {
@@ -194,36 +251,97 @@ func Run(pkgs []*Package, analyzers []*Analyzer, cfg *Config) []Diagnostic {
 		}
 		return a.Analyzer < b.Analyzer
 	})
-	return diags
+	sort.Slice(stale, func(i, j int) bool {
+		a, b := stale[i], stale[j]
+		if a.Pos.Filename != b.Pos.Filename {
+			return a.Pos.Filename < b.Pos.Filename
+		}
+		return a.Pos.Line < b.Pos.Line
+	})
+	return diags, stale
 }
 
-// suppressions maps file -> line -> analyzer names suppressed there.
-type suppressions map[string]map[int]map[string]bool
+// A supEntry is one //starlint:ignore comment: the analyzer names it
+// suppresses and which of them it actually suppressed this run.
+type supEntry struct {
+	pos   token.Position
+	names map[string]bool
+	used  map[string]bool
+}
+
+// suppressions maps file -> comment line -> the entry there.
+type suppressions map[string]map[int]*supEntry
 
 // covers reports whether d is suppressed by an ignore comment on its
-// own line or the line directly above.
+// own line or the line directly above, marking the matched name used.
 func (s suppressions) covers(d Diagnostic) bool {
 	lines := s[d.Pos.Filename]
 	if lines == nil {
 		return false
 	}
 	for _, line := range []int{d.Pos.Line, d.Pos.Line - 1} {
-		if names := lines[line]; names != nil && (names[d.Analyzer] || names["all"]) {
+		e := lines[line]
+		if e == nil {
+			continue
+		}
+		if e.names[d.Analyzer] {
+			e.used[d.Analyzer] = true
+			return true
+		}
+		if e.names["all"] {
+			e.used["all"] = true
 			return true
 		}
 	}
 	return false
 }
 
+// stale returns the entries that suppressed nothing, restricted to
+// analyzers that ran (an "all" entry is judged only under the full
+// suite, when any finding it could cover had a chance to fire). The
+// result is sorted: the receiver is a map and maporder holds this
+// package to its own standard.
+func (s suppressions) stale(runset map[string]bool, fullSuite bool) []Stale {
+	var out []Stale
+	for _, lines := range s {
+		for _, e := range lines {
+			for name := range e.names {
+				if name == "all" {
+					if fullSuite && len(e.used) == 0 {
+						out = append(out, Stale{Pos: e.pos,
+							Message: "stale suppression: this //starlint:ignore all comment no longer suppresses anything"})
+					}
+					continue
+				}
+				if runset[name] && !e.used[name] && !e.used["all"] {
+					out = append(out, Stale{Pos: e.pos,
+						Message: fmt.Sprintf("stale suppression: no %s finding here; remove the //starlint:ignore comment", name)})
+				}
+			}
+		}
+	}
+	sort.Slice(out, func(i, j int) bool {
+		a, b := out[i], out[j]
+		if a.Pos.Filename != b.Pos.Filename {
+			return a.Pos.Filename < b.Pos.Filename
+		}
+		return a.Pos.Line < b.Pos.Line
+	})
+	return out
+}
+
 // ignorePrefix introduces a suppression comment.
 const ignorePrefix = "//starlint:ignore"
 
 // collectSuppressions scans every comment of the package for
-// //starlint:ignore directives, reporting malformed ones.
-func collectSuppressions(pkg *Package, analyzers []*Analyzer, diags *[]Diagnostic) suppressions {
-	known := make(map[string]bool, len(analyzers)+1)
+// //starlint:ignore directives, reporting malformed ones. Names are
+// validated against the full suite, not the run subset: a comment for
+// an analyzer that simply is not running this time is inert, not
+// malformed.
+func collectSuppressions(pkg *Package, diags *[]Diagnostic) suppressions {
+	known := make(map[string]bool, len(All())+1)
 	known["all"] = true
-	for _, a := range analyzers {
+	for _, a := range All() {
 		known[a.Name] = true
 	}
 	sup := make(suppressions)
@@ -255,15 +373,15 @@ func collectSuppressions(pkg *Package, analyzers []*Analyzer, diags *[]Diagnosti
 				}
 				byLine := sup[pos.Filename]
 				if byLine == nil {
-					byLine = make(map[int]map[string]bool)
+					byLine = make(map[int]*supEntry)
 					sup[pos.Filename] = byLine
 				}
-				names := byLine[pos.Line]
-				if names == nil {
-					names = make(map[string]bool)
-					byLine[pos.Line] = names
+				e := byLine[pos.Line]
+				if e == nil {
+					e = &supEntry{pos: pos, names: make(map[string]bool), used: make(map[string]bool)}
+					byLine[pos.Line] = e
 				}
-				names[name] = true
+				e.names[name] = true
 			}
 		}
 	}

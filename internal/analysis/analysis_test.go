@@ -219,3 +219,142 @@ func TestConfigParseErrors(t *testing.T) {
 		t.Error("nil config must allow nothing")
 	}
 }
+
+// TestStaleSuppressions is the golden test for stale detection: an
+// ignore comment that suppresses nothing is reported with its position,
+// one that fires is not, and entries naming analyzers outside the run
+// set are never judged.
+func TestStaleSuppressions(t *testing.T) {
+	pkg := parseTestPackage(t, `package fixture
+
+func Explode() {
+	//starlint:ignore nakedpanic unrecoverable by design in this test
+	panic("boom")
+}
+
+func Quiet() int {
+	//starlint:ignore nakedpanic nothing here panics anymore
+	return 1
+}
+
+func AlsoQuiet() int {
+	//starlint:ignore globalrand the rand call was removed long ago
+	return 2
+}
+`)
+	_, stale := Analyze([]*Package{pkg}, All(), nil)
+	want := []string{
+		"fixture.go:9: stale suppression: no nakedpanic finding here; remove the //starlint:ignore comment",
+		"fixture.go:14: stale suppression: no globalrand finding here; remove the //starlint:ignore comment",
+	}
+	var got []string
+	for _, s := range stale {
+		got = append(got, s.String())
+	}
+	if fmt.Sprint(got) != fmt.Sprint(want) {
+		t.Errorf("stale suppressions differ\n got: %v\nwant: %v", got, want)
+	}
+
+	// A subset run that excludes globalrand must not judge its comment.
+	_, stale = Analyze([]*Package{pkg}, []*Analyzer{NakedPanic}, nil)
+	got = nil
+	for _, s := range stale {
+		got = append(got, s.String())
+	}
+	if len(got) != 1 || !strings.Contains(got[0], "fixture.go:9") {
+		t.Errorf("subset run: want only the line-9 stale entry, got %v", got)
+	}
+}
+
+// TestStaleConfig checks stale detection over driver-config entries:
+// allow entries that suppress nothing and hotpath entries that match no
+// function are reported with the config file's position.
+func TestStaleConfig(t *testing.T) {
+	pkg := parseTestPackage(t, `package fixture
+
+func Explode() {
+	panic("boom")
+}
+`)
+	cfg, err := ParseConfig(strings.NewReader(`# header comment
+allow nakedpanic repro/internal/fixture.Explode
+allow nakedpanic repro/internal/fixture.Gone
+hotpath repro/internal/fixture.Removed
+`), ".starlint")
+	if err != nil {
+		t.Fatalf("ParseConfig: %v", err)
+	}
+	diags, stale := Analyze([]*Package{pkg}, All(), cfg)
+	for _, d := range diags {
+		if d.Analyzer == "nakedpanic" {
+			t.Errorf("allow entry did not suppress: %v", d)
+		}
+	}
+	want := []string{
+		`.starlint:3: stale allow entry: no nakedpanic finding is attributed to "repro/internal/fixture.Gone"`,
+		`.starlint:4: stale hotpath entry: no analyzed function matches "repro/internal/fixture.Removed"`,
+	}
+	var got []string
+	for _, s := range stale {
+		got = append(got, s.String())
+	}
+	if fmt.Sprint(got) != fmt.Sprint(want) {
+		t.Errorf("stale config entries differ\n got: %v\nwant: %v", got, want)
+	}
+}
+
+// TestConfigHotpath checks that a config hotpath entry subjects the
+// symbol to hotalloc without a source annotation.
+func TestConfigHotpath(t *testing.T) {
+	pkg := parseTestPackage(t, `package fixture
+
+func Hot(n int) []int {
+	return make([]int, n)
+}
+`)
+	cfg, err := ParseConfig(strings.NewReader("hotpath repro/internal/fixture.Hot\n"), ".starlint")
+	if err != nil {
+		t.Fatalf("ParseConfig: %v", err)
+	}
+	diags, stale := Analyze([]*Package{pkg}, []*Analyzer{HotAlloc}, cfg)
+	if len(diags) != 1 || !strings.Contains(diags[0].Message, "make allocates") {
+		t.Errorf("want one make-allocates finding, got %v", diagStrings(diags))
+	}
+	if len(stale) != 0 {
+		t.Errorf("a matching hotpath entry must not be stale, got %v", stale)
+	}
+}
+
+// TestJSONRoundTrip checks that WriteJSON output parses back into the
+// same diagnostics, and that an empty run still encodes a JSON array.
+func TestJSONRoundTrip(t *testing.T) {
+	pkg := parseTestPackage(t, `package fixture
+
+func Explode() {
+	panic("boom")
+}
+`)
+	diags := Run([]*Package{pkg}, All(), nil)
+	if len(diags) == 0 {
+		t.Fatal("fixture produced no diagnostics")
+	}
+	var buf strings.Builder
+	if err := WriteJSON(&buf, diags); err != nil {
+		t.Fatalf("WriteJSON: %v", err)
+	}
+	back, err := ReadJSON(strings.NewReader(buf.String()))
+	if err != nil {
+		t.Fatalf("ReadJSON: %v", err)
+	}
+	if fmt.Sprint(diags) != fmt.Sprint(back) {
+		t.Errorf("round trip differs\n got: %v\nwant: %v", back, diags)
+	}
+
+	buf.Reset()
+	if err := WriteJSON(&buf, nil); err != nil {
+		t.Fatalf("WriteJSON(nil): %v", err)
+	}
+	if strings.TrimSpace(buf.String()) != "[]" {
+		t.Errorf("empty run must encode as [], got %q", buf.String())
+	}
+}

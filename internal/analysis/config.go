@@ -3,29 +3,48 @@ package analysis
 import (
 	"bufio"
 	"fmt"
+	"go/token"
 	"io"
 	"os"
 	"strings"
 )
 
-// Config is the driver-level allowlist: findings attributed to an
-// allowed symbol are dropped without a per-site suppression comment.
-// The format is line-oriented:
+// Config is the driver-level configuration. The format is
+// line-oriented:
 //
 //	# comment
 //	allow <analyzer> <symbol>
+//	hotpath <symbol>
 //
-// where <symbol> is the qualified symbol a diagnostic reports (e.g.
-// "fmt.Fprintf" or "repro/internal/faults.(*Set).AddVertex"); a
-// trailing '*' matches any suffix. <analyzer> may be "all".
+// An allow entry drops findings attributed to the symbol without a
+// per-site suppression comment; <analyzer> may be "all". A hotpath
+// entry marks the symbol for hotalloc enforcement without touching its
+// source — equivalent to a //starlint:hotpath doc directive. <symbol>
+// is the qualified form a diagnostic reports (e.g. "fmt.Fprintf" or
+// "repro/internal/faults.(*Set).AddVertex"); a trailing '*' matches
+// any suffix.
+//
+// Every entry tracks whether it did anything during a run, so the
+// driver can report entries that have gone stale (see Analyze).
 type Config struct {
-	allow map[string][]string
+	name     string
+	allows   []*configEntry
+	hotpaths []*configEntry
 }
 
-// ParseConfig reads the allowlist format from r. name is used in error
-// messages.
+// configEntry is one config line; analyzer is empty for hotpath
+// entries.
+type configEntry struct {
+	line     int
+	analyzer string
+	symbol   string
+	used     bool
+}
+
+// ParseConfig reads the config format from r. name is used in error
+// messages and stale-entry positions.
 func ParseConfig(r io.Reader, name string) (*Config, error) {
-	cfg := &Config{allow: make(map[string][]string)}
+	cfg := &Config{name: name}
 	sc := bufio.NewScanner(r)
 	lineNo := 0
 	for sc.Scan() {
@@ -35,14 +54,18 @@ func ParseConfig(r io.Reader, name string) (*Config, error) {
 			continue
 		}
 		fields := strings.Fields(line)
-		if len(fields) != 3 || fields[0] != "allow" {
-			return nil, fmt.Errorf("%s:%d: want \"allow <analyzer> <symbol>\", got %q", name, lineNo, line)
+		switch {
+		case len(fields) == 3 && fields[0] == "allow":
+			analyzer, symbol := fields[1], fields[2]
+			if analyzer != "all" && ByName(analyzer) == nil {
+				return nil, fmt.Errorf("%s:%d: unknown analyzer %q", name, lineNo, analyzer)
+			}
+			cfg.allows = append(cfg.allows, &configEntry{line: lineNo, analyzer: analyzer, symbol: symbol})
+		case len(fields) == 2 && fields[0] == "hotpath":
+			cfg.hotpaths = append(cfg.hotpaths, &configEntry{line: lineNo, symbol: fields[1]})
+		default:
+			return nil, fmt.Errorf("%s:%d: want \"allow <analyzer> <symbol>\" or \"hotpath <symbol>\", got %q", name, lineNo, line)
 		}
-		analyzer, symbol := fields[1], fields[2]
-		if analyzer != "all" && ByName(analyzer) == nil {
-			return nil, fmt.Errorf("%s:%d: unknown analyzer %q", name, lineNo, analyzer)
-		}
-		cfg.allow[analyzer] = append(cfg.allow[analyzer], symbol)
 	}
 	if err := sc.Err(); err != nil {
 		return nil, err
@@ -50,7 +73,7 @@ func ParseConfig(r io.Reader, name string) (*Config, error) {
 	return cfg, nil
 }
 
-// LoadConfig reads the allowlist from a file.
+// LoadConfig reads the config from a file.
 func LoadConfig(path string) (*Config, error) {
 	f, err := os.Open(path)
 	if err != nil {
@@ -61,19 +84,89 @@ func LoadConfig(path string) (*Config, error) {
 }
 
 // Allowed reports whether a diagnostic from the named analyzer,
-// attributed to symbol, is allowlisted. A nil Config allows nothing.
+// attributed to symbol, is allowlisted; a match marks the entry used.
+// A nil Config allows nothing.
 func (c *Config) Allowed(analyzer, symbol string) bool {
 	if c == nil || symbol == "" {
 		return false
 	}
-	for _, key := range []string{analyzer, "all"} {
-		for _, pat := range c.allow[key] {
-			if matchSymbol(pat, symbol) {
-				return true
-			}
+	for _, e := range c.allows {
+		if e.analyzer != analyzer && e.analyzer != "all" {
+			continue
+		}
+		if matchSymbol(e.symbol, symbol) {
+			e.used = true
+			return true
 		}
 	}
 	return false
+}
+
+// Hotpath reports whether symbol is marked for hotalloc enforcement by
+// a config entry; a match marks the entry used. A nil Config marks
+// nothing.
+func (c *Config) Hotpath(symbol string) bool {
+	if c == nil || symbol == "" {
+		return false
+	}
+	for _, e := range c.hotpaths {
+		if matchSymbol(e.symbol, symbol) {
+			e.used = true
+			return true
+		}
+	}
+	return false
+}
+
+// resetUsage clears per-run usage marks so one Config can serve
+// repeated Analyze calls.
+func (c *Config) resetUsage() {
+	if c == nil {
+		return
+	}
+	for _, e := range c.allows {
+		e.used = false
+	}
+	for _, e := range c.hotpaths {
+		e.used = false
+	}
+}
+
+// stale returns the config entries that did nothing this run: allow
+// entries that suppressed no finding (judged only when their analyzer
+// ran; "all" entries only under the full suite) and hotpath entries
+// that matched no function (judged only when hotalloc ran).
+func (c *Config) stale(runset map[string]bool) []Stale {
+	if c == nil {
+		return nil
+	}
+	fullSuite := len(runset) == len(All())
+	var out []Stale
+	for _, e := range c.allows {
+		if e.used {
+			continue
+		}
+		if e.analyzer == "all" && !fullSuite {
+			continue
+		}
+		if e.analyzer != "all" && !runset[e.analyzer] {
+			continue
+		}
+		out = append(out, Stale{
+			Pos:     token.Position{Filename: c.name, Line: e.line},
+			Message: fmt.Sprintf("stale allow entry: no %s finding is attributed to %q", e.analyzer, e.symbol),
+		})
+	}
+	for _, e := range c.hotpaths {
+		if e.used || !runset[HotAlloc.Name] {
+			continue
+		}
+		out = append(out, Stale{
+			Pos:     token.Position{Filename: c.name, Line: e.line},
+			Message: fmt.Sprintf("stale hotpath entry: no analyzed function matches %q", e.symbol),
+		})
+	}
+	return out
 }
 
 // matchSymbol matches pattern against symbol; a trailing '*' matches

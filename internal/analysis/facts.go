@@ -1,0 +1,600 @@
+package analysis
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+	"sort"
+	"strings"
+)
+
+// This file is the facts engine: a shared bottom-up computation of
+// per-function facts that lets analyzers reason *transitively* through
+// call chains instead of one function body at a time. Facts are
+// computed once per Run over every loaded package, in package
+// dependency order, with a fixpoint pass over the call graph so that
+// mutual recursion and cross-package cycles of helpers converge:
+//
+//	allocates   - the function performs a heap allocation (directly or
+//	              by calling something that does); carries the earliest
+//	              cause in source order for deterministic reporting
+//	joins       - the function contains a goroutine join construct
+//	              (WaitGroup.Wait, a channel receive or range), itself
+//	              or via a module callee
+//	mapOrdered  - the function returns a slice whose element order is
+//	              derived from map iteration without an intervening sort
+//
+// hotalloc, goroleak and maporder consume these facts; the allocation
+// model is deliberately conservative (it proves absence of allocation
+// for straight-line atomic/copy/index code, and assumes the worst for
+// dynamic calls and calls that leave the module), because its job is
+// to machine-enforce the ROADMAP's allocation-free hot paths, not to
+// reproduce the compiler's escape analysis.
+
+// Facts holds the per-function facts of one Run.
+type Facts struct {
+	module string
+	fns    map[*types.Func]*FuncFact
+}
+
+// FuncFact is the computed fact set of one declared function.
+type FuncFact struct {
+	Decl *ast.FuncDecl
+	Pkg  *Package
+
+	alloc      *AllocCause
+	localAlloc *AllocCause // earliest syntactic cause inside the body, if any
+	edges      []callEdge  // module-internal callees, in source order
+	joins      bool
+	mapOrdered bool
+}
+
+// Allocates reports whether the function is known to allocate, with
+// its earliest cause. A nil receiver (unknown function) reports an
+// unknown cause: absence of facts is never proof of cleanliness.
+func (f *FuncFact) Allocates() *AllocCause {
+	if f == nil {
+		return nil
+	}
+	return f.alloc
+}
+
+// Joins reports whether the function reaches a goroutine join.
+func (f *FuncFact) Joins() bool { return f != nil && f.joins }
+
+// MapOrdered reports whether the function returns map-iteration-ordered
+// data.
+func (f *FuncFact) MapOrdered() bool { return f != nil && f.mapOrdered }
+
+// AllocCause describes why a function allocates: a local site (Callee
+// nil) or a call into an allocating module function (Callee set).
+type AllocCause struct {
+	Pos    token.Position
+	What   string
+	Callee *types.Func
+}
+
+// callEdge is one module-internal call site.
+type callEdge struct {
+	pos    token.Pos
+	callee *types.Func
+}
+
+// FuncFact returns the fact set of fn, or nil when fn was not declared
+// in any analyzed package.
+func (f *Facts) FuncFact(fn *types.Func) *FuncFact {
+	if f == nil || fn == nil {
+		return nil
+	}
+	return f.fns[fn.Origin()]
+}
+
+// ComputeFacts builds the fact set for the packages, which must share
+// one loader (facts flow across package boundaries through the shared
+// *types.Func objects). Packages are processed in dependency order —
+// imported packages first — so by the time a caller is scanned its
+// callees' local facts exist; a worklist then iterates the transitive
+// facts to a fixpoint, which handles recursion and same-package cycles.
+func ComputeFacts(pkgs []*Package) *Facts {
+	f := &Facts{fns: make(map[*types.Func]*FuncFact)}
+	if len(pkgs) == 0 {
+		return f
+	}
+	f.module = pkgs[0].Module
+
+	// Dependency order: depth-first over module-internal imports,
+	// visiting imports before importers, ties broken by import path.
+	ordered := dependencyOrder(pkgs)
+
+	// Local pass: syntactic facts and call edges per function.
+	type scanned struct {
+		fn   *types.Func
+		fact *FuncFact
+	}
+	var all []scanned
+	for _, pkg := range ordered {
+		for _, file := range pkg.Files {
+			for _, decl := range file.Decls {
+				fd, ok := decl.(*ast.FuncDecl)
+				if !ok || fd.Body == nil {
+					continue
+				}
+				fn, ok := pkg.Info.Defs[fd.Name].(*types.Func)
+				if !ok {
+					continue
+				}
+				fact := &FuncFact{Decl: fd, Pkg: pkg}
+				scanAllocs(pkg, fd.Body, func(pos token.Pos, what string, callee *types.Func) {
+					if callee != nil {
+						fact.edges = append(fact.edges, callEdge{pos: pos, callee: callee})
+						return
+					}
+					if fact.localAlloc == nil {
+						fact.localAlloc = &AllocCause{Pos: pkg.Fset.Position(pos), What: what}
+					}
+				})
+				fact.alloc = fact.localAlloc
+				fact.joins = localJoins(pkg, fd.Body)
+				f.fns[fn] = fact
+				all = append(all, scanned{fn, fact})
+			}
+		}
+	}
+
+	// Transitive fixpoint. All three facts are monotone (false to true,
+	// or an alloc cause moving to an earlier position as more callees
+	// turn out to allocate), so repeated re-evaluation converges.
+	for changed := true; changed; {
+		changed = false
+		for _, s := range all {
+			fact := s.fact
+			// allocates: earliest cause among the local site and calls to
+			// allocating module callees.
+			best := fact.localAlloc
+			for _, e := range fact.edges {
+				cf := f.fns[e.callee.Origin()]
+				if cf == nil || cf.alloc == nil {
+					continue
+				}
+				pos := fact.Pkg.Fset.Position(e.pos)
+				if best == nil || less(pos, best.Pos) {
+					best = &AllocCause{Pos: pos, What: "call to " + shortFunc(e.callee), Callee: e.callee}
+				}
+			}
+			if !sameCause(fact.alloc, best) {
+				fact.alloc = best
+				changed = true
+			}
+			// joins: local join or any module callee that joins.
+			if !fact.joins {
+				for _, e := range fact.edges {
+					if cf := f.fns[e.callee.Origin()]; cf != nil && cf.joins {
+						fact.joins = true
+						changed = true
+						break
+					}
+				}
+			}
+			// mapOrdered: a returned slice ordered by map iteration,
+			// directly or through a mapOrdered callee's result.
+			if !fact.mapOrdered && returnsSlice(s.fn) {
+				if ordered := mapOrderScan(fact.Pkg, f, fact.Decl, nil); ordered {
+					fact.mapOrdered = true
+					changed = true
+				}
+			}
+		}
+	}
+	return f
+}
+
+// less orders token positions by file, then line, then column.
+func less(a, b token.Position) bool {
+	if a.Filename != b.Filename {
+		return a.Filename < b.Filename
+	}
+	if a.Line != b.Line {
+		return a.Line < b.Line
+	}
+	return a.Column < b.Column
+}
+
+func sameCause(a, b *AllocCause) bool {
+	if a == nil || b == nil {
+		return a == b
+	}
+	return a.Pos == b.Pos && a.What == b.What && a.Callee == b.Callee
+}
+
+// returnsSlice reports whether fn has at least one slice-typed result.
+func returnsSlice(fn *types.Func) bool {
+	sig, ok := fn.Type().(*types.Signature)
+	if !ok {
+		return false
+	}
+	res := sig.Results()
+	for i := 0; i < res.Len(); i++ {
+		if _, ok := res.At(i).Type().Underlying().(*types.Slice); ok {
+			return true
+		}
+	}
+	return false
+}
+
+// dependencyOrder sorts packages so that module-internal imports come
+// before their importers (Go forbids import cycles, so this is a DAG),
+// with ties broken by import path for determinism.
+func dependencyOrder(pkgs []*Package) []*Package {
+	byPath := make(map[string]*Package, len(pkgs))
+	paths := make([]string, 0, len(pkgs))
+	for _, p := range pkgs {
+		byPath[p.ImportPath] = p
+		paths = append(paths, p.ImportPath)
+	}
+	sort.Strings(paths)
+	var out []*Package
+	done := make(map[string]bool, len(pkgs))
+	var visit func(path string)
+	visit = func(path string) {
+		if done[path] {
+			return
+		}
+		done[path] = true
+		pkg := byPath[path]
+		if pkg.Types != nil {
+			var imps []string
+			for _, imp := range pkg.Types.Imports() {
+				if _, inSet := byPath[imp.Path()]; inSet {
+					imps = append(imps, imp.Path())
+				}
+			}
+			sort.Strings(imps)
+			for _, imp := range imps {
+				visit(imp)
+			}
+		}
+		out = append(out, pkg)
+	}
+	for _, path := range paths {
+		visit(path)
+	}
+	return out
+}
+
+// AllocChainString renders why callee allocates, following transitive
+// causes a few hops deep: "sig.go:12: make([]uint16)" or
+// "via pkg.helper: sig.go:12: make([]uint16)".
+func (f *Facts) AllocChainString(callee *types.Func) string {
+	var parts []string
+	seen := map[*types.Func]bool{}
+	for depth := 0; callee != nil && depth < 5; depth++ {
+		if seen[callee] {
+			parts = append(parts, "recursive")
+			break
+		}
+		seen[callee] = true
+		fact := f.FuncFact(callee)
+		if fact == nil {
+			parts = append(parts, "facts unavailable (package not analyzed); assumed to allocate")
+			break
+		}
+		cause := fact.alloc
+		if cause == nil {
+			break
+		}
+		if cause.Callee == nil {
+			parts = append(parts, fmt.Sprintf("%s:%d: %s", shortPath(cause.Pos.Filename), cause.Pos.Line, cause.What))
+			break
+		}
+		parts = append(parts, "via "+shortFunc(cause.Callee))
+		callee = cause.Callee
+	}
+	return strings.Join(parts, ", ")
+}
+
+// shortFunc renders a function for messages: "pkg.Func" or
+// "pkg.(*Type).Method" without the module path prefix.
+func shortFunc(fn *types.Func) string {
+	sym := FuncSymbol(fn)
+	if i := strings.LastIndex(sym, "/"); i >= 0 {
+		return sym[i+1:]
+	}
+	return sym
+}
+
+// shortPath trims a position's path to its base name for messages
+// (diagnostic positions already carry the full path).
+func shortPath(path string) string {
+	if i := strings.LastIndexByte(path, '/'); i >= 0 {
+		return path[i+1:]
+	}
+	return path
+}
+
+// allocFreePkgs are the standard-library packages whose functions are
+// trusted not to allocate: the atomic/bit-twiddling vocabulary of the
+// module's hot paths.
+var allocFreePkgs = map[string]bool{
+	"sync/atomic": true,
+	"math/bits":   true,
+	"math":        true,
+}
+
+// allocFreeSyncMethods are the sync methods trusted not to allocate.
+var allocFreeSyncMethods = map[string]bool{
+	"Lock":     true,
+	"Unlock":   true,
+	"RLock":    true,
+	"RUnlock":  true,
+	"TryLock":  true,
+	"TryRLock": true,
+}
+
+// scanAllocs walks a function body and reports every modeled
+// allocation cause in source order. Local causes arrive with a nil
+// callee; calls into module-internal declared functions arrive with
+// their *types.Func (the caller resolves them against the facts).
+// FuncLit bodies are scanned as part of the enclosing function: a
+// closure a hot path constructs and runs still allocates on its
+// behalf.
+func scanAllocs(pkg *Package, body *ast.BlockStmt, report func(pos token.Pos, what string, callee *types.Func)) {
+	info := pkg.Info
+	ast.Inspect(body, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.CallExpr:
+			scanCall(pkg, n, report)
+		case *ast.CompositeLit:
+			switch info.TypeOf(n).Underlying().(type) {
+			case *types.Slice:
+				report(n.Pos(), "slice literal allocates its backing array", nil)
+			case *types.Map:
+				report(n.Pos(), "map literal allocates", nil)
+			}
+		case *ast.UnaryExpr:
+			if n.Op == token.AND {
+				if _, ok := n.X.(*ast.CompositeLit); ok {
+					report(n.Pos(), "address of composite literal escapes to the heap", nil)
+				}
+			}
+		case *ast.BinaryExpr:
+			if n.Op == token.ADD {
+				if tv, ok := info.Types[n]; ok && tv.Value == nil {
+					if b, ok := tv.Type.Underlying().(*types.Basic); ok && b.Info()&types.IsString != 0 {
+						report(n.Pos(), "string concatenation allocates", nil)
+					}
+				}
+			}
+		case *ast.GoStmt:
+			report(n.Pos(), "go statement allocates a goroutine", nil)
+		case *ast.FuncLit:
+			if capt := captures(pkg, n); capt != "" {
+				report(n.Pos(), fmt.Sprintf("closure captures %s and escapes to the heap", capt), nil)
+			}
+		case *ast.AssignStmt:
+			for i, lhs := range n.Lhs {
+				if i >= len(n.Rhs) {
+					break
+				}
+				reportBoxed(pkg, info.TypeOf(lhs), n.Rhs[i], report)
+			}
+		}
+		return true
+	})
+}
+
+// scanCall classifies one call: a builtin, a conversion, a boxing
+// arg-pass, a module-internal edge, a trusted stdlib call, or an
+// assumed-allocating call.
+func scanCall(pkg *Package, call *ast.CallExpr, report func(token.Pos, string, *types.Func)) {
+	info := pkg.Info
+	fun := ast.Unparen(call.Fun)
+
+	// Type conversion: string <-> byte/rune slice copies; conversion to
+	// an interface type boxes.
+	if tv, ok := info.Types[fun]; ok && tv.IsType() {
+		checkConversion(call, tv.Type, info, report)
+		return
+	}
+
+	var id *ast.Ident
+	switch fun := fun.(type) {
+	case *ast.Ident:
+		id = fun
+	case *ast.SelectorExpr:
+		id = fun.Sel
+	case *ast.FuncLit:
+		return // immediately-invoked literal: its body is scanned inline
+	default:
+		report(call.Pos(), "dynamic call; cannot be proven allocation-free", nil)
+		return
+	}
+
+	switch obj := info.Uses[id].(type) {
+	case *types.Builtin:
+		switch obj.Name() {
+		case "make":
+			report(call.Pos(), "make allocates", nil)
+		case "new":
+			report(call.Pos(), "new allocates", nil)
+		case "append":
+			report(call.Pos(), "append may grow its backing array on the heap", nil)
+		case "panic":
+			report(call.Pos(), "panic allocates its argument", nil)
+		case "print", "println":
+			report(call.Pos(), obj.Name()+" allocates", nil)
+		}
+		return
+	case *types.Func:
+		fn := obj
+		sig, _ := fn.Type().(*types.Signature)
+		if sig != nil && sig.Recv() != nil && types.IsInterface(sig.Recv().Type()) {
+			report(call.Pos(), fmt.Sprintf("dynamic call through interface method %s; cannot be proven allocation-free", fn.Name()), nil)
+			return
+		}
+		if fn.Pkg() == nil {
+			return // error.Error and friends resolve above; universe funcs are safe
+		}
+		path := fn.Pkg().Path()
+		switch {
+		case path == pkg.Module || strings.HasPrefix(path, pkg.Module+"/"):
+			report(call.Pos(), "", fn)
+		case allocFreePkgs[path]:
+			// trusted allocation-free vocabulary
+		case path == "sync" && sig != nil && sig.Recv() != nil && allocFreeSyncMethods[fn.Name()]:
+			// mutex operations
+		default:
+			report(call.Pos(), fmt.Sprintf("call to %s leaves the module and is assumed to allocate", shortFunc(fn)), nil)
+			return
+		}
+		// A structurally safe call can still box its arguments.
+		if sig != nil {
+			checkArgBoxing(call, sig, info, report)
+		}
+		return
+	default:
+		// A func-typed variable, field or parameter: dynamic.
+		report(call.Pos(), "dynamic call through a function value; cannot be proven allocation-free", nil)
+	}
+}
+
+// checkConversion reports allocating conversions.
+func checkConversion(call *ast.CallExpr, target types.Type, info *types.Info, report func(token.Pos, string, *types.Func)) {
+	if len(call.Args) != 1 {
+		return
+	}
+	argT := info.TypeOf(call.Args[0])
+	if argT == nil {
+		return
+	}
+	if types.IsInterface(target) && !types.IsInterface(argT) {
+		report(call.Pos(), "conversion to interface boxes the value on the heap", nil)
+		return
+	}
+	_, targetSlice := target.Underlying().(*types.Slice)
+	_, argSlice := argT.Underlying().(*types.Slice)
+	targetStr := isString(target)
+	argStr := isString(argT)
+	if (targetStr && argSlice) || (targetSlice && argStr) {
+		report(call.Pos(), "string/slice conversion copies into a fresh allocation", nil)
+	}
+}
+
+func isString(t types.Type) bool {
+	b, ok := t.Underlying().(*types.Basic)
+	return ok && b.Info()&types.IsString != 0
+}
+
+// checkArgBoxing reports concrete values passed to interface
+// parameters (including variadic ...interface{}): each such pass boxes.
+func checkArgBoxing(call *ast.CallExpr, sig *types.Signature, info *types.Info, report func(token.Pos, string, *types.Func)) {
+	params := sig.Params()
+	if params.Len() == 0 {
+		return
+	}
+	for i, arg := range call.Args {
+		var pt types.Type
+		if sig.Variadic() && i >= params.Len()-1 {
+			if call.Ellipsis.IsValid() {
+				continue // slice passed through, no per-element boxing
+			}
+			pt = params.At(params.Len() - 1).Type().(*types.Slice).Elem()
+		} else if i < params.Len() {
+			pt = params.At(i).Type()
+		}
+		if pt == nil || !types.IsInterface(pt) {
+			continue
+		}
+		reportBoxed0(info, pt, arg, report)
+	}
+}
+
+// reportBoxed reports rhs being stored into an interface-typed lhs.
+func reportBoxed(pkg *Package, lhsType types.Type, rhs ast.Expr, report func(token.Pos, string, *types.Func)) {
+	if lhsType == nil || !types.IsInterface(lhsType) {
+		return
+	}
+	reportBoxed0(pkg.Info, lhsType, rhs, report)
+}
+
+func reportBoxed0(info *types.Info, ifaceType types.Type, val ast.Expr, report func(token.Pos, string, *types.Func)) {
+	tv, ok := info.Types[val]
+	if !ok || tv.Type == nil {
+		return
+	}
+	if types.IsInterface(tv.Type) || tv.IsNil() {
+		return
+	}
+	// Pointers box without copying the pointee but still write an
+	// escaping interface header when the value escapes; constants of
+	// interface type resolve above. Flag everything concrete.
+	report(val.Pos(), "interface boxing: concrete value converted to "+ifaceType.String(), nil)
+}
+
+// localJoins reports whether the body syntactically contains a
+// goroutine join construct: a channel receive (which covers select
+// cases), a range over a channel, or sync.WaitGroup.Wait/Cond.Wait.
+// Nested function literals count — a Start that returns a stop closure
+// performing the join owns that join path.
+func localJoins(pkg *Package, body *ast.BlockStmt) bool {
+	joins := false
+	ast.Inspect(body, func(n ast.Node) bool {
+		if joins {
+			return false
+		}
+		switch n := n.(type) {
+		case *ast.UnaryExpr:
+			if n.Op == token.ARROW {
+				joins = true
+			}
+		case *ast.RangeStmt:
+			if t := pkg.Info.TypeOf(n.X); t != nil {
+				if _, ok := t.Underlying().(*types.Chan); ok {
+					joins = true
+				}
+			}
+		case *ast.CallExpr:
+			if sel, ok := n.Fun.(*ast.SelectorExpr); ok {
+				if fn, ok := pkg.Info.Uses[sel.Sel].(*types.Func); ok &&
+					fn.Name() == "Wait" && fn.Pkg() != nil && fn.Pkg().Path() == "sync" {
+					joins = true
+				}
+			}
+		}
+		return !joins
+	})
+	return joins
+}
+
+// captures returns the name of a variable the function literal closes
+// over ("" when it captures nothing): a *types.Var used inside the
+// literal but declared outside it, excluding package-level variables
+// (reached through static addresses, not a closure environment) and
+// struct fields.
+func captures(pkg *Package, lit *ast.FuncLit) string {
+	found := ""
+	ast.Inspect(lit.Body, func(n ast.Node) bool {
+		if found != "" {
+			return false
+		}
+		id, ok := n.(*ast.Ident)
+		if !ok {
+			return true
+		}
+		v, ok := pkg.Info.Uses[id].(*types.Var)
+		if !ok || v.IsField() {
+			return true
+		}
+		if v.Parent() == nil || v.Parent() == types.Universe {
+			return true
+		}
+		if pkg.Types != nil && v.Parent() == pkg.Types.Scope() {
+			return true // package-level variable
+		}
+		if v.Pos() < lit.Pos() || v.Pos() > lit.End() {
+			found = v.Name()
+		}
+		return true
+	})
+	return found
+}

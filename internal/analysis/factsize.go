@@ -22,33 +22,27 @@ var FactSize = &Analyzer{
 }
 
 func runFactSize(pass *Pass) {
-	for _, file := range pass.Pkg.Files {
-		ast.Inspect(file, func(n ast.Node) bool {
-			be, ok := n.(*ast.BinaryExpr)
-			if !ok {
-				return true
+	pass.Preorder([]ast.Node{(*ast.BinaryExpr)(nil)}, func(n ast.Node) {
+		be := n.(*ast.BinaryExpr)
+		switch be.Op {
+		case token.MUL, token.ADD, token.SHL:
+		default:
+			return
+		}
+		// One report per expression even when both operands are
+		// factorial-scale.
+		for _, operand := range []ast.Expr{be.X, be.Y} {
+			name := factorialCall(pass, operand)
+			if name == "" {
+				continue
 			}
-			switch be.Op {
-			case token.MUL, token.ADD, token.SHL:
-			default:
-				return true
-			}
-			// One report per expression even when both operands are
-			// factorial-scale.
-			for _, operand := range []ast.Expr{be.X, be.Y} {
-				name := factorialCall(pass, operand)
-				if name == "" {
-					continue
-				}
-				_, symbol := pass.EnclosingFuncName(be.Pos())
-				pass.Reportf(be.Pos(), symbol,
-					"factorial-scale value from %s used in %q without an overflow guard (n! overflows 32-bit int at n=13); bound n and state it in a suppression",
-					name, be.Op)
-				break
-			}
-			return true
-		})
-	}
+			_, symbol := pass.EnclosingFuncName(be.Pos())
+			pass.Reportf(be.Pos(), symbol,
+				"factorial-scale value from %s used in %q without an overflow guard (n! overflows 32-bit int at n=13); bound n and state it in a suppression",
+				name, be.Op)
+			break
+		}
+	})
 }
 
 // factorialCall reports the display name of a factorial-scale callee

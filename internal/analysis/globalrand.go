@@ -30,30 +30,24 @@ func runGlobalRand(pass *Pass) {
 	if !pass.InternalPackage() {
 		return
 	}
-	for _, file := range pass.Pkg.Files {
-		ast.Inspect(file, func(n ast.Node) bool {
-			sel, ok := n.(*ast.SelectorExpr)
-			if !ok {
-				return true
-			}
-			fn, ok := pass.Pkg.Info.Uses[sel.Sel].(*types.Func)
-			if !ok || fn.Pkg() == nil {
-				return true
-			}
-			path := fn.Pkg().Path()
-			if path != "math/rand" && path != "math/rand/v2" {
-				return true
-			}
-			if sig, ok := fn.Type().(*types.Signature); ok && sig.Recv() != nil {
-				return true // a *rand.Rand method: exactly what we want
-			}
-			if globalRandAllowed[fn.Name()] {
-				return true
-			}
-			pass.Reportf(sel.Pos(), path+"."+fn.Name(),
-				"%s.%s draws from the process-global RNG; plumb a seeded *rand.Rand instead",
-				path, fn.Name())
-			return true
-		})
-	}
+	pass.Preorder([]ast.Node{(*ast.SelectorExpr)(nil)}, func(n ast.Node) {
+		sel := n.(*ast.SelectorExpr)
+		fn, ok := pass.Pkg.Info.Uses[sel.Sel].(*types.Func)
+		if !ok || fn.Pkg() == nil {
+			return
+		}
+		path := fn.Pkg().Path()
+		if path != "math/rand" && path != "math/rand/v2" {
+			return
+		}
+		if sig, ok := fn.Type().(*types.Signature); ok && sig.Recv() != nil {
+			return // a *rand.Rand method: exactly what we want
+		}
+		if globalRandAllowed[fn.Name()] {
+			return
+		}
+		pass.Reportf(sel.Pos(), path+"."+fn.Name(),
+			"%s.%s draws from the process-global RNG; plumb a seeded *rand.Rand instead",
+			path, fn.Name())
+	})
 }

@@ -1,0 +1,80 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// GoroLeak flags goroutine launches with no join path. A `go` statement
+// is accepted when any of the following holds:
+//
+//   - the goroutine's own body contains a channel receive or a range
+//     over a channel (it terminates itself when its input closes or a
+//     done channel fires);
+//   - the goroutine runs a module function whose joins fact is set
+//     (the callee owns its termination, e.g. a worker ranging over a
+//     work channel);
+//   - the launching function reaches a join construct — a
+//     WaitGroup.Wait, a channel receive, or a returned stop closure
+//     that performs one — directly or through a module callee, per the
+//     facts engine.
+//
+// Anything else is a goroutine that outlives the call that spawned it
+// with nothing waiting on it: in a measurement harness that is a slow
+// leak that skews every long fault campaign after the first. Test
+// files are not analyzed; cmd/ packages are out of scope as usual.
+var GoroLeak = &Analyzer{
+	Name: "goroleak",
+	Doc:  "goroutine launches with no WaitGroup/channel/context join path",
+	Run:  runGoroLeak,
+}
+
+func runGoroLeak(pass *Pass) {
+	if !pass.InternalPackage() {
+		return
+	}
+	pass.Preorder([]ast.Node{(*ast.FuncDecl)(nil)}, func(n ast.Node) {
+		fd := n.(*ast.FuncDecl)
+		if fd.Body == nil {
+			return
+		}
+		fn, _ := pass.Pkg.Info.Defs[fd.Name].(*types.Func)
+		fact := pass.Facts.FuncFact(fn)
+		name, symbol := pass.EnclosingFuncName(fd.Name.Pos())
+		ast.Inspect(fd.Body, func(n ast.Node) bool {
+			gs, ok := n.(*ast.GoStmt)
+			if !ok {
+				return true
+			}
+			if goroutineSelfTerminates(pass, gs) {
+				return true
+			}
+			if fact.Joins() {
+				return true
+			}
+			pass.Reportf(gs.Pos(), symbol,
+				"goroutine launched in %s has no join path: no WaitGroup.Wait, channel receive, or stop closure reaches it, so it outlives the campaign that spawned it",
+				name)
+			return true
+		})
+	})
+}
+
+// goroutineSelfTerminates reports whether the spawned call owns its own
+// termination: a function literal whose body joins (receives on a done
+// or work channel), or a module function whose joins fact is set.
+func goroutineSelfTerminates(pass *Pass, gs *ast.GoStmt) bool {
+	switch fun := ast.Unparen(gs.Call.Fun).(type) {
+	case *ast.FuncLit:
+		return localJoins(pass.Pkg, fun.Body)
+	case *ast.Ident:
+		if fn, ok := pass.Pkg.Info.Uses[fun].(*types.Func); ok {
+			return pass.Facts.FuncFact(fn).Joins()
+		}
+	case *ast.SelectorExpr:
+		if fn, ok := pass.Pkg.Info.Uses[fun.Sel].(*types.Func); ok {
+			return pass.Facts.FuncFact(fn).Joins()
+		}
+	}
+	return false
+}

@@ -1,0 +1,74 @@
+package analysis
+
+import (
+	"go/ast"
+	"reflect"
+)
+
+// Inspector is the package's shared traversal: the ASTs of all files
+// are walked exactly once, in source order, and the preorder event
+// stream is replayed to every analyzer that asks for it. Before the
+// facts engine, each analyzer re-walked the package on its own; with
+// ten analyzers plus the fact computation sharing one package, a
+// single flattened traversal keeps the whole suite one-pass.
+//
+// Replaying the flattened stream visits nodes in exactly the order a
+// fresh ast.Inspect would, so analyzers ported from ast.Inspect emit
+// byte-identical diagnostics.
+type Inspector struct {
+	nodes []ast.Node
+}
+
+// NewInspector flattens the files into one preorder event stream.
+func NewInspector(files []*ast.File) *Inspector {
+	in := &Inspector{}
+	// A file averages a few thousand nodes; start big enough that the
+	// append doubling settles quickly.
+	in.nodes = make([]ast.Node, 0, 4096*len(files))
+	for _, f := range files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			if n != nil {
+				in.nodes = append(in.nodes, n)
+			}
+			return true
+		})
+	}
+	return in
+}
+
+// Preorder replays the shared traversal, calling f for every node
+// whose dynamic type matches one of the example values in types (all
+// nodes when types is empty). Nodes arrive in source order.
+func (in *Inspector) Preorder(types []ast.Node, f func(ast.Node)) {
+	if len(types) == 0 {
+		for _, n := range in.nodes {
+			f(n)
+		}
+		return
+	}
+	want := make(map[reflect.Type]bool, len(types))
+	for _, t := range types {
+		want[reflect.TypeOf(t)] = true
+	}
+	for _, n := range in.nodes {
+		if want[reflect.TypeOf(n)] {
+			f(n)
+		}
+	}
+}
+
+// Inspector returns the package's shared traversal, building it on
+// first use.
+func (p *Package) Inspector() *Inspector {
+	if p.insp == nil {
+		p.insp = NewInspector(p.Files)
+	}
+	return p.insp
+}
+
+// Preorder replays the package's shared traversal for the analyzer:
+// one AST walk serves the whole suite. types filters by node type as
+// in Inspector.Preorder.
+func (p *Pass) Preorder(types []ast.Node, f func(ast.Node)) {
+	p.Pkg.Inspector().Preorder(types, f)
+}

@@ -26,6 +26,8 @@ type Package struct {
 	// run over a partially checked package, but the driver treats any
 	// entry as a load failure.
 	TypeErrors []error
+
+	insp *Inspector // lazily built shared traversal (Inspector())
 }
 
 // A Loader parses and type-checks packages of one module. It resolves

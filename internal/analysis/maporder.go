@@ -1,0 +1,337 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"strings"
+)
+
+// MapOrder flags map iteration whose order can reach an
+// order-sensitive sink without an intervening sort: a returned slice,
+// an emitted metric or event, or written output. Go randomizes map
+// iteration order per run, so any such path makes ring output, metric
+// streams or reports differ between identical fault campaigns — the
+// exact reproducibility the harness exists to provide. Filling another
+// map or accumulating order-insensitive aggregates is fine and not
+// flagged.
+//
+// The check is transitive through the facts engine: a helper whose
+// returned slice is ordered by map iteration marks every caller's use
+// of that result as tainted, so the diagnostic lands where the
+// nondeterminism escapes, not just where the range statement sits.
+var MapOrder = &Analyzer{
+	Name: "maporder",
+	Doc:  "map iteration order reaching a returned slice, metric/event, or output without a sort",
+	Run:  runMapOrder,
+}
+
+func runMapOrder(pass *Pass) {
+	if !pass.InternalPackage() {
+		return
+	}
+	pass.Preorder([]ast.Node{(*ast.FuncDecl)(nil)}, func(n ast.Node) {
+		fd := n.(*ast.FuncDecl)
+		if fd.Body == nil {
+			return
+		}
+		_, symbol := pass.EnclosingFuncName(fd.Name.Pos())
+		mapOrderScan(pass.Pkg, pass.Facts, fd, func(pos token.Pos, format string, args ...interface{}) {
+			pass.Reportf(pos, symbol, format, args...)
+		})
+	})
+}
+
+// moOrigin describes where a tainted slice's map-dependent order came
+// from.
+type moOrigin struct {
+	local bool   // a map range in this very function
+	desc  string // human form for messages
+}
+
+// mapOrderScan performs the per-function taint walk shared by the
+// analyzer and the facts engine. It reports whether the function
+// returns map-iteration-ordered data (the mapOrdered fact). When
+// report is non-nil each escape is reported:
+//
+//   - an append inside a map-range body taints the destination slice;
+//   - the result of a callee whose mapOrdered fact is set is tainted;
+//   - assignments propagate taint, sort.*/slices.Sort* calls clear it;
+//   - a tainted slice reaching a return or an output/metric/event sink,
+//     or a sink called inside the range body with loop-variable data,
+//     is an escape.
+//
+// Taint tracking is source-order over the body — adequate for the
+// straight-line collect-then-return shape this repository writes, and
+// a deliberate simplification over full dataflow.
+func mapOrderScan(pkg *Package, facts *Facts, fd *ast.FuncDecl, report func(pos token.Pos, format string, args ...interface{})) bool {
+	info := pkg.Info
+	tainted := make(map[types.Object]*moOrigin)
+	returnsOrdered := false
+	reportf := func(pos token.Pos, format string, args ...interface{}) {
+		if report != nil {
+			report(pos, format, args...)
+		}
+	}
+
+	// The walk keeps the ancestor stack so statements know whether they
+	// sit inside a map-range body (ast.Inspect signals post-order with a
+	// nil node).
+	var stack []ast.Node
+
+	// innermost enclosing range-over-map and its loop variables.
+	enclosingMapRange := func() (*ast.RangeStmt, map[types.Object]bool) {
+		for i := len(stack) - 1; i >= 0; i-- {
+			rs, ok := stack[i].(*ast.RangeStmt)
+			if !ok {
+				continue
+			}
+			t := info.TypeOf(rs.X)
+			if t == nil {
+				continue
+			}
+			if _, isMap := t.Underlying().(*types.Map); !isMap {
+				continue
+			}
+			vars := make(map[types.Object]bool, 2)
+			for _, e := range []ast.Expr{rs.Key, rs.Value} {
+				if id, ok := e.(*ast.Ident); ok && id.Name != "_" {
+					if obj := info.Defs[id]; obj != nil {
+						vars[obj] = true
+					} else if obj := info.Uses[id]; obj != nil {
+						vars[obj] = true
+					}
+				}
+			}
+			return rs, vars
+		}
+		return nil, nil
+	}
+
+	// referencesAny reports whether the expression mentions one of the
+	// given objects; second result is the first tainted object's origin.
+	mentions := func(e ast.Expr, objs map[types.Object]bool) bool {
+		found := false
+		ast.Inspect(e, func(n ast.Node) bool {
+			if found {
+				return false
+			}
+			if id, ok := n.(*ast.Ident); ok {
+				if obj := info.Uses[id]; obj != nil && objs[obj] {
+					found = true
+				}
+			}
+			return !found
+		})
+		return found
+	}
+	taintOf := func(e ast.Expr) *moOrigin {
+		var origin *moOrigin
+		ast.Inspect(e, func(n ast.Node) bool {
+			if origin != nil {
+				return false
+			}
+			if id, ok := n.(*ast.Ident); ok {
+				if obj := info.Uses[id]; obj != nil {
+					if o := tainted[obj]; o != nil {
+						origin = o
+					}
+				}
+			}
+			return origin == nil
+		})
+		return origin
+	}
+	objOf := func(e ast.Expr) types.Object {
+		id, ok := e.(*ast.Ident)
+		if !ok {
+			return nil
+		}
+		if obj := info.Defs[id]; obj != nil {
+			return obj
+		}
+		return info.Uses[id]
+	}
+
+	// calleeFact resolves a call to a module function's facts.
+	calleeFact := func(call *ast.CallExpr) (*types.Func, *FuncFact) {
+		var id *ast.Ident
+		switch fun := ast.Unparen(call.Fun).(type) {
+		case *ast.Ident:
+			id = fun
+		case *ast.SelectorExpr:
+			id = fun.Sel
+		default:
+			return nil, nil
+		}
+		fn, ok := info.Uses[id].(*types.Func)
+		if !ok {
+			return nil, nil
+		}
+		return fn, facts.FuncFact(fn)
+	}
+
+	reportedRanges := make(map[token.Pos]bool)
+
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		if n == nil {
+			stack = stack[:len(stack)-1]
+			return true
+		}
+		switch n := n.(type) {
+		case *ast.AssignStmt:
+			rs, loopVars := enclosingMapRange()
+			for i, lhs := range n.Lhs {
+				if i >= len(n.Rhs) {
+					break
+				}
+				rhs := n.Rhs[i]
+				obj := objOf(lhs)
+				if obj == nil {
+					continue
+				}
+				if _, isSlice := obj.Type().Underlying().(*types.Slice); !isSlice {
+					continue
+				}
+				// append of loop-variable data inside a map-range body.
+				if rs != nil {
+					if call, ok := rhs.(*ast.CallExpr); ok {
+						if id, ok := call.Fun.(*ast.Ident); ok && id.Name == "append" {
+							if _, isBuiltin := info.Uses[id].(*types.Builtin); isBuiltin && len(call.Args) > 1 {
+								appendsLoop := false
+								for _, a := range call.Args[1:] {
+									if mentions(a, loopVars) {
+										appendsLoop = true
+										break
+									}
+								}
+								if appendsLoop {
+									tainted[obj] = &moOrigin{local: true, desc: "map-iteration-ordered data"}
+									continue
+								}
+							}
+						}
+					}
+				}
+				// result of a mapOrdered callee.
+				if call, ok := ast.Unparen(rhs).(*ast.CallExpr); ok {
+					if fn, cf := calleeFact(call); cf.MapOrdered() {
+						tainted[obj] = &moOrigin{desc: "the result of " + shortFunc(fn) + " (ordered by map iteration)"}
+						continue
+					}
+				}
+				// plain propagation: x = tainted, x = tainted[a:b], ...
+				if o := taintOf(rhs); o != nil {
+					tainted[obj] = o
+				}
+			}
+		case *ast.CallExpr:
+			// sort.* / slices.Sort* clear taint on their argument.
+			if fn, _ := calleeFact(n); fn != nil && isSortCall(fn) {
+				for obj := range tainted {
+					for _, a := range n.Args {
+						if mentions(a, map[types.Object]bool{obj: true}) {
+							delete(tainted, obj)
+							break
+						}
+					}
+				}
+			} else if fn != nil {
+				if sink := sinkDesc(pkg, fn); sink != "" {
+					if rs, loopVars := enclosingMapRange(); rs != nil {
+						for _, a := range n.Args {
+							if mentions(a, loopVars) {
+								if !reportedRanges[n.Pos()] {
+									reportedRanges[n.Pos()] = true
+									reportf(n.Pos(), "map iteration order reaches %s via %s; iterate sorted keys instead", sink, shortFunc(fn))
+								}
+								break
+							}
+						}
+					}
+					for _, a := range n.Args {
+						if o := taintOf(a); o != nil {
+							if !reportedRanges[n.Pos()] {
+								reportedRanges[n.Pos()] = true
+								reportf(n.Pos(), "%s reaches %s via %s without a sort", upperFirst(o.desc), sink, shortFunc(fn))
+							}
+							break
+						}
+					}
+				}
+			}
+		case *ast.ReturnStmt:
+			for _, res := range n.Results {
+				if o := taintOf(res); o != nil {
+					returnsOrdered = true
+					if o.local && !reportedRanges[n.Pos()] {
+						reportedRanges[n.Pos()] = true
+						reportf(n.Pos(), "returned slice is ordered by map iteration; sort it before returning (campaign reproducibility)")
+					}
+					continue
+				}
+				if call, ok := ast.Unparen(res).(*ast.CallExpr); ok {
+					if _, cf := calleeFact(call); cf.MapOrdered() {
+						returnsOrdered = true // the fact chains; the origin already reported
+					}
+				}
+			}
+		}
+		stack = append(stack, n)
+		return true
+	})
+	return returnsOrdered
+}
+
+// isSortCall reports whether fn establishes a deterministic order:
+// anything in package sort, or a Sort* function in package slices.
+func isSortCall(fn *types.Func) bool {
+	if fn.Pkg() == nil {
+		return false
+	}
+	switch fn.Pkg().Path() {
+	case "sort":
+		return true
+	case "slices":
+		return strings.HasPrefix(fn.Name(), "Sort")
+	}
+	return false
+}
+
+// sinkDesc classifies order-sensitive sinks: written output, emitted
+// events, and emitted metrics. Returns "" for non-sinks.
+func sinkDesc(pkg *Package, fn *types.Func) string {
+	name := fn.Name()
+	if fn.Pkg() != nil && fn.Pkg().Path() == "fmt" {
+		switch name {
+		case "Fprint", "Fprintf", "Fprintln", "Print", "Printf", "Println":
+			return "written output"
+		}
+		return ""
+	}
+	sig, ok := fn.Type().(*types.Signature)
+	if !ok || sig.Recv() == nil {
+		return ""
+	}
+	switch name {
+	case "Write", "WriteString", "WriteByte", "WriteRune", "Encode":
+		return "written output"
+	case "Emit", "Log", "Record":
+		return "an emitted event"
+	}
+	if metricMethods[name] && isRegistryMetricMethod(&Pass{Pkg: pkg}, fn) {
+		return "an emitted metric"
+	}
+	return ""
+}
+
+// upperFirst capitalizes a message fragment's first byte.
+func upperFirst(s string) string {
+	if s == "" {
+		return s
+	}
+	if c := s[0]; c >= 'a' && c <= 'z' {
+		return string(c-'a'+'A') + s[1:]
+	}
+	return s
+}

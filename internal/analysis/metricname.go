@@ -48,24 +48,21 @@ func runMetricName(pass *Pass) {
 		return
 	}
 	consts := packageStringConsts(pass)
-	for _, file := range pass.Pkg.Files {
-		ast.Inspect(file, func(n ast.Node) bool {
-			call, ok := n.(*ast.CallExpr)
-			if !ok || len(call.Args) == 0 {
-				return true
-			}
-			sel, ok := call.Fun.(*ast.SelectorExpr)
-			if !ok {
-				return true
-			}
-			fn, ok := pass.Pkg.Info.Uses[sel.Sel].(*types.Func)
-			if !ok || !isRegistryMetricMethod(pass, fn) {
-				return true
-			}
-			checkMetricName(pass, fn.Name(), call.Args[0], consts)
-			return true
-		})
-	}
+	pass.Preorder([]ast.Node{(*ast.CallExpr)(nil)}, func(n ast.Node) {
+		call := n.(*ast.CallExpr)
+		if len(call.Args) == 0 {
+			return
+		}
+		sel, ok := call.Fun.(*ast.SelectorExpr)
+		if !ok {
+			return
+		}
+		fn, ok := pass.Pkg.Info.Uses[sel.Sel].(*types.Func)
+		if !ok || !isRegistryMetricMethod(pass, fn) {
+			return
+		}
+		checkMetricName(pass, fn.Name(), call.Args[0], consts)
+	})
 }
 
 // packageStringConsts maps the value of every package-level string

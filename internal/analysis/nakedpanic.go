@@ -22,33 +22,31 @@ func runNakedPanic(pass *Pass) {
 	if !pass.InternalPackage() {
 		return
 	}
-	for _, file := range pass.Pkg.Files {
-		for _, decl := range file.Decls {
-			fd, ok := decl.(*ast.FuncDecl)
-			if !ok || fd.Body == nil {
-				continue
-			}
-			if strings.HasPrefix(fd.Name.Name, "Must") || strings.HasPrefix(fd.Name.Name, "must") {
-				continue
-			}
-			_, symbol := pass.EnclosingFuncName(fd.Name.Pos())
-			ast.Inspect(fd.Body, func(n ast.Node) bool {
-				call, ok := n.(*ast.CallExpr)
-				if !ok {
-					return true
-				}
-				id, ok := call.Fun.(*ast.Ident)
-				if !ok || id.Name != "panic" {
-					return true
-				}
-				if _, isBuiltin := pass.Pkg.Info.Uses[id].(*types.Builtin); !isBuiltin {
-					return true // a shadowed local named panic
-				}
-				pass.Reportf(call.Pos(), symbol,
-					"naked panic in %s; return an error for reachable inputs or move the check into a must* invariant helper",
-					fd.Name.Name)
-				return true
-			})
+	pass.Preorder([]ast.Node{(*ast.FuncDecl)(nil)}, func(n ast.Node) {
+		fd := n.(*ast.FuncDecl)
+		if fd.Body == nil {
+			return
 		}
-	}
+		if strings.HasPrefix(fd.Name.Name, "Must") || strings.HasPrefix(fd.Name.Name, "must") {
+			return
+		}
+		_, symbol := pass.EnclosingFuncName(fd.Name.Pos())
+		ast.Inspect(fd.Body, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			id, ok := call.Fun.(*ast.Ident)
+			if !ok || id.Name != "panic" {
+				return true
+			}
+			if _, isBuiltin := pass.Pkg.Info.Uses[id].(*types.Builtin); !isBuiltin {
+				return true // a shadowed local named panic
+			}
+			pass.Reportf(call.Pos(), symbol,
+				"naked panic in %s; return an error for reachable inputs or move the check into a must* invariant helper",
+				fd.Name.Name)
+			return true
+		})
+	})
 }

@@ -22,19 +22,17 @@ var PermAlias = &Analyzer{
 }
 
 func runPermAlias(pass *Pass) {
-	for _, file := range pass.Pkg.Files {
-		for _, decl := range file.Decls {
-			fd, ok := decl.(*ast.FuncDecl)
-			if !ok || fd.Body == nil {
-				continue
-			}
-			params := permParams(pass, fd)
-			if len(params) == 0 {
-				continue
-			}
-			checkPermParams(pass, fd, params)
+	pass.Preorder([]ast.Node{(*ast.FuncDecl)(nil)}, func(n ast.Node) {
+		fd := n.(*ast.FuncDecl)
+		if fd.Body == nil {
+			return
 		}
-	}
+		params := permParams(pass, fd)
+		if len(params) == 0 {
+			return
+		}
+		checkPermParams(pass, fd, params)
+	})
 }
 
 // permParams collects the declared parameter objects of fd (receivers

@@ -1,0 +1,86 @@
+// Package fixture seeds intentional goroleak violations for the
+// golden-file tests; it is under testdata and never built by go build.
+package fixture
+
+import "sync"
+
+// Leak launches a goroutine nothing ever waits for.
+func Leak(work []int) {
+	go func() {
+		for range work {
+			_ = compute()
+		}
+	}()
+}
+
+// LeakLoop spawns one goroutine per item, still with no join.
+func LeakLoop(items []int) {
+	for range items {
+		go func() {
+			_ = compute()
+		}()
+	}
+}
+
+func compute() int { return 1 }
+
+// Joined spawns and waits: the classic WaitGroup shape is clean.
+func Joined(work []int) {
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		for range work {
+			_ = compute()
+		}
+	}()
+	wg.Wait()
+}
+
+// SelfStopping is clean: the goroutine's own body receives on a done
+// channel, so it terminates when its owner closes it.
+func SelfStopping(done chan struct{}) func() {
+	fin := make(chan struct{})
+	go func() {
+		<-done
+		close(fin)
+	}()
+	return func() { <-fin }
+}
+
+// worker ranges its input channel and exits when it closes.
+func worker(ch chan int) {
+	for range ch {
+	}
+}
+
+// SpawnWorker is clean transitively: the spawned module function's
+// joins fact says it owns its termination.
+func SpawnWorker(ch chan int) {
+	go worker(ch)
+}
+
+// joinHelper performs the wait on behalf of its caller.
+func joinHelper(wg *sync.WaitGroup) {
+	wg.Wait()
+}
+
+// ViaHelper is clean transitively: the launching function reaches a
+// join through a module callee.
+func ViaHelper() {
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go compute2(&wg)
+	joinHelper(&wg)
+}
+
+func compute2(wg *sync.WaitGroup) {
+	defer wg.Done()
+	_ = compute()
+}
+
+// FireAndForget documents an accepted detached goroutine.
+func FireAndForget(f func()) {
+	//starlint:ignore goroleak fixture demonstrates a reasoned suppression
+	go f()
+}

@@ -1,0 +1,88 @@
+// Package fixture seeds intentional hotalloc violations for the
+// golden-file tests; it is under testdata and never built by go build.
+package fixture
+
+import "sync/atomic"
+
+// counter mimics the obs fast path: a nil-safe atomic increment is the
+// canonical allocation-free hot-path shape and stays clean.
+type counter struct{ v uint64 }
+
+// Inc is a clean hot path: nil check, address-of field, atomic add.
+//
+//starlint:hotpath
+func (c *counter) Inc() {
+	if c == nil {
+		return
+	}
+	atomic.AddUint64(&c.v, 1)
+}
+
+// Splice is a clean hot path: pure copies, index arithmetic, reslicing.
+//
+//starlint:hotpath
+func Splice(ring, path []uint8, start int) []uint8 {
+	copy(ring[start:], path)
+	return ring[:start+len(path)]
+}
+
+// Grow appends in a hot path: append may move the backing array.
+//
+//starlint:hotpath
+func Grow(ring []uint8, v uint8) []uint8 {
+	return append(ring, v)
+}
+
+// scratch is not itself a hot path; it just allocates.
+func scratch(n int) []uint8 {
+	return make([]uint8, n)
+}
+
+// mid launders the allocation through one more frame.
+func mid(n int) []uint8 {
+	return scratch(n)
+}
+
+// ViaHelper allocates transitively: the facts engine follows the call.
+//
+//starlint:hotpath
+func ViaHelper(n int) []uint8 {
+	return scratch(n)
+}
+
+// ViaChain allocates two frames down; the diagnostic carries the chain.
+//
+//starlint:hotpath
+func ViaChain(n int) []uint8 {
+	return mid(n)
+}
+
+// observer stands in for any interface-typed dependency.
+type observer interface{ Observe(uint64) }
+
+// Dynamic calls through an interface: unprovable, flagged.
+//
+//starlint:hotpath
+func Dynamic(c *counter, sink observer) {
+	sink.Observe(c.v)
+}
+
+// Label builds a string on a hot path.
+//
+//starlint:hotpath
+func Label(a, b string) string {
+	return a + b
+}
+
+// Warm accepts its one-time allocation with a reasoned suppression.
+//
+//starlint:hotpath
+func Warm(n int) []uint8 {
+	//starlint:ignore hotalloc warm-up path runs once at construction, allocation accepted
+	return make([]uint8, n)
+}
+
+// Unmarked allocates freely: without the directive nothing is checked.
+func Unmarked(n int) []int {
+	return make([]int, n)
+}

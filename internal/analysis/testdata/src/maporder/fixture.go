@@ -1,0 +1,78 @@
+// Package fixture seeds intentional maporder violations for the
+// golden-file tests; it is under testdata and never built by go build.
+package fixture
+
+import (
+	"fmt"
+	"io"
+	"sort"
+)
+
+// Keys returns map keys in iteration order: nondeterministic per run.
+func Keys(m map[string]int) []string {
+	var out []string
+	for k := range m {
+		out = append(out, k)
+	}
+	return out
+}
+
+// SortedKeys sorts before returning and is clean.
+func SortedKeys(m map[string]int) []string {
+	var out []string
+	for k := range m {
+		out = append(out, k)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// Dump writes entries in iteration order: two identical campaigns
+// produce two different reports.
+func Dump(w io.Writer, m map[string]int) {
+	for k, v := range m {
+		fmt.Fprintf(w, "%s=%d\n", k, v)
+	}
+}
+
+// Wrapped launders the nondeterminism through Keys; the mapOrdered
+// fact chains through the call, and the sink is flagged here.
+func Wrapped(w io.Writer, m map[string]int) {
+	ks := Keys(m)
+	fmt.Fprintln(w, ks)
+}
+
+// WrappedSorted sorts the helper's result before the sink and is clean.
+func WrappedSorted(w io.Writer, m map[string]int) {
+	ks := Keys(m)
+	sort.Strings(ks)
+	fmt.Fprintln(w, ks)
+}
+
+// Totals is an order-insensitive aggregate and is clean.
+func Totals(m map[string]int) int {
+	total := 0
+	for _, v := range m {
+		total += v
+	}
+	return total
+}
+
+// Rekey fills another map; order cannot escape and it is clean.
+func Rekey(m map[string]int) map[int]string {
+	out := make(map[int]string, len(m))
+	for k, v := range m {
+		out[v] = k
+	}
+	return out
+}
+
+// Suppressed documents an accepted nondeterministic return.
+func Suppressed(m map[string]int) []string {
+	var out []string
+	for k := range m {
+		out = append(out, k)
+	}
+	//starlint:ignore maporder fixture demonstrates a reasoned suppression
+	return out
+}

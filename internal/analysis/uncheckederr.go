@@ -25,27 +25,21 @@ func runUncheckedErr(pass *Pass) {
 	if !pass.InternalPackage() {
 		return
 	}
-	for _, file := range pass.Pkg.Files {
-		ast.Inspect(file, func(n ast.Node) bool {
-			stmt, ok := n.(*ast.ExprStmt)
-			if !ok {
-				return true
-			}
-			call, ok := stmt.X.(*ast.CallExpr)
-			if !ok {
-				return true
-			}
-			tv, ok := pass.Pkg.Info.Types[call]
-			if !ok || !returnsError(tv.Type) {
-				return true
-			}
-			symbol, name := calleeSymbol(pass, call)
-			pass.Reportf(call.Pos(), symbol,
-				"error returned by %s is discarded; handle it or discard explicitly with _ =",
-				name)
-			return true
-		})
-	}
+	pass.Preorder([]ast.Node{(*ast.ExprStmt)(nil)}, func(n ast.Node) {
+		stmt := n.(*ast.ExprStmt)
+		call, ok := stmt.X.(*ast.CallExpr)
+		if !ok {
+			return
+		}
+		tv, ok := pass.Pkg.Info.Types[call]
+		if !ok || !returnsError(tv.Type) {
+			return
+		}
+		symbol, name := calleeSymbol(pass, call)
+		pass.Reportf(call.Pos(), symbol,
+			"error returned by %s is discarded; handle it or discard explicitly with _ =",
+			name)
+	})
 }
 
 // returnsError reports whether a call result type is or contains error.

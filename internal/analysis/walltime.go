@@ -36,42 +36,36 @@ func runWallTime(pass *Pass) {
 	profPath := obsPath + "/prof"
 	inObs := pass.Pkg.ImportPath == obsPath || strings.HasPrefix(pass.Pkg.ImportPath, obsPath+"/")
 	inProf := pass.Pkg.ImportPath == profPath
-	for _, file := range pass.Pkg.Files {
-		ast.Inspect(file, func(n ast.Node) bool {
-			sel, ok := n.(*ast.SelectorExpr)
-			if !ok {
-				return true
+	pass.Preorder([]ast.Node{(*ast.SelectorExpr)(nil)}, func(n ast.Node) {
+		sel := n.(*ast.SelectorExpr)
+		fn, ok := pass.Pkg.Info.Uses[sel.Sel].(*types.Func)
+		if !ok || fn.Pkg() == nil {
+			return
+		}
+		if sig, ok := fn.Type().(*types.Signature); ok && sig.Recv() != nil {
+			return // a method, not a package-level reader
+		}
+		name := fn.Name()
+		switch fn.Pkg().Path() {
+		case "time":
+			if inObs || (name != "Now" && name != "Since") {
+				return
 			}
-			fn, ok := pass.Pkg.Info.Uses[sel.Sel].(*types.Func)
-			if !ok || fn.Pkg() == nil {
-				return true
+			pass.Reportf(sel.Pos(), "time."+name,
+				"time.%s reads the process wall clock; inject an obs.Clock (obs.Wall in production) so timing stays testable and sims deterministic",
+				name)
+		case "runtime":
+			if inProf || name != "ReadMemStats" {
+				return
 			}
-			if sig, ok := fn.Type().(*types.Signature); ok && sig.Recv() != nil {
-				return true // a method, not a package-level reader
+			pass.Reportf(sel.Pos(), "runtime.ReadMemStats",
+				"runtime.ReadMemStats stops the world on every call; internal/obs/prof owns runtime telemetry — read prof.RuntimeSampler's registry gauges instead")
+		case "runtime/metrics":
+			if inProf || name != "Read" {
+				return
 			}
-			name := fn.Name()
-			switch fn.Pkg().Path() {
-			case "time":
-				if inObs || (name != "Now" && name != "Since") {
-					return true
-				}
-				pass.Reportf(sel.Pos(), "time."+name,
-					"time.%s reads the process wall clock; inject an obs.Clock (obs.Wall in production) so timing stays testable and sims deterministic",
-					name)
-			case "runtime":
-				if inProf || name != "ReadMemStats" {
-					return true
-				}
-				pass.Reportf(sel.Pos(), "runtime.ReadMemStats",
-					"runtime.ReadMemStats stops the world on every call; internal/obs/prof owns runtime telemetry — read prof.RuntimeSampler's registry gauges instead")
-			case "runtime/metrics":
-				if inProf || name != "Read" {
-					return true
-				}
-				pass.Reportf(sel.Pos(), "metrics.Read",
-					"ad-hoc runtime/metrics.Read fragments runtime telemetry; internal/obs/prof owns the sanctioned reader (prof.RuntimeSampler) and publishes shared gauges")
-			}
-			return true
-		})
-	}
+			pass.Reportf(sel.Pos(), "metrics.Read",
+				"ad-hoc runtime/metrics.Read fragments runtime telemetry; internal/obs/prof owns the sanctioned reader (prof.RuntimeSampler) and publishes shared gauges")
+		}
+	})
 }

@@ -450,15 +450,7 @@ func (p *Plan) splice(k int, v perm.Code) error {
 		return fmt.Errorf("core: repair splice self-check: %w", err)
 	}
 
-	ring := p.res.Ring
-	start, oldEnd := p.offsets[k], p.offsets[k+1]
-	delta := (oldEnd - start) - len(path)
-	copy(ring[start:], path)
-	copy(ring[start+len(path):], ring[oldEnd:])
-	p.res.Ring = ring[:len(ring)-delta]
-	for j := k + 1; j < len(p.offsets); j++ {
-		p.offsets[j] -= delta
-	}
+	p.spliceSegment(k, path)
 	pb.avoidV = append(pb.avoidV, v)
 	pb.length = target
 	p.res.FaultyBlocks++
@@ -475,6 +467,26 @@ func (p *Plan) splice(k int, v perm.Code) error {
 		}
 	}
 	return nil
+}
+
+// spliceSegment overwrites block k's segment of the ring with the
+// replacement path in place and shifts the downstream block offsets.
+// This is the O(1)-extra-space ring surgery behind the repair fast
+// path's per-step cost: two copies bounded by the block width plus the
+// ring tail, and no allocation — hotalloc enforces that invariant
+// against refactors.
+//
+//starlint:hotpath
+func (p *Plan) spliceSegment(k int, path []perm.Code) {
+	ring := p.res.Ring
+	start, oldEnd := p.offsets[k], p.offsets[k+1]
+	delta := (oldEnd - start) - len(path)
+	copy(ring[start:], path)
+	copy(ring[start+len(path):], ring[oldEnd:])
+	p.res.Ring = ring[:len(ring)-delta]
+	for j := k + 1; j < len(p.offsets); j++ {
+		p.offsets[j] -= delta
+	}
 }
 
 // rebuild replaces the plan with a cold embedding of the accumulated

@@ -91,6 +91,11 @@ func (in *instr) repair(outcome string) {
 	in.reg.Counter("core.repair." + outcome).Inc()
 }
 
+// junctionBacktrack and blockRouted sit inside the routing loop, so
+// both the disabled (nil receiver) and enabled (atomic add) paths must
+// stay allocation-free; hotalloc enforces it.
+//
+//starlint:hotpath
 func (in *instr) junctionBacktrack() {
 	if in == nil {
 		return
@@ -98,6 +103,7 @@ func (in *instr) junctionBacktrack() {
 	in.backtracks.Inc()
 }
 
+//starlint:hotpath
 func (in *instr) blockRouted() {
 	if in == nil {
 		return

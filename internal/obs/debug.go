@@ -49,6 +49,7 @@ func StartDebugServer(addr string) (*DebugServer, error) {
 	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
 	srv := &http.Server{Handler: mux}
 	s := &DebugServer{ln: ln, srv: srv, mux: mux}
+	//starlint:ignore goroleak Serve returns when Close closes the listener; the join is the accept loop's own error path
 	go func() { _ = srv.Serve(ln) }()
 	return s, nil
 }

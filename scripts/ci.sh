@@ -6,18 +6,21 @@
 #   2. go vet        -- stdlib static checks
 #   3. go build      -- whole module compiles
 #   4. go test       -- full test suite
-#   5. go test -race -- core packages under the race detector (-short)
-#   6. starlint      -- the project's own analyzers (see cmd/starlint)
+#   5. go test -race -- the full module under the race detector (-short)
+#   6. starlint      -- the project's own analyzers (see cmd/starlint),
+#                       strict: stale suppressions/config entries fail
 #   7. obs smoke     -- starring -debug-addr end to end: scrape /metrics
 #                       (OpenMetrics parse), validate the Perfetto trace
 #                       and the NDJSON event log via starmon
 #   8. bench smoke   -- scripts/bench.sh with -benchtime 1x
-#   9. perf gate     -- starbench: validate the bench trajectory, then
+#   9. starlint artifact -- starlint -json archived next to the bench
+#                       record, so lint state diffs across revisions
+#  10. perf gate     -- starbench: validate the bench trajectory, then
 #                       compare the fresh record against the baseline
 #                       (STARBENCH_BASELINE; defaults to the fresh
 #                       record itself, i.e. pipeline-only smoke) at
 #                       STARBENCH_THRESHOLD (default 0.30)
-#  10. fuzz smoke    -- each fuzz target for a few seconds
+#  11. fuzz smoke    -- each fuzz target for a few seconds
 #
 # Runs from any directory; needs only the Go toolchain. Override the
 # fuzz budget with FUZZTIME (default 5s), e.g. FUZZTIME=30s scripts/ci.sh.
@@ -63,16 +66,12 @@ leg "vet" go vet ./... || exit 1
 leg "build" go build ./... || exit 1
 leg "test" go test ./... || exit 1
 
-# Race leg: core algorithm packages with -short, sized to stay under
-# ~2 minutes (see README "Static analysis & CI").
-leg "race" go test -short -race \
-    ./internal/perm ./internal/star ./internal/substar ./internal/faults \
-    ./internal/superring ./internal/pathsearch ./internal/core \
-    ./internal/check ./internal/ringio ./internal/sim \
-    ./internal/harness ./internal/baseline ./internal/obs \
-    ./internal/obs/export ./internal/obs/prof ./internal/bench || exit 1
+# Race leg: the full module with -short, which keeps the heavyweight
+# campaign tests out and the leg under ~2 minutes (see README "Static
+# analysis & CI").
+leg "race" go test -short -race ./... || exit 1
 
-leg "starlint" go run ./cmd/starlint ./... || exit 1
+leg "starlint" go run ./cmd/starlint -strict-config ./... || exit 1
 
 # Obs smoke: run starring with a live debug server held open, scrape
 # its /metrics endpoint, and validate every exported artifact through
@@ -125,6 +124,17 @@ leg "obs smoke" obs_smoke || exit 1
 # The directory is kept for the perf gate below.
 BENCH_TMP=$(mktemp -d)
 leg "bench smoke" env BENCH_OUT="$BENCH_TMP" BENCHTIME=1x scripts/bench.sh || exit 1
+
+# Starlint artifact: the same findings as a machine-readable archive
+# next to BENCH_record.json, so lint state can be diffed across
+# revisions. A clean tree writes "[]"; the leg fails on findings or on
+# malformed JSON output.
+starlint_json() {
+    go run ./cmd/starlint -json ./... >"$BENCH_TMP/starlint.json" || return 1
+    head -c 1 "$BENCH_TMP/starlint.json" | grep -q '\[' || return 1
+}
+
+leg "starlint artifact" starlint_json || exit 1
 
 # Perf gate: validate the trajectory bench.sh appended, then compare
 # the fresh record against the baseline. With no STARBENCH_BASELINE the
