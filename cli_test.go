@@ -8,6 +8,8 @@ import (
 	"strings"
 	"testing"
 
+	"repro/internal/obs"
+	"repro/internal/obs/export"
 	"repro/internal/obs/prof"
 )
 
@@ -369,5 +371,81 @@ func TestCLIStarsweepSeries(t *testing.T) {
 	out := runGo(t, "run", "./cmd/starmon", "-check-trace", trace)
 	if !strings.Contains(out, "trace ok:") {
 		t.Errorf("sweep trace did not validate:\n%s", out)
+	}
+}
+
+// TestCLIStarringFlight is the causal-tracing acceptance run: a single
+// starring invocation emitting events, trace and flight bundle, where
+// every core.* event's trace id resolves to a span in the Perfetto
+// trace, the metrics snapshot carries an OpenMetrics exemplar, and
+// starmon validates the cross-check and renders the post-mortem.
+func TestCLIStarringFlight(t *testing.T) {
+	if testing.Short() {
+		t.Skip("spawns the go tool")
+	}
+	dir := t.TempDir()
+	trace := filepath.Join(dir, "trace.json")
+	events := filepath.Join(dir, "events.ndjson")
+	flight := filepath.Join(dir, "flight")
+	out := runGo(t, "run", "./cmd/starring", "-n", "6", "-faults", "2", "-seed", "1",
+		"-trace-out", trace, "-events-out", events, "-flight-dump", flight)
+	if !strings.Contains(out, "flight bundle written to "+flight) {
+		t.Errorf("missing flight confirmation:\n%s", out)
+	}
+
+	// Every core.* event must carry a trace id that resolves to a span
+	// in the trace file.
+	f, err := os.Open(events)
+	if err != nil {
+		t.Fatal(err)
+	}
+	recs, err := obs.ReadLog(f)
+	f.Close()
+	if err != nil {
+		t.Fatal(err)
+	}
+	traceData, err := os.ReadFile(trace)
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, traces, err := export.TraceSpanIDs(traceData)
+	if err != nil {
+		t.Fatal(err)
+	}
+	coreRecs := 0
+	for _, r := range recs {
+		if !strings.HasPrefix(r.Event, "core.") {
+			continue
+		}
+		coreRecs++
+		if r.Trace == 0 {
+			t.Errorf("core event %q is untraced", r.Event)
+			continue
+		}
+		if !traces[r.Trace.String()] {
+			t.Errorf("core event %q trace %s has no spans in the trace file", r.Event, r.Trace)
+		}
+	}
+	if coreRecs == 0 {
+		t.Error("no core.* events recorded")
+	}
+
+	// The bundle's metrics snapshot must carry at least one exemplar.
+	metrics, err := os.ReadFile(filepath.Join(flight, "flight-metrics.txt"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(string(metrics), `# {trace_id="`) {
+		t.Errorf("no OpenMetrics exemplar in flight metrics:\n%s", metrics)
+	}
+
+	// starmon enforces the same cross-check and renders the bundle.
+	out = runGo(t, "run", "./cmd/starmon", "-check-events", events, "-trace", trace)
+	if !strings.Contains(out, "events ok:") {
+		t.Errorf("check-events:\n%s", out)
+	}
+	out = runGo(t, "run", "./cmd/starmon", "-postmortem", flight)
+	if !strings.Contains(out, "flight bundle") || !strings.Contains(out, "trace ") {
+		t.Errorf("postmortem render:\n%s", out)
 	}
 }

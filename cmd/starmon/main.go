@@ -14,9 +14,22 @@
 //	starmon -check-metrics http://host:6060/metrics
 //	starmon -check-metrics metrics.txt             # or a saved scrape
 //	starmon -check-trace trace.json                # Perfetto trace_event
+//	starmon -check-events events.ndjson -trace trace.json
+//	starmon -postmortem flight/                    # render a flight bundle
+//
+// -attach retries transient scrape failures with bounded exponential
+// backoff (-retries, -retry-backoff) instead of dying on the first
+// hiccup, so a monitor outlives its target's restarts. -check-events
+// validates an NDJSON event log and, with -trace, resolves every traced
+// record's trace id against the trace's spans — the causal-correlation
+// gate CI runs on flight dumps. -postmortem loads a flight-recorder
+// bundle (the directory written by -flight-dump, or a tar saved from
+// /debug/flight) and reconstructs the per-trace timeline: spans and
+// events of each operation, interleaved in time order.
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"io"
@@ -43,22 +56,27 @@ func run(args []string, stdout, stderr io.Writer) int {
 		attach       = fs.String("attach", "", "monitor a live process: host:port or base URL of its -debug-addr server")
 		interval     = fs.Duration("interval", time.Second, "polling period for -attach")
 		frames       = fs.Int("frames", 0, "stop -attach after this many frames (0 = run until interrupted)")
+		retries      = fs.Int("retries", 5, "scrape retries per -attach frame before giving up")
+		retryBackoff = fs.Duration("retry-backoff", 500*time.Millisecond, "initial backoff between -attach scrape retries (doubles per retry)")
 		replay       = fs.String("replay", "", "summarize an NDJSON event log file")
 		checkMetrics = fs.String("check-metrics", "", "validate an OpenMetrics exposition (URL or file) and exit")
 		checkTrace   = fs.String("check-trace", "", "validate a Chrome trace_event JSON file and exit")
+		checkEvents  = fs.String("check-events", "", "validate an NDJSON event log file and exit (see -trace)")
+		traceFile    = fs.String("trace", "", "with -check-events: resolve every traced record against this trace_event JSON file")
+		postmortem   = fs.String("postmortem", "", "render a flight-recorder bundle (directory or tar) as per-trace timelines")
 	)
 	if err := fs.Parse(args); err != nil {
 		return 2
 	}
 
 	modes := 0
-	for _, m := range []string{*attach, *replay, *checkMetrics, *checkTrace} {
+	for _, m := range []string{*attach, *replay, *checkMetrics, *checkTrace, *checkEvents, *postmortem} {
 		if m != "" {
 			modes++
 		}
 	}
 	if modes != 1 {
-		fmt.Fprintln(stderr, "starmon: need exactly one of -attach, -replay, -check-metrics, -check-trace")
+		fmt.Fprintln(stderr, "starmon: need exactly one of -attach, -replay, -check-metrics, -check-trace, -check-events, -postmortem")
 		fs.Usage()
 		return 2
 	}
@@ -69,10 +87,14 @@ func run(args []string, stdout, stderr io.Writer) int {
 		err = runCheckMetrics(stdout, *checkMetrics)
 	case *checkTrace != "":
 		err = runCheckTrace(stdout, *checkTrace)
+	case *checkEvents != "":
+		err = runCheckEvents(stdout, *checkEvents, *traceFile)
+	case *postmortem != "":
+		err = runPostmortem(stdout, *postmortem)
 	case *replay != "":
 		err = runReplay(stdout, *replay)
 	default:
-		err = runAttach(stdout, *attach, *interval, *frames)
+		err = runAttach(stdout, *attach, *interval, *frames, *retries, *retryBackoff)
 	}
 	if err != nil {
 		fmt.Fprintln(stderr, "starmon:", err)
@@ -102,11 +124,59 @@ func runCheckMetrics(w io.Writer, src string) error {
 	if err != nil {
 		return err
 	}
-	families, err := export.ValidateOpenMetrics(data)
+	families, exemplars, err := export.ValidateOpenMetricsDetail(data)
 	if err != nil {
 		return fmt.Errorf("%s: %w", src, err)
 	}
-	fmt.Fprintf(w, "openmetrics ok: %d metric families\n", families)
+	fmt.Fprintf(w, "openmetrics ok: %d metric families, %d exemplars\n", families, exemplars)
+	return nil
+}
+
+// runCheckEvents validates an NDJSON event log: every line must parse
+// as an obs.Record. With a companion trace file it additionally
+// enforces causal correlation — every record stamped with a trace id
+// must resolve to at least one span of that trace in the trace file,
+// and at least one traced record must exist (an all-untraced log would
+// make the cross-check vacuously true).
+func runCheckEvents(w io.Writer, path, tracePath string) error {
+	f, err := os.Open(path)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	recs, err := obs.ReadLog(f)
+	if err != nil {
+		return fmt.Errorf("%s: %w", path, err)
+	}
+	traced := 0
+	traces := map[obs.TraceID]bool{}
+	for _, r := range recs {
+		if r.Trace != 0 {
+			traced++
+			traces[r.Trace] = true
+		}
+	}
+	if tracePath != "" {
+		data, err := fetch(tracePath)
+		if err != nil {
+			return err
+		}
+		_, known, err := export.TraceSpanIDs(data)
+		if err != nil {
+			return fmt.Errorf("%s: %w", tracePath, err)
+		}
+		if traced == 0 {
+			return fmt.Errorf("%s: no traced records to resolve against %s", path, tracePath)
+		}
+		for _, r := range recs {
+			if r.Trace != 0 && !known[r.Trace.String()] {
+				return fmt.Errorf("%s: record %q trace_id %s has no spans in %s",
+					path, r.Event, r.Trace, tracePath)
+			}
+		}
+	}
+	fmt.Fprintf(w, "events ok: %d records, %d traced across %d traces\n",
+		len(recs), traced, len(traces))
 	return nil
 }
 
@@ -170,10 +240,122 @@ func runReplay(w io.Writer, path string) error {
 	return nil
 }
 
+// runPostmortem loads a flight-recorder bundle and reconstructs what
+// the process was doing when it dumped: a validation summary of the
+// three artifacts, then one timeline per trace — the trace's spans
+// (name and duration, from the Perfetto artifact) followed by its
+// event-log records in time order, offset from the first retained
+// record. Untraced records are summarized at the end.
+func runPostmortem(w io.Writer, path string) error {
+	b, err := export.ReadFlightBundle(path)
+	if err != nil {
+		return err
+	}
+	complete, err := export.ValidateTrace(b.Trace)
+	if err != nil {
+		return fmt.Errorf("%s: trace: %w", path, err)
+	}
+	families, exemplars, err := export.ValidateOpenMetricsDetail(b.Metrics)
+	if err != nil {
+		return fmt.Errorf("%s: metrics: %w", path, err)
+	}
+	fmt.Fprintf(w, "flight bundle %s: %d events, %d spans, %d metric families, %d exemplars\n",
+		path, len(b.Events), complete, families, exemplars)
+
+	// Spans per trace, in the exporter's time order.
+	var tr export.Trace
+	if err := json.Unmarshal(b.Trace, &tr); err != nil {
+		return fmt.Errorf("%s: trace: %w", path, err)
+	}
+	type spanRow struct {
+		name string
+		dur  time.Duration
+	}
+	spansByTrace := map[string][]spanRow{}
+	var order []string
+	seen := map[string]bool{}
+	note := func(id string) {
+		if !seen[id] {
+			seen[id] = true
+			order = append(order, id)
+		}
+	}
+	for _, e := range tr.TraceEvents {
+		if e.Ph != "X" {
+			continue
+		}
+		id := ""
+		if e.Args != nil {
+			id = e.Args["trace_id"]
+		}
+		if id == "" {
+			continue
+		}
+		note(id)
+		spansByTrace[id] = append(spansByTrace[id],
+			spanRow{e.Name, time.Duration(e.Dur * float64(time.Microsecond))})
+	}
+
+	// Records per trace, plus the untraced remainder.
+	recsByTrace := map[string][]obs.Record{}
+	var untraced []obs.Record
+	var t0 int64
+	for i, r := range b.Events {
+		if i == 0 || r.T < t0 {
+			t0 = r.T
+		}
+	}
+	for _, r := range b.Events {
+		if r.Trace == 0 {
+			untraced = append(untraced, r)
+			continue
+		}
+		id := r.Trace.String()
+		note(id)
+		recsByTrace[id] = append(recsByTrace[id], r)
+	}
+
+	for _, id := range order {
+		fmt.Fprintf(w, "trace %s:\n", id)
+		for _, s := range spansByTrace[id] {
+			fmt.Fprintf(w, "  span  %-28s %v\n", s.name, s.dur)
+		}
+		for _, r := range recsByTrace[id] {
+			fmt.Fprintf(w, "  event %s %-7s %s%s\n",
+				formatOffset(r.T-t0), r.Level, r.Event, formatFields(r.Fields))
+		}
+	}
+	if len(untraced) > 0 {
+		fmt.Fprintf(w, "untraced: %d records\n", len(untraced))
+	}
+	return nil
+}
+
+// formatOffset renders a record's time as an offset from the first
+// retained record, fixed-width so timeline columns line up.
+func formatOffset(ns int64) string {
+	return fmt.Sprintf("%-10s", "+"+time.Duration(ns).Round(time.Microsecond).String())
+}
+
+// formatFields renders a record's fields sorted by key, so output is
+// deterministic across runs.
+func formatFields(fields map[string]interface{}) string {
+	if len(fields) == 0 {
+		return ""
+	}
+	var sb strings.Builder
+	for _, k := range sortedKeys(fields) {
+		fmt.Fprintf(&sb, " %s=%v", k, fields[k])
+	}
+	return sb.String()
+}
+
 // runAttach polls the target's /metrics endpoint and renders one frame
 // per interval: counter rates against the previous frame, gauge values,
-// and summary quantiles.
-func runAttach(w io.Writer, target string, interval time.Duration, frames int) error {
+// and summary quantiles. Scrape failures are retried with bounded
+// exponential backoff — a monitor should outlive a restarting target —
+// and only abort the frame loop once the retry budget is spent.
+func runAttach(w io.Writer, target string, interval time.Duration, frames, retries int, backoff time.Duration) error {
 	if !strings.HasPrefix(target, "http://") && !strings.HasPrefix(target, "https://") {
 		target = "http://" + target
 	}
@@ -184,15 +366,15 @@ func runAttach(w io.Writer, target string, interval time.Duration, frames int) e
 
 	var prev map[string]float64
 	for frame := 1; frames == 0 || frame <= frames; frame++ {
-		data, err := fetch(url)
+		data, err := fetchRetry(url, retries, backoff)
 		if err != nil {
 			return err
 		}
 		if _, err := export.ValidateOpenMetrics(data); err != nil {
 			return fmt.Errorf("%s: %w", url, err)
 		}
-		cur, kinds := parseExposition(data)
-		renderFrame(w, frame, interval, cur, prev, kinds)
+		cur, kinds, exemplars := parseExposition(data)
+		renderFrame(w, frame, interval, cur, prev, kinds, exemplars)
 		prev = cur
 		if frames != 0 && frame == frames {
 			break
@@ -202,11 +384,39 @@ func runAttach(w io.Writer, target string, interval time.Duration, frames int) e
 	return nil
 }
 
+// fetchRetry fetches with up to retries retries after the first
+// attempt, doubling the backoff between attempts (capped at 8s).
+// Transient failures — connection refused during a restart, a non-200
+// from a proxy — are the expected case; persistent ones surface with
+// the attempt count attached.
+func fetchRetry(src string, retries int, backoff time.Duration) ([]byte, error) {
+	if backoff <= 0 {
+		backoff = 500 * time.Millisecond
+	}
+	var err error
+	for attempt := 0; ; attempt++ {
+		var data []byte
+		data, err = fetch(src)
+		if err == nil {
+			return data, nil
+		}
+		if attempt >= retries {
+			return nil, fmt.Errorf("after %d attempts: %w", attempt+1, err)
+		}
+		time.Sleep(backoff)
+		if backoff < 8*time.Second {
+			backoff *= 2
+		}
+	}
+}
+
 // parseExposition reads an OpenMetrics text page into sample values
-// keyed by full sample name (labels included) plus each family's TYPE.
-func parseExposition(data []byte) (samples map[string]float64, kinds map[string]string) {
+// keyed by full sample name (labels included), each family's TYPE, and
+// any exemplar trace ids keyed by the sample they annotate.
+func parseExposition(data []byte) (samples map[string]float64, kinds, exemplars map[string]string) {
 	samples = map[string]float64{}
 	kinds = map[string]string{}
+	exemplars = map[string]string{}
 	for _, line := range strings.Split(string(data), "\n") {
 		line = strings.TrimSpace(line)
 		if line == "" || line == "# EOF" {
@@ -218,6 +428,17 @@ func parseExposition(data []byte) (samples map[string]float64, kinds map[string]
 				kinds[fields[2]] = fields[3]
 			}
 			continue
+		}
+		// An exemplar clause (` # {trace_id="..."} value`) must come off
+		// before the `} ` name/value split below, or its closing brace
+		// would masquerade as the end of the label set.
+		var exemplar string
+		if ex := strings.Index(line, " # {"); ex >= 0 {
+			exemplar = line[ex+4:]
+			line = line[:ex]
+			if end := strings.IndexByte(exemplar, '}'); end >= 0 {
+				exemplar = exemplar[:end]
+			}
 		}
 		// `name{labels} value [timestamp]` or `name value [timestamp]`.
 		cut := strings.LastIndex(line, "} ")
@@ -237,17 +458,22 @@ func parseExposition(data []byte) (samples map[string]float64, kinds map[string]
 		}
 		if v, err := strconv.ParseFloat(val, 64); err == nil {
 			samples[name] = v
+			if tr, ok := strings.CutPrefix(exemplar, `trace_id="`); ok {
+				exemplars[name] = strings.TrimSuffix(tr, `"`)
+			}
 		}
 	}
-	return samples, kinds
+	return samples, kinds, exemplars
 }
 
 // renderFrame prints one monitor frame. Counter families get a
 // per-second rate once a previous frame exists; everything else shows
-// its current value. The prof.RuntimeSampler gauges (runtime_*
-// families) render as their own section with human units, separating
-// process health from algorithm metrics.
-func renderFrame(w io.Writer, frame int, interval time.Duration, cur, prev map[string]float64, kinds map[string]string) {
+// its current value, summary quantiles with the trace id of their
+// slowest-observation exemplar when the exposition carries one. The
+// prof.RuntimeSampler gauges (runtime_* families) render as their own
+// section with human units, separating process health from algorithm
+// metrics.
+func renderFrame(w io.Writer, frame int, interval time.Duration, cur, prev map[string]float64, kinds, exemplars map[string]string) {
 	fmt.Fprintf(w, "frame %d (%d samples)\n", frame, len(cur))
 	var runtimeNames []string
 	for _, name := range sortedKeys(cur) {
@@ -272,7 +498,11 @@ func renderFrame(w io.Writer, frame int, interval time.Duration, cur, prev map[s
 			}
 			fmt.Fprintln(w, line)
 		case "summary":
-			fmt.Fprintf(w, "  %-44s %12g\n", name, cur[name])
+			line := fmt.Sprintf("  %-44s %12g", name, cur[name])
+			if tr := exemplars[name]; tr != "" {
+				line += "  trace=" + tr
+			}
+			fmt.Fprintln(w, line)
 		default:
 			fmt.Fprintf(w, "  %-44s %12.0f\n", name, cur[name])
 		}

@@ -1,10 +1,12 @@
 package main
 
 import (
+	"net/http"
 	"net/http/httptest"
 	"os"
 	"path/filepath"
 	"strings"
+	"sync"
 	"testing"
 	"time"
 
@@ -220,5 +222,202 @@ func TestRunModeValidation(t *testing.T) {
 	}
 	if code := run([]string{"-replay", "x", "-check-trace", "y"}, &out, &errOut); code != 2 {
 		t.Errorf("two modes: exit %d, want 2", code)
+	}
+}
+
+// tracedRegistry builds a registry that ran one traced operation, so
+// /metrics carries an exemplar and spans/events carry identity.
+func tracedRegistry(t *testing.T) (*obs.Registry, *obs.Recorder, *strings.Builder, obs.TraceID) {
+	t.Helper()
+	clock := obs.NewManual(time.Unix(100, 0))
+	reg := obs.NewRegistry()
+	reg.SetClock(clock)
+	rec := obs.NewRecorder(16)
+	reg.SetSink(rec)
+	var log strings.Builder
+	reg.SetEventLog(obs.NewEventLog(&log, obs.LevelDebug, clock))
+
+	op := reg.StartOp("t.op.run")
+	sp := op.Span("t.phase.step")
+	clock.Advance(2 * time.Millisecond)
+	sp.End()
+	op.Log(obs.LevelInfo, "t.milestone", obs.F("k", 1))
+	clock.Advance(time.Millisecond)
+	op.Done()
+	return reg, rec, &log, op.Trace()
+}
+
+// -attach must retry a scrape that fails transiently instead of dying,
+// and give up once the retry budget is spent.
+func TestRunAttachRetriesTransientFailures(t *testing.T) {
+	reg, _, _, _ := tracedRegistry(t)
+	metrics := export.MetricsHandler(reg)
+	var mu sync.Mutex
+	failures := 2
+	srv := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		mu.Lock()
+		fail := failures > 0
+		if fail {
+			failures--
+		}
+		mu.Unlock()
+		if fail {
+			http.Error(w, "starting up", http.StatusServiceUnavailable)
+			return
+		}
+		metrics.ServeHTTP(w, r)
+	}))
+	defer srv.Close()
+
+	var out, errOut strings.Builder
+	code := run([]string{
+		"-attach", srv.URL, "-frames", "1",
+		"-retries", "3", "-retry-backoff", "1ms",
+	}, &out, &errOut)
+	if code != 0 {
+		t.Fatalf("exit %d despite retry budget, stderr: %s", code, errOut.String())
+	}
+	if !strings.Contains(out.String(), "frame 1") {
+		t.Errorf("no frame rendered:\n%s", out.String())
+	}
+
+	// With the budget exhausted before the server recovers, it must fail
+	// and say how many attempts it made.
+	mu.Lock()
+	failures = 100
+	mu.Unlock()
+	out.Reset()
+	errOut.Reset()
+	code = run([]string{
+		"-attach", srv.URL, "-frames", "1",
+		"-retries", "2", "-retry-backoff", "1ms",
+	}, &out, &errOut)
+	if code != 1 {
+		t.Fatalf("exit %d, want 1 once retries are spent", code)
+	}
+	if !strings.Contains(errOut.String(), "after 3 attempts") {
+		t.Errorf("stderr does not count attempts: %s", errOut.String())
+	}
+}
+
+// A frame over an exemplar-carrying exposition must render the trace id
+// next to the summary quantile, and the parser must not let the
+// exemplar clause corrupt the sample name or value.
+func TestRunAttachRendersExemplars(t *testing.T) {
+	reg, _, _, trace := tracedRegistry(t)
+	srv := httptest.NewServer(export.MetricsHandler(reg))
+	defer srv.Close()
+
+	var out, errOut strings.Builder
+	if code := run([]string{"-attach", srv.URL, "-frames", "1"}, &out, &errOut); code != 0 {
+		t.Fatalf("exit %d, stderr: %s", code, errOut.String())
+	}
+	if !strings.Contains(out.String(), "trace="+trace.String()) {
+		t.Errorf("frame does not surface the exemplar trace:\n%s", out.String())
+	}
+}
+
+func TestParseExpositionExemplar(t *testing.T) {
+	page := []byte("# TYPE t_op_run summary\n" +
+		"t_op_run{quantile=\"0.5\"} 0.001\n" +
+		"t_op_run{quantile=\"0.95\"} 0.002 # {trace_id=\"00000000000000ff\"} 0.002\n" +
+		"# EOF\n")
+	samples, kinds, exemplars := parseExposition(page)
+	if v := samples[`t_op_run{quantile="0.95"}`]; v != 0.002 {
+		t.Errorf("exemplar line parsed to %v, want 0.002 (samples: %v)", v, samples)
+	}
+	if kinds["t_op_run"] != "summary" {
+		t.Errorf("kinds = %v", kinds)
+	}
+	if exemplars[`t_op_run{quantile="0.95"}`] != "00000000000000ff" {
+		t.Errorf("exemplars = %v", exemplars)
+	}
+	if _, ok := exemplars[`t_op_run{quantile="0.5"}`]; ok {
+		t.Error("exemplar invented for a plain line")
+	}
+}
+
+func TestRunCheckEvents(t *testing.T) {
+	_, rec, log, _ := tracedRegistry(t)
+	dir := t.TempDir()
+	events := filepath.Join(dir, "events.ndjson")
+	if err := os.WriteFile(events, []byte(log.String()), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	tracePath := filepath.Join(dir, "trace.json")
+	if err := export.WriteTraceFile(tracePath, rec.Events()); err != nil {
+		t.Fatal(err)
+	}
+
+	var out, errOut strings.Builder
+	if code := run([]string{"-check-events", events}, &out, &errOut); code != 0 {
+		t.Fatalf("plain check: exit %d, stderr: %s", code, errOut.String())
+	}
+	if !strings.Contains(out.String(), "1 traced across 1 traces") {
+		t.Errorf("output %q", out.String())
+	}
+	out.Reset()
+	if code := run([]string{"-check-events", events, "-trace", tracePath}, &out, &errOut); code != 0 {
+		t.Fatalf("cross-check: exit %d, stderr: %s", code, errOut.String())
+	}
+
+	// A record whose trace id has no spans in the trace must fail.
+	orphan := filepath.Join(dir, "orphan.ndjson")
+	line := `{"t_unix_ns":1,"level":"info","event":"t.orphan","trace_id":"00000000000000aa","span_id":"00000000000000ab"}` + "\n"
+	if err := os.WriteFile(orphan, []byte(line), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	errOut.Reset()
+	if code := run([]string{"-check-events", orphan, "-trace", tracePath}, &out, &errOut); code != 1 {
+		t.Fatalf("orphan trace: exit %d, want 1", code)
+	}
+	if !strings.Contains(errOut.String(), "has no spans in") {
+		t.Errorf("stderr %q", errOut.String())
+	}
+
+	// An all-untraced log makes the cross-check vacuous: also a failure.
+	untraced := filepath.Join(dir, "untraced.ndjson")
+	if err := os.WriteFile(untraced, []byte(`{"t_unix_ns":1,"level":"info","event":"t.plain"}`+"\n"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if code := run([]string{"-check-events", untraced, "-trace", tracePath}, &out, &errOut); code != 1 {
+		t.Errorf("untraced log cross-check: exit %d, want 1", code)
+	}
+}
+
+func TestRunPostmortem(t *testing.T) {
+	reg, _, _, _ := tracedRegistry(t)
+	flight := obs.NewFlightRecorder(reg, 32)
+	// The recorder was installed after the op ran, so replay one more
+	// traced operation into the black box.
+	op := reg.StartOp("t.op.again")
+	op.Log(obs.LevelInfo, "t.milestone", obs.F("k", 2))
+	op.Done()
+
+	dir := filepath.Join(t.TempDir(), "flight")
+	if err := export.WriteFlightBundle(dir, flight); err != nil {
+		t.Fatal(err)
+	}
+
+	var out, errOut strings.Builder
+	if code := run([]string{"-postmortem", dir}, &out, &errOut); code != 0 {
+		t.Fatalf("exit %d, stderr: %s", code, errOut.String())
+	}
+	text := out.String()
+	for _, want := range []string{
+		"flight bundle",
+		"trace " + op.Trace().String() + ":",
+		"span  t.op.again",
+		"t.milestone",
+		"k=2",
+	} {
+		if !strings.Contains(text, want) {
+			t.Errorf("postmortem missing %q:\n%s", want, text)
+		}
+	}
+
+	// A missing bundle is an error, not an empty render.
+	if code := run([]string{"-postmortem", filepath.Join(dir, "nope")}, &out, &errOut); code != 1 {
+		t.Errorf("missing bundle: exit %d, want 1", code)
 	}
 }

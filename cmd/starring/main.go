@@ -20,6 +20,12 @@
 // process (and its debug server) alive for the given duration after
 // the run so an external scraper can pull /metrics.
 //
+// -flight-dump keeps the always-on flight recorder's bundle: recent
+// events, completed spans and a metrics snapshot land in the given
+// directory at exit — and immediately on an embed error, so a failed
+// run still leaves its post-mortem (render it with starmon
+// -postmortem; the live form is served at /debug/flight as a tar).
+//
 // -cpuprofile captures a CPU profile whose samples carry phase labels
 // (phase=embed, phase=splice, ...) — `go tool pprof -tagfocus
 // phase=embed` isolates one pipeline phase; -memprofile writes a
@@ -34,6 +40,7 @@ package main
 import (
 	"flag"
 	"fmt"
+	"io"
 	"math/rand"
 	"os"
 	"strings"
@@ -73,6 +80,7 @@ func main() {
 		eventsOut   = flag.String("events-out", "", "write structured NDJSON events to this file")
 		cpuProfile  = flag.String("cpuprofile", "", "write a phase-labeled CPU profile of the run to this file")
 		memProfile  = flag.String("memprofile", "", "write a post-run heap profile to this file")
+		flightDump  = flag.String("flight-dump", "", "write the flight-recorder post-mortem bundle to this directory (on error and at exit)")
 		hold        = flag.Duration("hold", 0, "keep the process alive this long after the run (for /metrics scrapers)")
 	)
 	flag.Parse()
@@ -111,7 +119,7 @@ func main() {
 		}
 	}
 
-	tel := startTelemetry(*debugAddr, *metricsJSON, *traceOut, *eventsOut, *cpuProfile, *memProfile, *hold)
+	tel := startTelemetry(*debugAddr, *metricsJSON, *traceOut, *eventsOut, *cpuProfile, *memProfile, *flightDump, *hold)
 
 	cfg := core.Config{Workers: *workers, BestEffort: *best, Obs: tel.reg}
 
@@ -195,6 +203,7 @@ func main() {
 type telemetry struct {
 	reg    *obs.Registry
 	rec    *obs.Recorder
+	flight *obs.FlightRecorder
 	events *os.File
 	srv    *obs.DebugServer
 
@@ -203,14 +212,16 @@ type telemetry struct {
 
 	metricsJSON, traceOut  string
 	cpuProfile, memProfile string
+	flightDump             string
 	hold                   time.Duration
 }
 
 // startTelemetry wires up whatever the flags asked for; with no
 // telemetry flags set the zero handle is inert and finish is a no-op.
-func startTelemetry(debugAddr, metricsJSON, traceOut, eventsOut, cpuProfile, memProfile string, hold time.Duration) *telemetry {
+func startTelemetry(debugAddr, metricsJSON, traceOut, eventsOut, cpuProfile, memProfile, flightDump string, hold time.Duration) *telemetry {
 	t := &telemetry{metricsJSON: metricsJSON, traceOut: traceOut,
-		cpuProfile: cpuProfile, memProfile: memProfile, hold: hold}
+		cpuProfile: cpuProfile, memProfile: memProfile,
+		flightDump: flightDump, hold: hold}
 	if cpuProfile != "" {
 		stop, err := prof.StartCPUProfile(cpuProfile)
 		if err != nil {
@@ -218,7 +229,7 @@ func startTelemetry(debugAddr, metricsJSON, traceOut, eventsOut, cpuProfile, mem
 		}
 		t.cpuStop = stop
 	}
-	if debugAddr == "" && metricsJSON == "" && traceOut == "" && eventsOut == "" {
+	if debugAddr == "" && metricsJSON == "" && traceOut == "" && eventsOut == "" && flightDump == "" {
 		return t
 	}
 	t.reg = obs.NewRegistry()
@@ -236,6 +247,18 @@ func startTelemetry(debugAddr, metricsJSON, traceOut, eventsOut, cpuProfile, mem
 		}
 		t.events = f
 		t.reg.SetEventLog(obs.NewEventLog(f, obs.LevelDebug, t.reg.Clock()))
+	} else {
+		// The flight recorder tees off the event log, so keep one running
+		// even with no -events-out destination: records go only to the
+		// black box.
+		t.reg.SetEventLog(obs.NewEventLog(io.Discard, obs.LevelDebug, t.reg.Clock()))
+	}
+	// The black box is always on once telemetry is: recent events and
+	// spans stay available for /debug/flight, and an embed/repair error
+	// auto-dumps the post-mortem bundle when -flight-dump is set.
+	t.flight = obs.NewFlightRecorder(t.reg, 512)
+	if flightDump != "" {
+		t.flight.SetAutoDump(flightDump, export.FlightBundleWriter(t.flight))
 	}
 	if debugAddr != "" {
 		srv, err := obs.StartDebugServer(debugAddr)
@@ -243,6 +266,7 @@ func startTelemetry(debugAddr, metricsJSON, traceOut, eventsOut, cpuProfile, mem
 			fatal(err)
 		}
 		srv.Handle("/metrics", export.MetricsHandler(t.reg))
+		srv.Handle("/debug/flight", export.FlightHandler(t.flight))
 		t.srv = srv
 		fmt.Printf("debug server listening on http://%s/debug/vars (pprof under /debug/pprof/, OpenMetrics under /metrics)\n", srv.Addr())
 	}
@@ -283,6 +307,12 @@ func (t *telemetry) finish() {
 				fatal(err)
 			}
 			fmt.Printf("trace written to %s\n", t.traceOut)
+		}
+		if t.flightDump != "" {
+			if err := t.flight.Dump(t.flightDump, export.FlightBundleWriter(t.flight)); err != nil {
+				fatal(err)
+			}
+			fmt.Printf("flight bundle written to %s\n", t.flightDump)
 		}
 		if t.events != nil {
 			if err := t.events.Close(); err != nil {

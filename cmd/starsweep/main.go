@@ -26,6 +26,7 @@ import (
 	"encoding/json"
 	"flag"
 	"fmt"
+	"io"
 	"os"
 	"time"
 
@@ -51,6 +52,7 @@ func main() {
 		traceOut     = flag.String("trace-out", "", "write the sweep's spans as Chrome trace_event JSON (Perfetto) to this file")
 		cpuProfile   = flag.String("cpuprofile", "", "write a phase-labeled CPU profile of the sweep to this file")
 		memProfile   = flag.String("memprofile", "", "write a post-sweep heap profile to this file")
+		flightDump   = flag.String("flight-dump", "", "write the flight-recorder post-mortem bundle to this directory (on error and at exit)")
 	)
 	flag.Parse()
 
@@ -82,9 +84,10 @@ func main() {
 	var (
 		reg    *obs.Registry
 		rec    *obs.Recorder
+		flight *obs.FlightRecorder
 		rtStop func()
 	)
-	if *debugAddr != "" || *metricsJSON != "" || *seriesJSON != "" || *traceOut != "" {
+	if *debugAddr != "" || *metricsJSON != "" || *seriesJSON != "" || *traceOut != "" || *flightDump != "" {
 		reg = obs.NewRegistry()
 		rec = obs.NewRecorder(256)
 		reg.SetSink(rec)
@@ -92,6 +95,14 @@ func main() {
 		// Runtime health gauges (runtime_*) ride along with the sweep
 		// metrics on /metrics, -metrics-json and -series-json.
 		rtStop = prof.NewRuntimeSampler(reg).Start(time.Second)
+		// The black box: an event log feeding only the flight recorder
+		// (starsweep has no -events-out), so a mid-sweep embed error
+		// leaves its recent telemetry behind when -flight-dump is set.
+		reg.SetEventLog(obs.NewEventLog(io.Discard, obs.LevelDebug, reg.Clock()))
+		flight = obs.NewFlightRecorder(reg, 512)
+		if *flightDump != "" {
+			flight.SetAutoDump(*flightDump, export.FlightBundleWriter(flight))
+		}
 	}
 	if *debugAddr != "" {
 		srv, err := obs.StartDebugServer(*debugAddr)
@@ -100,6 +111,7 @@ func main() {
 		}
 		defer srv.Close()
 		srv.Handle("/metrics", export.MetricsHandler(reg))
+		srv.Handle("/debug/flight", export.FlightHandler(flight))
 		fmt.Fprintf(os.Stderr, "debug server listening on http://%s/debug/vars (pprof under /debug/pprof/, OpenMetrics under /metrics)\n", srv.Addr())
 	}
 	var (
@@ -166,6 +178,12 @@ func main() {
 			fatal(err)
 		}
 		fmt.Fprintf(os.Stderr, "trace written to %s\n", *traceOut)
+	}
+	if flight != nil && *flightDump != "" {
+		if err := flight.Dump(*flightDump, export.FlightBundleWriter(flight)); err != nil {
+			fatal(err)
+		}
+		fmt.Fprintf(os.Stderr, "flight bundle written to %s\n", *flightDump)
 	}
 }
 

@@ -45,7 +45,20 @@ func (e *Embedder) Graph() star.Graph { return e.g }
 // returns it as a live Plan. The Plan owns a private clone of fs, so the
 // caller may keep mutating its set; new faults reach the Plan through
 // Repair. Preconditions and errors match the package-level Embed.
+//
+// Embed runs as its own traced operation (a fresh core.op.embed trace);
+// callers that already hold an operation context use EmbedOp.
 func (e *Embedder) Embed(fs *faults.Set) (*Plan, error) {
+	return e.EmbedOp(nil, fs)
+}
+
+// EmbedOp is Embed under an existing operation context: every phase
+// span and event-log record of the run carries op's trace id, so a
+// caller spanning several engine calls (the simulator, a repair's
+// rebuild) gets one causal timeline. A nil op opens a fresh
+// core.op.embed operation, owned by the call: ended on success, failed
+// into the flight recorder on error.
+func (e *Embedder) EmbedOp(op *obs.Op, fs *faults.Set) (*Plan, error) {
 	n := e.n
 	if fs == nil {
 		fs = faults.NewSet(n)
@@ -55,10 +68,19 @@ func (e *Embedder) Embed(fs *faults.Set) (*Plan, error) {
 		}
 		fs = fs.Clone()
 	}
+	in := newInstr(e.cfg.Obs)
+	owned := op == nil
+	if owned {
+		op = e.cfg.Obs.StartOp("core.op.embed")
+	}
+	in.bind(op)
+
 	nv, ne := fs.NumVertices(), fs.NumEdges()
 	withinBudget := nv+ne <= faults.MaxTolerated(n)
 	if !withinBudget && !e.cfg.BestEffort {
-		return nil, fmt.Errorf("%w: |Fv|=%d, |Fe|=%d, n=%d", ErrBudget, nv, ne, n)
+		err := fmt.Errorf("%w: |Fv|=%d, |Fe|=%d, n=%d", ErrBudget, nv, ne, n)
+		in.fail(op, owned, "core.embed", err)
+		return nil, err
 	}
 
 	res := &Result{
@@ -70,12 +92,7 @@ func (e *Embedder) Embed(fs *faults.Set) (*Plan, error) {
 		UpperBound:   check.BipartiteUpperBound(n, fs),
 	}
 
-	in := newInstr(e.cfg.Obs)
 	total := in.span("core.phase.total")
-	defer func() {
-		total.End()
-		in.finish()
-	}()
 
 	// The whole construction (and its self-verification) runs under the
 	// phase=embed pprof label, so CPU profiles captured while embedding —
@@ -106,14 +123,18 @@ func (e *Embedder) Embed(fs *faults.Set) (*Plan, error) {
 			err = fmt.Errorf("core: self-verification failed: %w", verr)
 		}
 	})
+	total.End()
+	in.finish()
 	if err != nil {
+		in.fail(op, owned, "core.embed", err)
 		return nil, err
 	}
-	if lg := in.eventLog(); lg != nil {
-		lg.Log(obs.LevelInfo, "core.embed",
+	if op.Enabled(obs.LevelInfo) {
+		op.Log(obs.LevelInfo, "core.embed",
 			obs.F("n", n), obs.F("vertex_faults", nv), obs.F("edge_faults", ne),
 			obs.F("ring", len(res.Ring)), obs.F("guarantee", res.Guarantee))
 	}
+	in.done(op, owned)
 	return newPlan(e, res, fs, sk), nil
 }
 
@@ -292,6 +313,13 @@ var ErrPlanBroken = errors.New("core: plan is broken (a previous rebuild failed)
 // RepairAvoided: the ring is untouched and still meets the new, smaller
 // guarantee.
 func (p *Plan) Repair(v perm.Code) (RepairReport, error) {
+	return p.RepairOp(nil, v)
+}
+
+// RepairOp is Repair under an existing operation context (see EmbedOp
+// for the contract). A nil op opens a fresh core.op.repair operation
+// owned by the call.
+func (p *Plan) RepairOp(op *obs.Op, v perm.Code) (RepairReport, error) {
 	rep := RepairReport{Block: -1, OldLen: len(p.res.Ring)}
 	if p.broken {
 		return rep, ErrPlanBroken
@@ -301,21 +329,30 @@ func (p *Plan) Repair(v perm.Code) (RepairReport, error) {
 		rep.NewLen = rep.OldLen
 		return rep, nil
 	}
+
+	in := newInstr(p.e.cfg.Obs)
+	owned := op == nil
+	if owned {
+		op = p.e.cfg.Obs.StartOp("core.op.repair")
+	}
+	in.bind(op)
+	defer in.finish()
+
 	n := p.e.n
 	nv, ne := p.fs.NumVertices(), p.fs.NumEdges()
 	if nv+1+ne > faults.MaxTolerated(n) && !p.e.cfg.BestEffort {
-		return rep, fmt.Errorf("%w: |Fv|=%d, |Fe|=%d, n=%d", ErrBudget, nv+1, ne, n)
+		err := fmt.Errorf("%w: |Fv|=%d, |Fe|=%d, n=%d", ErrBudget, nv+1, ne, n)
+		in.fail(op, owned, "core.repair", err)
+		return rep, err
 	}
 	if err := p.fs.AddVertex(v); err != nil {
+		in.fail(op, owned, "core.repair", err)
 		return rep, err
 	}
 	p.res.VertexFaults++
 	p.res.Guarantee = perm.Factorial(n) - 2*p.res.VertexFaults
 	p.res.Guaranteed = p.res.VertexFaults+p.res.EdgeFaults <= faults.MaxTolerated(n)
 	p.res.UpperBound = check.BipartiteUpperBound(n, p.fs)
-
-	in := newInstr(p.e.cfg.Obs)
-	defer in.finish()
 
 	if !p.OnRing(v) {
 		// A spare died: the ring never visited it, so it is still healthy
@@ -324,6 +361,7 @@ func (p *Plan) Repair(v perm.Code) (RepairReport, error) {
 		rep.Outcome = RepairAvoided
 		rep.NewLen = rep.OldLen
 		p.logRepair(in, v, rep)
+		in.done(op, owned)
 		return rep, nil
 	}
 
@@ -341,6 +379,7 @@ func (p *Plan) Repair(v perm.Code) (RepairReport, error) {
 			rep.NewLen = len(p.res.Ring)
 			rep.BlocksRerouted = 1
 			p.logRepair(in, v, rep)
+			in.done(op, owned)
 			return rep, nil
 		}
 		// Lemma 4 covers the strict regime, so a failed splice should
@@ -351,9 +390,12 @@ func (p *Plan) Repair(v perm.Code) (RepairReport, error) {
 	var err error
 	// The nested Embed re-labels its own extent phase=embed; samples in
 	// the rebuild bookkeeping around it stay phase=rebuild.
-	prof.Do("rebuild", func() { err = p.rebuild() })
+	prof.Do("rebuild", func() { err = p.rebuild(op) })
 	span.End()
 	if err != nil {
+		// The nested EmbedOp already noted the failure against this trace
+		// (or the plan is poisoned); just close an owned root span.
+		in.done(op, owned)
 		return rep, err
 	}
 	in.repair("rebuilds")
@@ -361,17 +403,18 @@ func (p *Plan) Repair(v perm.Code) (RepairReport, error) {
 	rep.NewLen = len(p.res.Ring)
 	rep.BlocksRerouted = p.res.Blocks
 	p.logRepair(in, v, rep)
+	in.done(op, owned)
 	return rep, nil
 }
 
 // logRepair emits the structured core.repair event when an event log is
-// attached: which vertex failed, what Repair did, and what it cost.
+// attached: which vertex failed, what Repair did, and what it cost. The
+// record carries the bound operation's trace id.
 func (p *Plan) logRepair(in *instr, v perm.Code, rep RepairReport) {
-	lg := in.eventLog()
-	if lg == nil {
+	if in == nil || !in.op.Enabled(obs.LevelInfo) {
 		return
 	}
-	lg.Log(obs.LevelInfo, "core.repair",
+	in.op.Log(obs.LevelInfo, "core.repair",
 		obs.F("vertex", v.StringN(p.e.n)),
 		obs.F("outcome", rep.Outcome.String()),
 		obs.F("blocks_rerouted", rep.BlocksRerouted),
@@ -490,10 +533,11 @@ func (p *Plan) spliceSegment(k int, path []perm.Code) {
 }
 
 // rebuild replaces the plan with a cold embedding of the accumulated
-// fault set. On failure the plan is poisoned: its ring predates the
-// fault that triggered the rebuild.
-func (p *Plan) rebuild() error {
-	np, err := p.e.Embed(p.fs)
+// fault set, joined to the repair's operation context so the whole
+// fallback shows up under one trace. On failure the plan is poisoned:
+// its ring predates the fault that triggered the rebuild.
+func (p *Plan) rebuild(op *obs.Op) error {
+	np, err := p.e.EmbedOp(op, p.fs)
 	if err != nil {
 		p.broken = true
 		return err

@@ -15,6 +15,7 @@ import (
 // TestObsDisabledAllocs and BenchmarkObsDisabled).
 type instr struct {
 	reg *obs.Registry
+	op  *obs.Op // the run's operation context; set by bind, never nil there
 
 	backtracks *obs.Counter
 	blocks     *obs.Counter
@@ -47,12 +48,48 @@ func newInstr(r *obs.Registry) *instr {
 	return in
 }
 
-// span opens a phase span ("core.phase.*"); zero Span when disabled.
+// bind attaches the run's operation context. Every phase span opened
+// through in.span afterwards is a child of the operation's root, and
+// event-log records carry its trace id.
+func (in *instr) bind(op *obs.Op) {
+	if in == nil {
+		return
+	}
+	in.op = op
+}
+
+// span opens a phase span ("core.phase.*") under the bound operation;
+// zero Span when disabled.
 func (in *instr) span(name string) obs.Span {
 	if in == nil {
 		return obs.Span{}
 	}
+	if in.op != nil {
+		return in.op.Span(name)
+	}
 	return in.reg.Span(name)
+}
+
+// fail ends a failed operation. Owned ops (created by this layer) end
+// through Op.Fail, which closes the root span and fires the flight
+// recorder; caller-owned ops only get the error noted — the owner
+// decides when the root span closes.
+func (in *instr) fail(op *obs.Op, owned bool, source string, err error) {
+	if in == nil {
+		return
+	}
+	if owned {
+		op.Fail(source, err)
+		return
+	}
+	in.reg.Flight().NoteError(op.Trace(), op.SpanID(), source, err)
+}
+
+// done ends a successful owned operation; caller-owned ops pass through.
+func (in *instr) done(op *obs.Op, owned bool) {
+	if in != nil && owned {
+		op.Done()
+	}
 }
 
 // finish folds the S4 cache activity of this run into the registry.

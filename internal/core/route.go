@@ -230,6 +230,11 @@ func assemble(plans []*blockPlan, cfg Config, in *instr) ([]perm.Code, []int, er
 		wg.Add(1)
 		go func() {
 			defer wg.Done()
+			// Each worker spans its whole drain of the block queue as a
+			// child of the route phase, so the trace shows the pool's
+			// per-worker extents, not just the aggregate.
+			wspan := rspan.Span("core.route.worker")
+			defer wspan.End()
 			wstart := in.now()
 			for k := range next {
 				p := plans[k]

@@ -1,6 +1,7 @@
 package obs
 
 import (
+	"io"
 	"testing"
 	"time"
 )
@@ -54,5 +55,27 @@ func BenchmarkSpanEnabled(b *testing.B) {
 	b.ReportAllocs()
 	for i := 0; i < b.N; i++ {
 		r.Span("phase").End()
+	}
+}
+
+// BenchmarkSpanEnabledWithOp prices the traced path: a child span off a
+// live operation, whose End also feeds the slowest-K exemplar reservoir.
+func BenchmarkSpanEnabledWithOp(b *testing.B) {
+	r := NewRegistry()
+	op := r.StartOp("op")
+	defer op.Done()
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		op.Span("phase").End()
+	}
+}
+
+// BenchmarkEventLogRecord prices one structured record through the
+// marshal-and-single-Write path (no flight recorder attached).
+func BenchmarkEventLogRecord(b *testing.B) {
+	lg := NewEventLog(io.Discard, LevelInfo, nil)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		lg.Log(LevelInfo, "bench.event", F("i", i))
 	}
 }

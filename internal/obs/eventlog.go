@@ -60,11 +60,15 @@ type Field struct {
 func F(k string, v interface{}) Field { return Field{K: k, V: v} }
 
 // Record is one event-log line, as written and as re-read by ReadLog.
-// Fields is nil when the event carried none.
+// Fields is nil when the event carried none. Trace/Span carry the
+// emitting operation's identity (see Registry.StartOp) and are omitted
+// for events logged outside any operation.
 type Record struct {
 	T      int64                  `json:"t_unix_ns"`
 	Level  string                 `json:"level"`
 	Event  string                 `json:"event"`
+	Trace  TraceID                `json:"trace_id,omitempty"`
+	Span   SpanID                 `json:"span_id,omitempty"`
 	Fields map[string]interface{} `json:"fields,omitempty"`
 }
 
@@ -80,10 +84,11 @@ type Record struct {
 // serialized by an internal mutex; timestamps come from the injected
 // Clock.
 type EventLog struct {
-	mu    sync.Mutex
-	w     io.Writer
-	min   Level
-	clock Clock
+	mu     sync.Mutex
+	w      io.Writer
+	min    Level
+	clock  Clock
+	flight *FlightRecorder // tee: every written record also lands in the black box
 }
 
 // NewEventLog returns a log writing events at or above min to w on
@@ -102,10 +107,20 @@ func (l *EventLog) Enabled(level Level) bool {
 	return l != nil && level >= l.min
 }
 
-// Log writes one event. Marshal failures (an unserializable field
-// value) are swallowed after replacing the fields with an error note —
-// the log is diagnostic output and must never fail the run it observes.
+// Log writes one event outside any operation context. Marshal failures
+// (an unserializable field value) are swallowed after replacing the
+// fields with an error note — the log is diagnostic output and must
+// never fail the run it observes. Events belonging to an operation go
+// through Op.Log, which stamps the trace identity.
 func (l *EventLog) Log(level Level, event string, fields ...Field) {
+	l.log(0, 0, level, event, fields...)
+}
+
+// log is the common write path behind Log and Op.Log. The marshaled
+// line and its newline go to the writer as a single Write, so records
+// from concurrent writers (or an io.Writer shared with other output)
+// never interleave mid-line.
+func (l *EventLog) log(trace TraceID, span SpanID, level Level, event string, fields ...Field) {
 	if !l.Enabled(level) {
 		return
 	}
@@ -113,6 +128,8 @@ func (l *EventLog) Log(level Level, event string, fields ...Field) {
 		T:     l.clock.Now().UnixNano(),
 		Level: level.String(),
 		Event: event,
+		Trace: trace,
+		Span:  span,
 	}
 	if len(fields) > 0 {
 		rec.Fields = make(map[string]interface{}, len(fields))
@@ -125,12 +142,25 @@ func (l *EventLog) Log(level Level, event string, fields ...Field) {
 		rec.Fields = map[string]interface{}{"obs_marshal_error": err.Error()}
 		line, _ = json.Marshal(rec)
 	}
+	line = append(line, '\n')
 	l.mu.Lock()
-	defer l.mu.Unlock()
-	if _, err := l.w.Write(line); err != nil {
+	fl := l.flight
+	_, _ = l.w.Write(line)
+	l.mu.Unlock()
+	if fl != nil {
+		fl.noteRecord(rec)
+	}
+}
+
+// setFlight installs the black-box tee (Registry.SetFlight and
+// SetEventLog wire it; nil detaches).
+func (l *EventLog) setFlight(f *FlightRecorder) {
+	if l == nil {
 		return
 	}
-	_, _ = l.w.Write([]byte{'\n'})
+	l.mu.Lock()
+	l.flight = f
+	l.mu.Unlock()
 }
 
 // ReadLog parses an NDJSON event stream back into records, skipping

@@ -1,0 +1,147 @@
+package export
+
+import (
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"os"
+	"path/filepath"
+	"testing"
+	"time"
+
+	"repro/internal/obs"
+)
+
+// flightFixture runs one traced operation — a child span, a milestone
+// record, a failure — through a registry with a flight recorder, so a
+// bundle has all three artifact kinds populated.
+func flightFixture(t *testing.T) (*obs.FlightRecorder, obs.TraceID) {
+	t.Helper()
+	clock := obs.NewManual(time.Unix(100, 0))
+	reg := obs.NewRegistry()
+	reg.SetClock(clock)
+	reg.SetEventLog(obs.NewEventLog(io.Discard, obs.LevelDebug, clock))
+	f := obs.NewFlightRecorder(reg, 32)
+
+	op := reg.StartOp("t.op.run")
+	sp := op.Span("t.phase.step")
+	clock.Advance(2 * time.Millisecond)
+	sp.End()
+	op.Log(obs.LevelInfo, "t.milestone", obs.F("k", 1))
+	clock.Advance(time.Millisecond)
+	op.Done()
+	return f, op.Trace()
+}
+
+func TestFlightBundleDirRoundTrip(t *testing.T) {
+	f, trace := flightFixture(t)
+	dir := filepath.Join(t.TempDir(), "flight")
+	if err := WriteFlightBundle(dir, f); err != nil {
+		t.Fatal(err)
+	}
+
+	b, err := ReadFlightBundle(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if want := len(f.Events()); len(b.Events) != want {
+		t.Errorf("bundle has %d events, recorder holds %d", len(b.Events), want)
+	}
+	found := false
+	for _, rec := range b.Events {
+		if rec.Trace == trace {
+			found = true
+		}
+	}
+	if !found {
+		t.Errorf("no bundle record carries trace %s", trace)
+	}
+	complete, err := ValidateTrace(b.Trace)
+	if err != nil || complete < 2 {
+		t.Errorf("bundle trace: %d complete events, err=%v", complete, err)
+	}
+	_, traces, err := TraceSpanIDs(b.Trace)
+	if err != nil || !traces[trace.String()] {
+		t.Errorf("bundle trace does not resolve %s: traces=%v err=%v", trace, traces, err)
+	}
+	families, exemplars, err := ValidateOpenMetricsDetail(b.Metrics)
+	if err != nil || families == 0 {
+		t.Errorf("bundle metrics: %d families, err=%v", families, err)
+	}
+	if exemplars == 0 {
+		t.Error("bundle metrics carry no exemplars despite a traced op")
+	}
+}
+
+// The /debug/flight handler streams the same bundle as a tar, and
+// ReadFlightBundle accepts the saved stream directly.
+func TestFlightBundleTarRoundTrip(t *testing.T) {
+	f, trace := flightFixture(t)
+	srv := httptest.NewServer(FlightHandler(f))
+	defer srv.Close()
+
+	resp, err := http.Get(srv.URL)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if got := resp.Header.Get("Content-Type"); got != "application/x-tar" {
+		t.Errorf("content type %q", got)
+	}
+	body, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	path := filepath.Join(t.TempDir(), "flight.tar")
+	if err := os.WriteFile(path, body, 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	b, err := ReadFlightBundle(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if want := len(f.Events()); len(b.Events) != want {
+		t.Errorf("tar bundle has %d events, recorder holds %d", len(b.Events), want)
+	}
+	if _, traces, err := TraceSpanIDs(b.Trace); err != nil || !traces[trace.String()] {
+		t.Errorf("tar bundle trace does not resolve %s (err=%v)", trace, err)
+	}
+}
+
+func TestFlightBundleErrors(t *testing.T) {
+	if err := WriteFlightBundle(t.TempDir(), nil); err == nil {
+		t.Error("nil recorder accepted")
+	}
+	if _, err := ReadFlightBundle(filepath.Join(t.TempDir(), "missing")); err == nil {
+		t.Error("missing bundle accepted")
+	}
+	// A directory missing a member is incomplete.
+	dir := t.TempDir()
+	if err := os.WriteFile(filepath.Join(dir, FlightEventsName), nil, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := ReadFlightBundle(dir); err == nil {
+		t.Error("incomplete bundle dir accepted")
+	}
+	// A truncated tar is rejected too.
+	path := filepath.Join(t.TempDir(), "flight.tar")
+	if err := os.WriteFile(path, []byte("not a tar"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := ReadFlightBundle(path); err == nil {
+		t.Error("corrupt tar accepted")
+	}
+
+	// The handler 404s when no recorder is installed.
+	srv := httptest.NewServer(FlightHandler(nil))
+	defer srv.Close()
+	resp, err := http.Get(srv.URL)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusNotFound {
+		t.Errorf("nil-recorder handler returned %d, want 404", resp.StatusCode)
+	}
+}

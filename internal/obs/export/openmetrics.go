@@ -84,7 +84,16 @@ func WriteOpenMetrics(w io.Writer, snap obs.Snapshot) error {
 		m := MetricName(name)
 		fmt.Fprintf(bw, "# TYPE %s summary\n", m)
 		fmt.Fprintf(bw, "%s{quantile=\"0.5\"} %s\n", m, seconds(st.P50NS))
-		fmt.Fprintf(bw, "%s{quantile=\"0.95\"} %s\n", m, seconds(st.P95NS))
+		if len(st.Exemplars) > 0 {
+			// OpenMetrics exemplar syntax: the slowest traced
+			// observation rides the p95 line with its trace id, so a
+			// dashboard outlier links straight to its trace.
+			ex := st.Exemplars[0]
+			fmt.Fprintf(bw, "%s{quantile=\"0.95\"} %s # {trace_id=\"%s\"} %s\n",
+				m, seconds(st.P95NS), ex.Trace, seconds(ex.NS))
+		} else {
+			fmt.Fprintf(bw, "%s{quantile=\"0.95\"} %s\n", m, seconds(st.P95NS))
+		}
 		fmt.Fprintf(bw, "%s_sum %s\n", m, seconds(st.SumNS))
 		fmt.Fprintf(bw, "%s_count %d\n", m, st.Count)
 		fmt.Fprintf(bw, "# TYPE %s_max_seconds gauge\n", m)
@@ -105,21 +114,32 @@ func MetricsHandler(r *obs.Registry) http.Handler {
 }
 
 var (
-	omNameRE   = regexp.MustCompile(`^[a-zA-Z_:][a-zA-Z0-9_:]*$`)
-	omSampleRE = regexp.MustCompile(`^([a-zA-Z_:][a-zA-Z0-9_:]*)(\{[^{}]*\})? (\S+)( [0-9.e+-]+)?$`)
+	omNameRE = regexp.MustCompile(`^[a-zA-Z_:][a-zA-Z0-9_:]*$`)
+	// Sample grammar: name, optional labelset, value, optional
+	// timestamp, optional exemplar (" # {labels} value [timestamp]").
+	omSampleRE = regexp.MustCompile(`^([a-zA-Z_:][a-zA-Z0-9_:]*)(\{[^{}]*\})? (\S+)( [0-9.e+-]+)?( # \{([^{}]*)\} (\S+)( [0-9.e+-]+)?)?$`)
 	omTypes    = map[string]bool{
 		"counter": true, "gauge": true, "summary": true, "histogram": true,
 		"info": true, "stateset": true, "unknown": true,
 	}
 )
 
-// ValidateOpenMetrics checks that data is well-formed OpenMetrics text:
-// metadata lines declare known types over legal names, every sample
-// belongs to a declared family with the suffix its type allows, values
-// parse as floats, and the exposition ends with "# EOF". It returns the
-// number of metric families. It backs the exporter's unit tests, the
-// CI /metrics smoke leg, and starmon -check-metrics.
+// ValidateOpenMetrics checks that data is well-formed OpenMetrics text
+// and returns the number of metric families; see
+// ValidateOpenMetricsDetail for the full contract.
 func ValidateOpenMetrics(data []byte) (families int, err error) {
+	families, _, err = ValidateOpenMetricsDetail(data)
+	return families, err
+}
+
+// ValidateOpenMetricsDetail checks that data is well-formed OpenMetrics
+// text: metadata lines declare known types over legal names, every
+// sample belongs to a declared family with the suffix its type allows,
+// values (and exemplar values) parse as floats, and the exposition ends
+// with "# EOF". It returns the number of metric families and of
+// exemplar-carrying samples. It backs the exporter's unit tests, the
+// CI /metrics smoke leg, and starmon -check-metrics.
+func ValidateOpenMetricsDetail(data []byte) (families, exemplars int, err error) {
 	lines := strings.Split(string(data), "\n")
 	declared := map[string]string{} // family -> type
 	sawEOF := false
@@ -127,7 +147,7 @@ func ValidateOpenMetrics(data []byte) (families int, err error) {
 		lineno := i + 1
 		if sawEOF {
 			if strings.TrimSpace(line) != "" {
-				return 0, fmt.Errorf("line %d: content after # EOF", lineno)
+				return 0, 0, fmt.Errorf("line %d: content after # EOF", lineno)
 			}
 			continue
 		}
@@ -141,49 +161,55 @@ func ValidateOpenMetrics(data []byte) (families int, err error) {
 		if strings.HasPrefix(line, "#") {
 			fields := strings.Fields(line)
 			if len(fields) < 3 || fields[0] != "#" {
-				return 0, fmt.Errorf("line %d: malformed metadata line %q", lineno, line)
+				return 0, 0, fmt.Errorf("line %d: malformed metadata line %q", lineno, line)
 			}
 			switch fields[1] {
 			case "TYPE":
 				if len(fields) != 4 {
-					return 0, fmt.Errorf("line %d: TYPE wants '# TYPE <name> <type>', got %q", lineno, line)
+					return 0, 0, fmt.Errorf("line %d: TYPE wants '# TYPE <name> <type>', got %q", lineno, line)
 				}
 				name, typ := fields[2], fields[3]
 				if !omNameRE.MatchString(name) {
-					return 0, fmt.Errorf("line %d: illegal metric family name %q", lineno, name)
+					return 0, 0, fmt.Errorf("line %d: illegal metric family name %q", lineno, name)
 				}
 				if !omTypes[typ] {
-					return 0, fmt.Errorf("line %d: unknown metric type %q", lineno, typ)
+					return 0, 0, fmt.Errorf("line %d: unknown metric type %q", lineno, typ)
 				}
 				if _, dup := declared[name]; dup {
-					return 0, fmt.Errorf("line %d: family %q declared twice", lineno, name)
+					return 0, 0, fmt.Errorf("line %d: family %q declared twice", lineno, name)
 				}
 				declared[name] = typ
 			case "HELP", "UNIT":
 				// Optional metadata; name syntax is all we check.
 				if !omNameRE.MatchString(fields[2]) {
-					return 0, fmt.Errorf("line %d: illegal metric family name %q", lineno, fields[2])
+					return 0, 0, fmt.Errorf("line %d: illegal metric family name %q", lineno, fields[2])
 				}
 			default:
-				return 0, fmt.Errorf("line %d: unknown metadata keyword %q", lineno, fields[1])
+				return 0, 0, fmt.Errorf("line %d: unknown metadata keyword %q", lineno, fields[1])
 			}
 			continue
 		}
 		m := omSampleRE.FindStringSubmatch(line)
 		if m == nil {
-			return 0, fmt.Errorf("line %d: malformed sample line %q", lineno, line)
+			return 0, 0, fmt.Errorf("line %d: malformed sample line %q", lineno, line)
 		}
 		if _, err := strconv.ParseFloat(m[3], 64); err != nil {
-			return 0, fmt.Errorf("line %d: sample value %q is not a float", lineno, m[3])
+			return 0, 0, fmt.Errorf("line %d: sample value %q is not a float", lineno, m[3])
 		}
 		if familyOf(m[1], declared) == "" {
-			return 0, fmt.Errorf("line %d: sample %q has no TYPE declaration", lineno, m[1])
+			return 0, 0, fmt.Errorf("line %d: sample %q has no TYPE declaration", lineno, m[1])
+		}
+		if m[5] != "" {
+			if _, err := strconv.ParseFloat(m[7], 64); err != nil {
+				return 0, 0, fmt.Errorf("line %d: exemplar value %q is not a float", lineno, m[7])
+			}
+			exemplars++
 		}
 	}
 	if !sawEOF {
-		return 0, fmt.Errorf("missing # EOF terminator")
+		return 0, 0, fmt.Errorf("missing # EOF terminator")
 	}
-	return len(declared), nil
+	return len(declared), exemplars, nil
 }
 
 // familyOf resolves a sample name to its declared family, honoring the

@@ -135,3 +135,54 @@ func TestMetricName(t *testing.T) {
 		}
 	}
 }
+
+// TestOpenMetricsExemplars: a traced op's root-span histogram must
+// expose its slowest observation as an OpenMetrics exemplar on the p95
+// line, and the validator must parse and count it.
+func TestOpenMetricsExemplars(t *testing.T) {
+	clock := obs.NewManual(time.Unix(100, 0))
+	reg := obs.NewRegistry()
+	reg.SetClock(clock)
+	op := reg.StartOp("t.op.run")
+	clock.Advance(time.Millisecond)
+	op.Done()
+	reg.Histogram("t.phase.plain").Observe(time.Millisecond) // untraced
+
+	var buf bytes.Buffer
+	if err := WriteOpenMetrics(&buf, reg.Snapshot()); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	want := `t_op_run{quantile="0.95"} 0.001 # {trace_id="` + op.Trace().String() + `"} 0.001`
+	if !strings.Contains(out, want) {
+		t.Errorf("exposition missing exemplar line %q:\n%s", want, out)
+	}
+	if strings.Contains(out, `t_phase_plain{quantile="0.95"} 0.001 #`) {
+		t.Errorf("untraced histogram grew an exemplar:\n%s", out)
+	}
+	families, exemplars, err := ValidateOpenMetricsDetail(buf.Bytes())
+	if err != nil || families == 0 {
+		t.Fatalf("families=%d err=%v", families, err)
+	}
+	if exemplars != 1 {
+		t.Errorf("exemplars = %d, want 1", exemplars)
+	}
+}
+
+func TestValidateOpenMetricsExemplarRejects(t *testing.T) {
+	page := func(sample string) []byte {
+		return []byte("# TYPE t_op_run summary\n" + sample + "\n# EOF\n")
+	}
+	// A well-formed exemplar passes.
+	if _, n, err := ValidateOpenMetricsDetail(page(`t_op_run{quantile="0.95"} 0.1 # {trace_id="00000000000000ff"} 0.1`)); err != nil || n != 1 {
+		t.Errorf("valid exemplar: n=%d err=%v", n, err)
+	}
+	// A non-float exemplar value fails.
+	if _, _, err := ValidateOpenMetricsDetail(page(`t_op_run{quantile="0.95"} 0.1 # {trace_id="ff"} wat`)); err == nil {
+		t.Error("non-float exemplar value accepted")
+	}
+	// An exemplar without braces is not a comment; it breaks the grammar.
+	if _, _, err := ValidateOpenMetricsDetail(page(`t_op_run{quantile="0.95"} 0.1 # trace_id 0.1`)); err == nil {
+		t.Error("brace-less exemplar accepted")
+	}
+}

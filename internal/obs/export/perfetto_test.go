@@ -113,3 +113,126 @@ func TestValidateTraceRejects(t *testing.T) {
 		t.Errorf("mixed-phase trace: n=%d err=%v", n, err)
 	}
 }
+
+// TestWriteTraceCausality exercises the causal rendering: one band of
+// tids per trace labeled by thread_name metadata, contained spans
+// nesting in the same band, parent → child flow arrows, and args
+// carrying the identity TraceSpanIDs reads back.
+func TestWriteTraceCausality(t *testing.T) {
+	clock := obs.NewManual(time.Unix(100, 0))
+	reg := obs.NewRegistry()
+	reg.SetClock(clock)
+	rec := obs.NewRecorder(16)
+	reg.SetSink(rec)
+
+	op := reg.StartOp("t.op.run")
+	child := op.Span("t.phase.a")
+	clock.Advance(2 * time.Millisecond)
+	child.End()
+	clock.Advance(time.Millisecond)
+	op.Done()
+	plain := reg.Span("t.phase.plain")
+	clock.Advance(time.Millisecond)
+	plain.End()
+
+	var buf bytes.Buffer
+	if err := WriteTrace(&buf, rec.Events()); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := ValidateTrace(buf.Bytes()); err != nil {
+		t.Fatalf("causal trace does not validate: %v\n%s", err, buf.String())
+	}
+
+	var tr Trace
+	if err := json.Unmarshal(buf.Bytes(), &tr); err != nil {
+		t.Fatal(err)
+	}
+	byName := map[string]TraceEvent{}
+	var bands []string
+	var flowS, flowF []TraceEvent
+	for _, e := range tr.TraceEvents {
+		switch e.Ph {
+		case "X":
+			byName[e.Name] = e
+		case "M":
+			if e.Name == "thread_name" {
+				bands = append(bands, e.Args["name"])
+			}
+		case "s":
+			flowS = append(flowS, e)
+		case "f":
+			flowF = append(flowF, e)
+		}
+	}
+
+	root, a := byName["t.op.run"], byName["t.phase.a"]
+	if root.Args["trace_id"] != op.Trace().String() || a.Args["trace_id"] != op.Trace().String() {
+		t.Errorf("traced spans missing trace_id args: root=%v a=%v", root.Args, a.Args)
+	}
+	if a.Args["parent_span_id"] != op.SpanID().String() {
+		t.Errorf("child parent_span_id = %q, want %q", a.Args["parent_span_id"], op.SpanID())
+	}
+	if root.TID != a.TID {
+		t.Errorf("contained child on tid %d, parent on %d — should nest in one lane", a.TID, root.TID)
+	}
+	if byName["t.phase.plain"].TID == root.TID {
+		t.Error("untraced span shares the traced band")
+	}
+	if byName["t.phase.plain"].Args != nil {
+		t.Errorf("untraced span carries args: %v", byName["t.phase.plain"].Args)
+	}
+
+	wantBands := map[string]bool{"trace " + op.Trace().String(): true, "untraced": true}
+	for _, b := range bands {
+		delete(wantBands, b)
+	}
+	if len(wantBands) != 0 {
+		t.Errorf("missing band labels %v (got %v)", wantBands, bands)
+	}
+
+	if len(flowS) != 1 || len(flowF) != 1 {
+		t.Fatalf("flow events: %d starts, %d finishes, want 1 each", len(flowS), len(flowF))
+	}
+	if flowS[0].ID != child.ID().String() || flowF[0].ID != child.ID().String() {
+		t.Errorf("flow ids %q/%q, want child span %q", flowS[0].ID, flowF[0].ID, child.ID())
+	}
+	if flowS[0].TID != root.TID || flowF[0].TID != a.TID {
+		t.Errorf("flow endpoints on tids %d→%d, want %d→%d", flowS[0].TID, flowF[0].TID, root.TID, a.TID)
+	}
+	if flowF[0].BP != "e" {
+		t.Errorf("flow finish bp = %q, want \"e\" (bind to enclosing slice)", flowF[0].BP)
+	}
+
+	spans, traces, err := TraceSpanIDs(buf.Bytes())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !traces[op.Trace().String()] {
+		t.Errorf("TraceSpanIDs missed trace %s: %v", op.Trace(), traces)
+	}
+	if !spans[op.SpanID().String()] || !spans[child.ID().String()] {
+		t.Errorf("TraceSpanIDs missed spans: %v", spans)
+	}
+}
+
+// Siblings that partially overlap must land on different lanes of the
+// same band — a single trace_event lane cannot render a partial overlap.
+func TestWriteTracePartialOverlapLanes(t *testing.T) {
+	events := []obs.Event{
+		{Name: "t.a", StartNS: 0, DurNS: 3000, Trace: 5, Span: 1},
+		{Name: "t.b", StartNS: 2000, DurNS: 3000, Trace: 5, Span: 2},
+	}
+	tr := NewTrace(events)
+	var a, b TraceEvent
+	for _, e := range tr.TraceEvents {
+		switch e.Name {
+		case "t.a":
+			a = e
+		case "t.b":
+			b = e
+		}
+	}
+	if a.TID == b.TID {
+		t.Errorf("partially overlapping siblings share tid %d", a.TID)
+	}
+}

@@ -1,0 +1,196 @@
+package obs
+
+import "sync"
+
+// FlightRecorder is the registry's always-on black box: two bounded
+// rings — the most recent event-log records and the most recent
+// completed spans — plus access to the registry for a metrics
+// snapshot, so a post-mortem bundle (NDJSON + trace + metrics) can be
+// produced at the moment of failure rather than reconstructed after it.
+//
+// It is fed automatically once installed via NewFlightRecorder: every
+// Span.End lands in the span ring, every EventLog write is teed into
+// the record ring, and NoteError (called by Op.Fail and the embedder's
+// error paths) counts the failure and, when armed by SetAutoDump,
+// writes the bundle. The rings overwrite oldest-first; memory is
+// bounded by the capacity chosen at construction.
+//
+// Metrics (see the README glossary): obs.flight.events and
+// obs.flight.spans count ring appends, obs.flight.errors counts
+// NoteError calls, obs.flight.dumps counts bundles written.
+type FlightRecorder struct {
+	reg *Registry
+
+	mu      sync.Mutex
+	events  []Record
+	evLen   int // filled slots
+	evNext  int // next write index
+	spans   []Event
+	spLen   int
+	spNext  int
+	autoDir string
+	dump    func(dir string) error
+
+	cEvents *Counter
+	cSpans  *Counter
+	cErrors *Counter
+	cDumps  *Counter
+}
+
+// NewFlightRecorder builds a recorder holding the last capacity events
+// and the last capacity spans (<= 0 means 512), installs it on the
+// registry via SetFlight, and returns it. A nil registry yields a nil
+// recorder, on which every method is a no-op.
+func NewFlightRecorder(r *Registry, capacity int) *FlightRecorder {
+	if r == nil {
+		return nil
+	}
+	if capacity <= 0 {
+		capacity = 512
+	}
+	f := &FlightRecorder{
+		reg:     r,
+		events:  make([]Record, capacity),
+		spans:   make([]Event, capacity),
+		cEvents: r.Counter("obs.flight.events"),
+		cSpans:  r.Counter("obs.flight.spans"),
+		cErrors: r.Counter("obs.flight.errors"),
+		cDumps:  r.Counter("obs.flight.dumps"),
+	}
+	r.SetFlight(f)
+	return f
+}
+
+// Registry returns the registry the recorder snapshots metrics from.
+func (f *FlightRecorder) Registry() *Registry {
+	if f == nil {
+		return nil
+	}
+	return f.reg
+}
+
+// noteRecord appends one event-log record to the ring (EventLog tee).
+func (f *FlightRecorder) noteRecord(rec Record) {
+	if f == nil {
+		return
+	}
+	f.mu.Lock()
+	f.events[f.evNext] = rec
+	f.evNext = (f.evNext + 1) % len(f.events)
+	if f.evLen < len(f.events) {
+		f.evLen++
+	}
+	f.mu.Unlock()
+	f.cEvents.Inc()
+}
+
+// noteSpan appends one completed span to the ring (Span.End feed).
+func (f *FlightRecorder) noteSpan(e Event) {
+	if f == nil {
+		return
+	}
+	f.mu.Lock()
+	f.spans[f.spNext] = e
+	f.spNext = (f.spNext + 1) % len(f.spans)
+	if f.spLen < len(f.spans) {
+		f.spLen++
+	}
+	f.mu.Unlock()
+	f.cSpans.Inc()
+}
+
+// Events returns the retained event-log records, oldest first.
+func (f *FlightRecorder) Events() []Record {
+	if f == nil {
+		return nil
+	}
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	out := make([]Record, 0, f.evLen)
+	start := f.evNext - f.evLen
+	for i := 0; i < f.evLen; i++ {
+		out = append(out, f.events[(start+i+len(f.events))%len(f.events)])
+	}
+	return out
+}
+
+// SpanEvents returns the retained completed spans, oldest first.
+func (f *FlightRecorder) SpanEvents() []Event {
+	if f == nil {
+		return nil
+	}
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	out := make([]Event, 0, f.spLen)
+	start := f.spNext - f.spLen
+	for i := 0; i < f.spLen; i++ {
+		out = append(out, f.spans[(start+i+len(f.spans))%len(f.spans)])
+	}
+	return out
+}
+
+// SetAutoDump arms automatic post-mortem capture: on the next
+// NoteError, dump(dir) runs once per error. The dump function lives in
+// internal/obs/export (WriteFlightBundle via FlightBundleWriter); it is
+// a parameter here to keep this package dependency-free. An empty dir
+// or nil dump disarms.
+func (f *FlightRecorder) SetAutoDump(dir string, dump func(dir string) error) {
+	if f == nil {
+		return
+	}
+	f.mu.Lock()
+	f.autoDir = dir
+	f.dump = dump
+	f.mu.Unlock()
+}
+
+// NoteError records an operation failure: it bumps obs.flight.errors,
+// logs an obs.flight.error record carrying the failing trace identity
+// (through the attached EventLog so the user's stream and the ring both
+// see it; straight into the ring when no log is attached), and, when
+// armed, writes the post-mortem bundle. err == nil is a no-op.
+func (f *FlightRecorder) NoteError(trace TraceID, span SpanID, source string, err error) {
+	if f == nil || err == nil {
+		return
+	}
+	f.cErrors.Inc()
+	if lg := f.reg.EventLog(); lg != nil {
+		lg.log(trace, span, LevelError, "obs.flight.error",
+			F("source", source), F("error", err.Error()))
+	} else {
+		f.noteRecord(Record{
+			T:     f.reg.Clock().Now().UnixNano(),
+			Level: LevelError.String(),
+			Event: "obs.flight.error",
+			Trace: trace,
+			Span:  span,
+			Fields: map[string]interface{}{
+				"source": source,
+				"error":  err.Error(),
+			},
+		})
+	}
+	f.mu.Lock()
+	dir, dump := f.autoDir, f.dump
+	f.mu.Unlock()
+	if dir == "" || dump == nil {
+		return
+	}
+	if dumpErr := dump(dir); dumpErr == nil {
+		f.cDumps.Inc()
+	}
+}
+
+// Dump writes the bundle on demand through the given writer (the same
+// function SetAutoDump arms) and counts it. It backs the CLIs'
+// -flight-dump flag for successful runs, where NoteError never fires.
+func (f *FlightRecorder) Dump(dir string, dump func(dir string) error) error {
+	if f == nil || dump == nil {
+		return nil
+	}
+	if err := dump(dir); err != nil {
+		return err
+	}
+	f.cDumps.Inc()
+	return nil
+}

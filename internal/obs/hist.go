@@ -2,6 +2,8 @@ package obs
 
 import (
 	"math/bits"
+	"sort"
+	"sync"
 	"sync/atomic"
 	"time"
 )
@@ -24,6 +26,24 @@ type Histogram struct {
 	sum     int64
 	max     int64
 	buckets [histBuckets]int64
+
+	// Slowest-K exemplars, touched only by the traced span path
+	// (ObserveTrace); plain Observe never takes the lock, so hot
+	// paths stay atomic-only.
+	exMu sync.Mutex
+	ex   [histExemplars]Exemplar
+}
+
+// histExemplars is the per-histogram exemplar capacity: the K slowest
+// traced observations kept for OpenMetrics exemplar exposition.
+const histExemplars = 4
+
+// Exemplar ties one observed duration to the trace that produced it —
+// the OpenMetrics exemplar model, minus labels we do not have. A zero
+// Trace marks an empty slot.
+type Exemplar struct {
+	NS    int64   `json:"ns"`
+	Trace TraceID `json:"trace_id"`
 }
 
 // Observe records one duration. Negative durations clamp to zero.
@@ -46,14 +66,64 @@ func (h *Histogram) Observe(d time.Duration) {
 	atomic.AddInt64(&h.buckets[bits.Len64(uint64(ns))], 1)
 }
 
+// ObserveTrace records one duration like Observe and, when trace is
+// nonzero, competes it into the slowest-K exemplar slots. Only traced
+// span Ends reach this path, so the mutex never touches the
+// atomic-only hot paths.
+func (h *Histogram) ObserveTrace(d time.Duration, trace TraceID) {
+	h.Observe(d)
+	if h == nil || trace == 0 {
+		return
+	}
+	ns := int64(d)
+	if ns < 0 {
+		ns = 0
+	}
+	h.exMu.Lock()
+	min := 0
+	for i := 1; i < histExemplars; i++ {
+		if h.ex[min].Trace == 0 {
+			break // an empty slot is always the victim
+		}
+		if h.ex[i].Trace == 0 || h.ex[i].NS < h.ex[min].NS {
+			min = i
+		}
+	}
+	if h.ex[min].Trace == 0 || ns > h.ex[min].NS {
+		h.ex[min] = Exemplar{NS: ns, Trace: trace}
+	}
+	h.exMu.Unlock()
+}
+
+// Exemplars returns the retained slowest traced observations, slowest
+// first. Empty (and allocation-free) when nothing traced was observed.
+func (h *Histogram) Exemplars() []Exemplar {
+	if h == nil {
+		return nil
+	}
+	h.exMu.Lock()
+	var out []Exemplar
+	for _, e := range h.ex {
+		if e.Trace != 0 {
+			out = append(out, e)
+		}
+	}
+	h.exMu.Unlock()
+	sort.Slice(out, func(i, j int) bool { return out[i].NS > out[j].NS })
+	return out
+}
+
 // HistogramStats is a histogram snapshot: counts, total, and the
-// p50/p95/max nanosecond marks.
+// p50/p95/max nanosecond marks. Exemplars is populated only by
+// Registry.Snapshot — Stats leaves it nil so the export Sampler's
+// steady-state Visit path stays allocation-free.
 type HistogramStats struct {
-	Count int64 `json:"count"`
-	SumNS int64 `json:"sum_ns"`
-	P50NS int64 `json:"p50_ns"`
-	P95NS int64 `json:"p95_ns"`
-	MaxNS int64 `json:"max_ns"`
+	Count     int64      `json:"count"`
+	SumNS     int64      `json:"sum_ns"`
+	P50NS     int64      `json:"p50_ns"`
+	P95NS     int64      `json:"p95_ns"`
+	MaxNS     int64      `json:"max_ns"`
+	Exemplars []Exemplar `json:"exemplars,omitempty"`
 }
 
 // Stats snapshots the histogram. Quantiles are clamped to the observed

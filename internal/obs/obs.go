@@ -94,6 +94,7 @@ type Registry struct {
 	clock    Clock
 	sink     Sink
 	events   *EventLog
+	flight   *FlightRecorder
 }
 
 // NewRegistry returns an empty registry on the wall clock.
@@ -139,14 +140,44 @@ func (r *Registry) SetSink(s Sink) {
 }
 
 // SetEventLog attaches the structured event log that instrumented
-// subsystems reach through EventLog() (nil detaches it).
+// subsystems reach through EventLog() (nil detaches it). An installed
+// flight recorder is teed into the new log automatically.
 func (r *Registry) SetEventLog(l *EventLog) {
 	if r == nil {
 		return
 	}
 	r.mu.Lock()
 	r.events = l
+	fl := r.flight
 	r.mu.Unlock()
+	if fl != nil {
+		l.setFlight(fl)
+	}
+}
+
+// SetFlight installs the flight recorder fed by Span.End and teed into
+// the attached event log (nil detaches). NewFlightRecorder calls this;
+// most code never does directly.
+func (r *Registry) SetFlight(f *FlightRecorder) {
+	if r == nil {
+		return
+	}
+	r.mu.Lock()
+	r.flight = f
+	l := r.events
+	r.mu.Unlock()
+	l.setFlight(f)
+}
+
+// Flight returns the installed flight recorder; nil (a no-op recorder)
+// when none is installed or the registry is nil.
+func (r *Registry) Flight() *FlightRecorder {
+	if r == nil {
+		return nil
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.flight
 }
 
 // EventLog returns the attached structured event log; nil (itself a
@@ -288,7 +319,9 @@ func (r *Registry) Snapshot() Snapshot {
 		s.Gauges[k] = v.Value()
 	}
 	for k, v := range hists {
-		s.Histograms[k] = v.Stats()
+		st := v.Stats()
+		st.Exemplars = v.Exemplars()
+		s.Histograms[k] = st
 	}
 	if ev, ok := sink.(interface{ Events() []Event }); ok {
 		s.Events = ev.Events()

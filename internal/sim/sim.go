@@ -101,9 +101,13 @@ func New(cfg Config) (*Machine, error) {
 	}
 	m := &Machine{cfg: cfg, g: star.New(cfg.N), eng: eng, log: cfg.Obs.EventLog()}
 
-	span := cfg.Obs.Span("sim.phase.reembed")
-	plan, err := eng.Embed(nil)
+	// Boot is one traced operation: the reembed phase, the embedder's
+	// phases underneath it, and the boot-time events all share a trace.
+	op := cfg.Obs.StartOp("sim.op.boot")
+	span := op.Span("sim.phase.reembed")
+	plan, err := eng.EmbedOp(op, nil)
 	span.End()
+	op.Done()
 	if err != nil {
 		return nil, fmt.Errorf("%w: %v", ErrHalted, err)
 	}
@@ -230,25 +234,30 @@ func (m *Machine) FailVertex(v perm.Code) error {
 		m.cfg.Obs.Counter("sim.token_lost").Inc()
 	}
 	m.cfg.Obs.Counter("sim.failures").Inc()
-	if m.log.Enabled(obs.LevelInfo) {
-		m.log.Log(obs.LevelInfo, "sim.fault",
+
+	// One trace covers the whole failure handling: the fault event, the
+	// repair phase with the engine's spans under it, and the outcome.
+	op := m.cfg.Obs.StartOp("sim.op.fail")
+	defer op.Done()
+	if op.Enabled(obs.LevelInfo) {
+		op.Log(obs.LevelInfo, "sim.fault",
 			obs.F("vertex", v.StringN(m.cfg.N)),
 			obs.F("token_lost", lost),
 			obs.F("clock", m.clock))
 	}
 
-	span := m.cfg.Obs.Span("sim.phase.repair")
-	rep, err := m.plan.Repair(v)
+	span := op.Span("sim.phase.repair")
+	rep, err := m.plan.RepairOp(op, v)
 	span.End()
 	if err != nil {
-		if m.log.Enabled(obs.LevelError) {
-			m.log.Log(obs.LevelError, "sim.halted",
+		if op.Enabled(obs.LevelError) {
+			op.Log(obs.LevelError, "sim.halted",
 				obs.F("vertex", v.StringN(m.cfg.N)), obs.F("error", err.Error()))
 		}
 		return fmt.Errorf("%w: %v", ErrHalted, err)
 	}
-	if m.log.Enabled(obs.LevelInfo) {
-		m.log.Log(obs.LevelInfo, "sim.repair",
+	if op.Enabled(obs.LevelInfo) {
+		op.Log(obs.LevelInfo, "sim.repair",
 			obs.F("vertex", v.StringN(m.cfg.N)),
 			obs.F("outcome", rep.Outcome.String()),
 			obs.F("ring", rep.NewLen),

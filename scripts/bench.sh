@@ -40,6 +40,10 @@ mkdir -p "$BENCH_OUT"
         -benchmem -benchtime "$BENCHTIME" .
     go test -run '^$' -bench 'BenchmarkObs' \
         -benchmem -benchtime "$BENCHTIME" ./internal/core
+    # The tracing hot paths: a child span off a live op (exemplar
+    # reservoir included) and one structured event-log record.
+    go test -run '^$' -bench 'BenchmarkSpanEnabledWithOp|BenchmarkEventLogRecord' \
+        -benchmem -benchtime "$BENCHTIME" ./internal/obs
 } | tee "$BENCH_OUT/BENCH_embed.txt"
 
 go test -run '^$' -bench 'BenchmarkRepair' \

@@ -12,15 +12,19 @@
 #   7. obs smoke     -- starring -debug-addr end to end: scrape /metrics
 #                       (OpenMetrics parse), validate the Perfetto trace
 #                       and the NDJSON event log via starmon
-#   8. bench smoke   -- scripts/bench.sh with -benchtime 1x
-#   9. starlint artifact -- starlint -json archived next to the bench
+#   8. flight smoke  -- starring past the fault budget must fail AND
+#                       auto-dump the flight-recorder bundle; starmon
+#                       validates all three artifacts, including the
+#                       events-to-trace causal cross-check
+#   9. bench smoke   -- scripts/bench.sh with -benchtime 1x
+#  10. starlint artifact -- starlint -json archived next to the bench
 #                       record, so lint state diffs across revisions
-#  10. perf gate     -- starbench: validate the bench trajectory, then
+#  11. perf gate     -- starbench: validate the bench trajectory, then
 #                       compare the fresh record against the baseline
 #                       (STARBENCH_BASELINE; defaults to the fresh
 #                       record itself, i.e. pipeline-only smoke) at
 #                       STARBENCH_THRESHOLD (default 0.30)
-#  11. fuzz smoke    -- each fuzz target for a few seconds
+#  12. fuzz smoke    -- each fuzz target for a few seconds
 #
 # Runs from any directory; needs only the Go toolchain. Override the
 # fuzz budget with FUZZTIME (default 5s), e.g. FUZZTIME=30s scripts/ci.sh.
@@ -118,6 +122,38 @@ obs_smoke() {
 }
 
 leg "obs smoke" obs_smoke || exit 1
+
+# Flight smoke: drive an embed past the paper's fault budget
+# (n=5 tolerates n-3=2 vertex faults; 3 must fail), so the flight
+# recorder auto-dumps its post-mortem bundle, then validate the bundle
+# through every checker — including the causal cross-check that each
+# traced event-log record resolves to a span in the bundle's trace.
+flight_smoke() {
+    local tmp
+    tmp=$(mktemp -d)
+    go build -o "$tmp/starring" ./cmd/starring || return 1
+    go build -o "$tmp/starmon" ./cmd/starmon || return 1
+
+    if "$tmp/starring" -n 5 -faults 3 -seed 1 \
+        -flight-dump "$tmp/flight" >"$tmp/out.log" 2>&1; then
+        echo "starring should have failed beyond the fault budget" >&2
+        cat "$tmp/out.log" >&2
+        return 1
+    fi
+    if [ ! -f "$tmp/flight/flight-events.ndjson" ]; then
+        echo "budget overflow did not auto-dump a flight bundle:" >&2
+        cat "$tmp/out.log" >&2
+        return 1
+    fi
+
+    "$tmp/starmon" -check-events "$tmp/flight/flight-events.ndjson" \
+        -trace "$tmp/flight/flight-trace.json" || return 1
+    "$tmp/starmon" -check-trace "$tmp/flight/flight-trace.json" || return 1
+    "$tmp/starmon" -check-metrics "$tmp/flight/flight-metrics.txt" || return 1
+    "$tmp/starmon" -postmortem "$tmp/flight" >/dev/null || return 1
+}
+
+leg "flight smoke" flight_smoke || exit 1
 
 # Bench smoke: one iteration of every benchmark plus the JSON sweep,
 # into a throwaway directory — proves the bench pipeline stays runnable.
