@@ -38,6 +38,7 @@
 package main
 
 import (
+	"bufio"
 	"flag"
 	"fmt"
 	"io"
@@ -72,6 +73,7 @@ func main() {
 		print   = flag.Bool("print", false, "print the full ring, one vertex per line")
 		save    = flag.String("save", "", "write the ring to this file (binary ringio format)")
 		best    = flag.Bool("best-effort", false, "accept fault sets beyond the n-3 budget (no guarantee)")
+		stream  = flag.Bool("stream", false, "paper algo only: never materialize the ring — embed, verify, -print and -save through the block cursor at O(#blocks) memory (required for n >= 10)")
 		workers = flag.Int("workers", 0, "parallel block-routing workers (0 = GOMAXPROCS)")
 
 		debugAddr   = flag.String("debug-addr", "", "serve expvar, pprof and /metrics on this address (e.g. localhost:6060)")
@@ -121,16 +123,21 @@ func main() {
 
 	tel := startTelemetry(*debugAddr, *metricsJSON, *traceOut, *eventsOut, *cpuProfile, *memProfile, *flightDump, *hold)
 
-	cfg := core.Config{Workers: *workers, BestEffort: *best, Obs: tel.reg}
+	cfg := core.Config{Workers: *workers, BestEffort: *best, Streaming: *stream, Obs: tel.reg}
 
 	if *pathSrc != "" || *pathDst != "" {
 		runPathMode(*n, fs, *pathSrc, *pathDst, cfg, *print)
 		tel.finish()
 		return
 	}
+	if *stream && *algo != "paper" {
+		fatal(fmt.Errorf("-stream supports only -algo paper"))
+	}
 
 	var (
+		plan      *core.Plan
 		ring      []perm.Code
+		ringLen   int
 		guarantee int
 		extra     string
 	)
@@ -140,12 +147,12 @@ func main() {
 		if err != nil {
 			fatal(err)
 		}
-		plan, err := eng.Embed(fs)
+		plan, err = eng.Embed(fs)
 		if err != nil {
 			fatal(err)
 		}
 		res := plan.Result()
-		ring, guarantee = res.Ring, res.Guarantee
+		ring, ringLen, guarantee = res.Ring, res.Len(), res.Guarantee
 		extra = fmt.Sprintf("blocks=%d faulty-blocks=%d positions=%v upper-bound=%d",
 			res.Blocks, res.FaultyBlocks, res.Positions, res.UpperBound)
 	case "tseng":
@@ -153,31 +160,51 @@ func main() {
 		if err != nil {
 			fatal(err)
 		}
-		ring, guarantee = res.Ring, res.Guarantee
+		ring, ringLen, guarantee = res.Ring, len(res.Ring), res.Guarantee
 	case "latifi":
 		res, err := baseline.Latifi(*n, fs, cfg)
 		if err != nil {
 			fatal(err)
 		}
-		ring, guarantee = res.Ring, res.Guarantee
+		ring, ringLen, guarantee = res.Ring, len(res.Ring), res.Guarantee
 		extra = fmt.Sprintf("cluster=%v m=%d", res.Cluster, res.M)
 	default:
 		fatal(fmt.Errorf("unknown -algo %q", *algo))
 	}
+	streaming := plan != nil && plan.Streaming()
 
 	g := star.New(*n)
-	if err := check.Ring(g, ring, fs, 0); err != nil {
+	if streaming {
+		// Never materialize: re-verify through a fresh cursor at
+		// O(#blocks) memory, the same path the embedder's own
+		// self-verification took.
+		if _, err := check.RingStream(g, plan.Cursor().Next, fs, 0); err != nil {
+			fatal(fmt.Errorf("verification failed: %w", err))
+		}
+	} else if err := check.Ring(g, ring, fs, 0); err != nil {
 		fatal(fmt.Errorf("verification failed: %w", err))
 	}
 
 	fmt.Printf("S_%d: %d vertices, |Fv|=%d, |Fe|=%d\n", *n, g.Order(), fs.NumVertices(), fs.NumEdges())
-	fmt.Printf("algorithm=%s ring length=%d guarantee=%d verified=ok\n", *algo, len(ring), guarantee)
+	mode := ""
+	if streaming {
+		mode = " mode=stream"
+	}
+	fmt.Printf("algorithm=%s ring length=%d guarantee=%d verified=ok%s\n", *algo, ringLen, guarantee, mode)
 	if extra != "" {
 		fmt.Println(extra)
 	}
 	if *print {
-		for _, v := range ring {
-			fmt.Println(v.StringN(*n))
+		w := bufio.NewWriter(os.Stdout)
+		for next := ringNext(plan, ring, streaming); ; {
+			v, ok := next()
+			if !ok {
+				break
+			}
+			fmt.Fprintln(w, v.StringN(*n))
+		}
+		if err := w.Flush(); err != nil {
+			fatal(err)
 		}
 	}
 	if *save != "" {
@@ -185,16 +212,42 @@ func main() {
 		if err != nil {
 			fatal(err)
 		}
-		if err := ringio.WriteBinary(f, *n, ring); err != nil {
+		if streaming {
+			// Chunked stream format: the ring goes to disk one block at a
+			// time, so an n=10 save holds 3.6M vertices on disk but never
+			// in memory.
+			err = ringio.WriteBinaryStream(f, *n, ringLen, plan.Cursor().Next)
+		} else {
+			err = ringio.WriteBinary(f, *n, ring)
+		}
+		if err != nil {
 			f.Close()
 			fatal(err)
 		}
 		if err := f.Close(); err != nil {
 			fatal(err)
 		}
-		fmt.Printf("saved %d-vertex ring to %s\n", len(ring), *save)
+		fmt.Printf("saved %d-vertex ring to %s\n", ringLen, *save)
 	}
 	tel.finish()
+}
+
+// ringNext returns an iterator over the embedded ring: a fresh cursor
+// in streaming mode, a slice walk otherwise.
+func ringNext(plan *core.Plan, ring []perm.Code, streaming bool) func() (perm.Code, bool) {
+	if streaming {
+		return plan.Cursor().Next
+	}
+	i := 0
+	return func() (perm.Code, bool) {
+		if i >= len(ring) {
+			var zero perm.Code
+			return zero, false
+		}
+		v := ring[i]
+		i++
+		return v, true
+	}
 }
 
 // telemetry bundles the run's optional instrumentation: the registry

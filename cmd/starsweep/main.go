@@ -4,7 +4,7 @@
 //
 // Usage:
 //
-//	starsweep [-exp T1..T6|F1..F7|A1|all] [-maxn N] [-seeds K]
+//	starsweep [-exp T1..T6|F1..F8|A1|all] [-maxn N] [-seeds K]
 //	          [-quick] [-markdown | -json]
 //	          [-debug-addr addr] [-metrics-json path]
 //	          [-series-json path] [-series-period d] [-trace-out path]
@@ -38,7 +38,7 @@ import (
 
 func main() {
 	var (
-		exp      = flag.String("exp", "all", "experiment id (T1..T6, F1..F7, A1, or all)")
+		exp      = flag.String("exp", "all", "experiment id (T1..T6, F1..F8, A1, or all)")
 		maxN     = flag.Int("maxn", 8, "largest star-graph dimension to sweep")
 		seeds    = flag.Int("seeds", 10, "random fault sets per configuration")
 		quick    = flag.Bool("quick", false, "shrink the sweep for a fast smoke run")

@@ -8,6 +8,13 @@
 //
 //	starring -n 6 -random 3 -save ring.srg
 //	starverify -ring ring.srg -fv <faults> [-minlen 714]
+//	starverify -ring big.srs -stream -minlen 3628800
+//
+// -stream verifies through check.RingStream at constant memory: the
+// ring is decoded and checked one vertex at a time (distinctness via a
+// rank bitset), so a multi-million-vertex file from `starring -stream
+// -save` never has to fit in RAM. It accepts both the chunked stream
+// format and the flat legacy format.
 //
 // Exit status 0 means the embedding is safe to use, 1 that the ring was
 // rejected, and 2 that the ring could not be loaded (missing/corrupt
@@ -23,6 +30,7 @@ import (
 
 	"repro/internal/check"
 	"repro/internal/faults"
+	"repro/internal/perm"
 	"repro/internal/ringio"
 	"repro/internal/star"
 )
@@ -41,6 +49,7 @@ func run(args []string, stdout, stderr io.Writer) int {
 		ringPath = fset.String("ring", "", "ring file written by starring -save (binary ringio format)")
 		fv       = fset.String("fv", "", "comma-separated faulty vertices to verify against")
 		minLen   = fset.Int("minlen", 0, "required minimum ring length (0 = structure only)")
+		stream   = fset.Bool("stream", false, "verify via check.RingStream at constant memory (accepts stream and legacy formats)")
 		quiet    = fset.Bool("q", false, "suppress output; report via exit status only")
 	)
 	if err := fset.Parse(args); err != nil {
@@ -58,10 +67,26 @@ func run(args []string, stdout, stderr io.Writer) int {
 	if err != nil {
 		return fail(err)
 	}
-	n, ring, err := ringio.ReadBinary(f)
-	f.Close()
-	if err != nil {
-		return fail(err)
+	defer f.Close()
+
+	var (
+		n       int
+		ring    []perm.Code // materialized mode only
+		sr      *ringio.StreamReader
+		ringLen int
+	)
+	if *stream {
+		sr, err = ringio.ReadBinaryStream(f)
+		if err != nil {
+			return fail(err)
+		}
+		n, ringLen = sr.N(), sr.Len()
+	} else {
+		n, ring, err = ringio.ReadBinary(f)
+		if err != nil {
+			return fail(err)
+		}
+		ringLen = len(ring)
 	}
 
 	fs := faults.NewSet(n)
@@ -73,15 +98,34 @@ func run(args []string, stdout, stderr io.Writer) int {
 		}
 	}
 
-	if err := check.Ring(star.New(n), ring, fs, *minLen); err != nil {
+	var verr error
+	if *stream {
+		// Decode and check fused vertex-by-vertex: the file is rejected
+		// on the first structural or format error without ever holding
+		// the cycle.
+		_, verr = check.RingStream(star.New(n), sr.Next, fs, *minLen)
+		if rerr := sr.Err(); rerr != nil {
+			// A decode failure surfaces to the stream checker as a short
+			// ring, but the root cause (truncation, bad rank) is the
+			// loader's verdict: exit 2 like any other corrupt file.
+			return fail(rerr)
+		}
+	} else {
+		verr = check.Ring(star.New(n), ring, fs, *minLen)
+	}
+	if verr != nil {
 		if !*quiet {
-			fmt.Fprintf(stderr, "starverify: REJECTED: %v\n", err)
+			fmt.Fprintf(stderr, "starverify: REJECTED: %v\n", verr)
 		}
 		return 1
 	}
 	if !*quiet {
-		fmt.Fprintf(stdout, "starverify: ok — S_%d ring of %d vertices, %d faults avoided, min length %d satisfied\n",
-			n, len(ring), fs.NumVertices(), *minLen)
+		mode := ""
+		if *stream {
+			mode = " (streamed)"
+		}
+		fmt.Fprintf(stdout, "starverify: ok — S_%d ring of %d vertices, %d faults avoided, min length %d satisfied%s\n",
+			n, ringLen, fs.NumVertices(), *minLen, mode)
 	}
 	return 0
 }

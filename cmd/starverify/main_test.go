@@ -8,6 +8,7 @@ import (
 
 	"repro/internal/core"
 	"repro/internal/faults"
+	"repro/internal/perm"
 	"repro/internal/ringio"
 )
 
@@ -32,10 +33,52 @@ func writeRing(t *testing.T, n int) string {
 	return path
 }
 
+// writeStreamRing persists the same fault-free S_n ring in the chunked
+// stream format, exercising the -stream decode path end to end.
+func writeStreamRing(t *testing.T, n int) string {
+	t.Helper()
+	res, err := core.Embed(n, faults.NewSet(n), core.Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	path := filepath.Join(t.TempDir(), "ring.srs")
+	f, err := os.Create(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	i := 0
+	next := func() (perm.Code, bool) {
+		if i >= len(res.Ring) {
+			var zero perm.Code
+			return zero, false
+		}
+		v := res.Ring[i]
+		i++
+		return v, true
+	}
+	if err := ringio.WriteBinaryStream(f, n, len(res.Ring), next); err != nil {
+		t.Fatal(err)
+	}
+	if err := f.Close(); err != nil {
+		t.Fatal(err)
+	}
+	return path
+}
+
 func TestRunVerdicts(t *testing.T) {
 	ring := writeRing(t, 4)
+	sring := writeStreamRing(t, 4)
 	garbage := filepath.Join(t.TempDir(), "garbage.srg")
 	if err := os.WriteFile(garbage, []byte("not a ring"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	// A stream cut mid-body: valid header, missing ranks and terminator.
+	whole, err := os.ReadFile(sring)
+	if err != nil {
+		t.Fatal(err)
+	}
+	truncated := filepath.Join(t.TempDir(), "trunc.srs")
+	if err := os.WriteFile(truncated, whole[:len(whole)-5], 0o644); err != nil {
 		t.Fatal(err)
 	}
 
@@ -52,6 +95,13 @@ func TestRunVerdicts(t *testing.T) {
 		{"rejected: fault on ring", []string{"-ring", ring, "-fv", "1234"}, 1, "", "REJECTED"},
 		{"rejected quiet", []string{"-ring", ring, "-fv", "1234", "-q"}, 1, "", ""},
 		{"rejected: minlen too high", []string{"-ring", ring, "-minlen", "25"}, 1, "", "REJECTED"},
+		{"stream ok", []string{"-ring", sring, "-stream"}, 0, "(streamed)", ""},
+		{"stream ok legacy format", []string{"-ring", ring, "-stream"}, 0, "starverify: ok", ""},
+		{"stream minlen satisfied", []string{"-ring", sring, "-stream", "-minlen", "24"}, 0, "min length 24 satisfied", ""},
+		{"stream rejected: fault on ring", []string{"-ring", sring, "-stream", "-fv", "1234"}, 1, "", "REJECTED"},
+		{"stream rejected: minlen too high", []string{"-ring", sring, "-stream", "-minlen", "25"}, 1, "", "REJECTED"},
+		{"stream truncated file", []string{"-ring", truncated, "-stream"}, 2, "", "starverify:"},
+		{"stream corrupt file", []string{"-ring", garbage, "-stream"}, 2, "", "starverify:"},
 		{"missing -ring", nil, 2, "", "need -ring"},
 		{"missing file", []string{"-ring", filepath.Join(t.TempDir(), "nope.srg")}, 2, "", "starverify:"},
 		{"corrupt file", []string{"-ring", garbage}, 2, "", "starverify:"},

@@ -1,0 +1,171 @@
+package check
+
+import (
+	"fmt"
+
+	"repro/internal/faults"
+	"repro/internal/perm"
+	"repro/internal/star"
+)
+
+// StreamVerifier validates a ring incrementally, one vertex at a time,
+// without ever holding the cycle: Feed checks each vertex as it
+// arrives (validity, healthiness, adjacency to its predecessor, and
+// distinctness), Close checks the wraparound edge and the length
+// bounds. It is the constant-memory counterpart of Ring for rings too
+// large to materialize — n = 10 is 3.6M vertices, n = 12 is 479M.
+//
+// Distinctness is tracked by Lehmer rank in a lazily paged bitset:
+// n!/8 bytes fully touched, the same order as the O(#blocks) skeleton
+// the streaming embedder keeps (24 ring vertices ≈ 3 bitset bytes per
+// block) and far below the O(n!) words of a materialized ring plus the
+// hash map Ring builds. Practical through n = 12 (60 MB of bits);
+// beyond that exact distinctness outgrows memory whatever the
+// representation.
+//
+// A StreamVerifier is single-use: after Close (or the first error) it
+// rejects further Feeds. Not safe for concurrent use.
+type StreamVerifier struct {
+	g    star.Graph
+	fs   *faults.Set
+	n    int
+	seen pagedBits
+
+	first, prev perm.Code
+	count       int
+	err         error
+	closed      bool
+}
+
+// NewStreamVerifier returns a verifier for rings of S_n streamed
+// vertex by vertex. fs may be nil for the fault-free case.
+func NewStreamVerifier(g star.Graph, fs *faults.Set) *StreamVerifier {
+	n := g.N()
+	return &StreamVerifier{g: g, fs: fs, n: n, seen: newPagedBits(perm.Factorial(n))}
+}
+
+// fail records and returns the verifier's terminal error.
+func (s *StreamVerifier) fail(format string, args ...interface{}) error {
+	s.err = fmt.Errorf(format, args...)
+	return s.err
+}
+
+// Feed validates the next ring vertex. The first error is terminal and
+// re-returned by Close.
+func (s *StreamVerifier) Feed(v perm.Code) error {
+	if s.err != nil {
+		return s.err
+	}
+	if s.closed {
+		return s.fail("%w: Feed after Close", ErrInvalidRing)
+	}
+	i := s.count
+	if !v.Valid(s.n) {
+		return s.fail("%w: entry %d (%#v) is not a vertex of S_%d", ErrInvalidRing, i, v, s.n)
+	}
+	if s.fs != nil && s.fs.HasVertex(v) {
+		return s.fail("%w: faulty vertex %s at position %d", ErrInvalidRing, v.StringN(s.n), i)
+	}
+	if s.seen.testAndSet(v.Rank(s.n)) {
+		return s.fail("%w: vertex %s repeats at position %d", ErrInvalidRing, v.StringN(s.n), i)
+	}
+	if i == 0 {
+		s.first = v
+	} else {
+		if !s.g.Adjacent(s.prev, v) {
+			return s.fail("%w: %s and %s (positions %d, %d) are not adjacent",
+				ErrInvalidRing, s.prev.StringN(s.n), v.StringN(s.n), i-1, i)
+		}
+		if s.fs != nil && s.fs.HasEdge(s.prev, v) {
+			return s.fail("%w: faulty edge {%s, %s} used at position %d",
+				ErrInvalidRing, s.prev.StringN(s.n), v.StringN(s.n), i-1)
+		}
+	}
+	s.prev = v
+	s.count++
+	return nil
+}
+
+// Count returns the number of vertices fed so far.
+func (s *StreamVerifier) Count() int { return s.count }
+
+// Close checks the closing conditions — at least 3 vertices, at least
+// minLen, and a healthy wraparound edge — and returns the verdict for
+// the whole stream. Idempotent; a Feed error is sticky and re-returned.
+func (s *StreamVerifier) Close(minLen int) error {
+	if s.err != nil {
+		return s.err
+	}
+	if !s.closed {
+		s.closed = true
+		if s.count < minLen {
+			return s.fail("%w: length %d < required %d", ErrInvalidRing, s.count, minLen)
+		}
+		if s.count < 3 {
+			return s.fail("%w: a cycle needs >= 3 vertices, got %d", ErrInvalidRing, s.count)
+		}
+		if !s.g.Adjacent(s.prev, s.first) {
+			return s.fail("%w: %s and %s (positions %d, %d) are not adjacent",
+				ErrInvalidRing, s.prev.StringN(s.n), s.first.StringN(s.n), s.count-1, 0)
+		}
+		if s.fs != nil && s.fs.HasEdge(s.prev, s.first) {
+			return s.fail("%w: faulty edge {%s, %s} used at position %d",
+				ErrInvalidRing, s.prev.StringN(s.n), s.first.StringN(s.n), s.count-1)
+		}
+	} else if s.count < minLen {
+		return fmt.Errorf("%w: length %d < required %d", ErrInvalidRing, s.count, minLen)
+	}
+	return nil
+}
+
+// RingStream verifies a ring delivered by an iterator: next returns
+// consecutive cycle vertices and false when the cycle is complete. The
+// verdict and the number of vertices consumed are returned; memory
+// stays bounded by the rank bitset regardless of ring length. It
+// agrees with Ring on every materializable cycle (the equivalence is
+// locked by tests in this package and a randomized campaign in
+// internal/core).
+func RingStream(g star.Graph, next func() (perm.Code, bool), fs *faults.Set, minLen int) (int, error) {
+	sv := NewStreamVerifier(g, fs)
+	for {
+		v, ok := next()
+		if !ok {
+			break
+		}
+		if err := sv.Feed(v); err != nil {
+			return sv.Count(), err
+		}
+	}
+	return sv.Count(), sv.Close(minLen)
+}
+
+// pagedBits is a bitset over [0, size) whose backing pages are
+// allocated on first touch, so sparse probes (short rings in a huge
+// S_n) stay cheap while dense ones converge to size/8 bytes.
+type pagedBits struct {
+	pages [][]uint64
+}
+
+// pageBits is the span of one page: 1<<19 bits = 64 KiB of uint64s.
+const pageBits = 1 << 19
+
+func newPagedBits(size int) pagedBits {
+	return pagedBits{pages: make([][]uint64, (size+pageBits-1)/pageBits)}
+}
+
+// testAndSet sets bit i and reports whether it was already set.
+func (b *pagedBits) testAndSet(i int) bool {
+	p := i / pageBits
+	page := b.pages[p]
+	if page == nil {
+		page = make([]uint64, pageBits/64)
+		b.pages[p] = page
+	}
+	off := i % pageBits
+	w, mask := off/64, uint64(1)<<(off%64)
+	if page[w]&mask != 0 {
+		return true
+	}
+	page[w] |= mask
+	return false
+}

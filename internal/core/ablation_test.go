@@ -72,7 +72,7 @@ func embedWithPositions(b testing.TB, n int, fs *faults.Set, positions []int) in
 	if err != nil {
 		return 0 // routing can fail outright without (P1)
 	}
-	return len(rt.ring)
+	return rt.ringLen()
 }
 
 func p1Violations(n int, fs *faults.Set, positions []int) int {

@@ -58,6 +58,14 @@ type Config struct {
 	// verified (the point of the fast path); tests and paranoid callers
 	// set this to keep the one-shot self-verification discipline.
 	VerifyRepairs bool
+	// Streaming keeps the embedding in skeleton form: the ring is never
+	// materialized as a []perm.Code (Result.Ring stays nil for n >= 5)
+	// and is consumed through Plan.Cursor / Plan.Ring instead, holding
+	// peak memory at O(#blocks) rather than O(n!). Self-verification
+	// switches to check.RingStream. This is what makes n >= 10 (3.6M+
+	// vertices) embeddable on bounded memory; for n <= 4 the <= 24-vertex
+	// ring is materialized regardless.
+	Streaming bool
 	// Obs receives the run's telemetry: phase spans (core.phase.*), S4
 	// cache activity, junction backtracks and worker utilization — see
 	// the README's Observability section for the glossary. nil disables
@@ -75,7 +83,12 @@ func (c Config) workers() int {
 // Result is a verified ring embedding.
 type Result struct {
 	N    int
-	Ring []perm.Code // the healthy cycle, consecutive entries adjacent
+	Ring []perm.Code // the healthy cycle, consecutive entries adjacent; nil in streaming mode
+	// Length is the ring length. It always equals len(Ring) when Ring is
+	// materialized; in streaming mode (Config.Streaming, Ring nil) it is
+	// the only record of the achieved length — the cycle itself lives in
+	// the Plan's skeleton and is emitted through Plan.Cursor.
+	Length int
 
 	VertexFaults int
 	EdgeFaults   int
@@ -99,8 +112,14 @@ type Result struct {
 	Positions []int
 }
 
-// Len returns the ring length.
-func (r *Result) Len() int { return len(r.Ring) }
+// Len returns the ring length (valid in both materialized and
+// streaming modes).
+func (r *Result) Len() int {
+	if r.Ring != nil {
+		return len(r.Ring)
+	}
+	return r.Length
+}
 
 // ErrBudget reports a fault set exceeding the paper's tolerance.
 var ErrBudget = errors.New("core: fault set exceeds the paper's budget |Fv|+|Fe| <= n-3")
@@ -167,8 +186,7 @@ func embedLarge(res *Result, fs *faults.Set, cfg Config, in *instr) (*skeleton, 
 						res.Upgrades++
 					}
 				}
-				res.Ring = rt.ring
-				return &skeleton{r4: r4, rt: rt}, nil
+				return finishLarge(res, r4, rt, cfg, in)
 			}
 			// Fall through to the plain paper routing: the guarantee
 			// never depends on the upgrade pass succeeding.
@@ -180,7 +198,22 @@ func embedLarge(res *Result, fs *faults.Set, cfg Config, in *instr) (*skeleton, 
 	if err != nil {
 		return nil, err
 	}
-	res.Ring = rt.ring
+	return finishLarge(res, r4, rt, cfg, in)
+}
+
+// finishLarge turns a routed skeleton into the embedding outcome: in
+// the default mode the ring is materialized through the parallel
+// assembler; in streaming mode only the length is recorded and the
+// cycle stays implicit in the skeleton, to be emitted by Plan.Cursor.
+func finishLarge(res *Result, r4 *superring.Ring, rt *routed, cfg Config, in *instr) (*skeleton, error) {
+	res.Length = rt.ringLen()
+	if !cfg.Streaming {
+		ring, _, err := assemble(rt.plans, cfg, in)
+		if err != nil {
+			return nil, err
+		}
+		res.Ring = ring
+	}
 	return &skeleton{r4: r4, rt: rt}, nil
 }
 

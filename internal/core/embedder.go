@@ -3,6 +3,7 @@ package core
 import (
 	"errors"
 	"fmt"
+	"sort"
 
 	"repro/internal/check"
 	"repro/internal/faults"
@@ -98,9 +99,10 @@ func (e *Embedder) EmbedOp(op *obs.Op, fs *faults.Set) (*Plan, error) {
 	// phase=embed pprof label, so CPU profiles captured while embedding —
 	// -cpuprofile or a live /debug/pprof/profile scrape — attribute their
 	// samples to it. The parallel routing workers inherit the label.
-	var sk *skeleton
+	var p *Plan
 	var err error
 	prof.Do("embed", func() {
+		var sk *skeleton
 		switch {
 		case n == 3:
 			err = embedS3(res, fs)
@@ -112,12 +114,25 @@ func (e *Embedder) EmbedOp(op *obs.Op, fs *faults.Set) (*Plan, error) {
 		if err != nil {
 			return
 		}
+		if res.Ring != nil {
+			res.Length = len(res.Ring)
+		}
+		// The plan exists before self-verification so that streaming mode
+		// can verify through its cursor: check.RingStream re-derives every
+		// block path from the skeleton instead of touching a materialized
+		// ring (which does not exist in that mode).
+		p = newPlan(e, res, fs, sk)
 		minLen := 0
 		if res.Guaranteed {
 			minLen = res.Guarantee
 		}
 		vspan := in.span("core.phase.verify")
-		verr := check.Ring(e.g, res.Ring, fs, minLen)
+		var verr error
+		if res.Ring != nil {
+			verr = check.Ring(e.g, res.Ring, fs, minLen)
+		} else {
+			_, verr = check.RingStream(e.g, p.Cursor().Next, fs, minLen)
+		}
 		vspan.End()
 		if verr != nil {
 			err = fmt.Errorf("core: self-verification failed: %w", verr)
@@ -132,10 +147,10 @@ func (e *Embedder) EmbedOp(op *obs.Op, fs *faults.Set) (*Plan, error) {
 	if op.Enabled(obs.LevelInfo) {
 		op.Log(obs.LevelInfo, "core.embed",
 			obs.F("n", n), obs.F("vertex_faults", nv), obs.F("edge_faults", ne),
-			obs.F("ring", len(res.Ring)), obs.F("guarantee", res.Guarantee))
+			obs.F("ring", res.Len()), obs.F("guarantee", res.Guarantee))
 	}
 	in.done(op, owned)
-	return newPlan(e, res, fs, sk), nil
+	return p, nil
 }
 
 // skeleton is the pipeline state embedLarge leaves behind beyond the
@@ -166,11 +181,21 @@ type Plan struct {
 	offsets  []int // block k occupies Ring[offsets[k]:offsets[k+1]]
 	blockIdx map[substar.Pattern]int
 
+	// gen counts ring mutations (splices and rebuilds). Cursors snapshot
+	// it at creation and refuse to refill once it moves on, so a stale
+	// iterator fails loudly instead of emitting a pre-repair cycle.
+	gen int
+	// seg/segBlock cache the most recently re-derived block segment for
+	// the random-access paths (RingAt, OnRing) in streaming mode;
+	// segBlock is -1 when the cache is empty or invalidated.
+	seg      []perm.Code
+	segBlock int
+
 	broken bool // a failed rebuild poisons the plan
 }
 
 func newPlan(e *Embedder, res *Result, fs *faults.Set, sk *skeleton) *Plan {
-	p := &Plan{e: e, res: res, fs: fs}
+	p := &Plan{e: e, res: res, fs: fs, segBlock: -1}
 	if sk != nil {
 		p.r4 = sk.r4
 		p.blocks = sk.rt.plans
@@ -183,6 +208,12 @@ func newPlan(e *Embedder, res *Result, fs *faults.Set, sk *skeleton) *Plan {
 	return p
 }
 
+// Streaming reports whether the plan holds its ring in skeleton form
+// only (Config.Streaming with n >= 5): Result().Ring is nil and the
+// cycle is consumed through Cursor, Ring, or the random-access
+// accessors, all of which re-derive block segments on demand.
+func (p *Plan) Streaming() bool { return p.res.Ring == nil }
+
 // Result returns the plan's current verified embedding. The pointer is
 // live: Repair updates it in place.
 func (p *Plan) Result() *Result { return p.res }
@@ -191,15 +222,80 @@ func (p *Plan) Result() *Result { return p.res }
 func (p *Plan) N() int { return p.e.n }
 
 // RingLen returns the current ring length.
-func (p *Plan) RingLen() int { return len(p.res.Ring) }
+func (p *Plan) RingLen() int { return p.res.Len() }
 
-// RingAt returns the i-th ring vertex (0 <= i < RingLen).
-func (p *Plan) RingAt(i int) perm.Code { return p.res.Ring[i] }
+// RingAt returns the i-th ring vertex (0 <= i < RingLen). Materialized
+// plans index the ring directly; streaming plans locate the owning
+// block by binary search over the segment offsets and re-derive just
+// that block's <= 24-vertex path (cached, so sequential or
+// block-local access patterns stay cheap).
+func (p *Plan) RingAt(i int) perm.Code {
+	if p.res.Ring != nil {
+		return p.res.Ring[i]
+	}
+	k := sort.Search(len(p.offsets)-1, func(k int) bool { return p.offsets[k+1] > i })
+	return p.segment(k)[i-p.offsets[k]]
+}
 
-// Ring returns a defensive copy of the current ring; mutating it cannot
-// corrupt the plan.
+// Ring returns a copy of the current ring, built by draining a fresh
+// cursor; mutating it cannot corrupt the plan. In streaming mode this
+// materializes the full cycle — callers there should normally stay on
+// Cursor, but small-n tooling and the cross-check tests want the flat
+// slice.
 func (p *Plan) Ring() []perm.Code {
-	return append([]perm.Code(nil), p.res.Ring...)
+	out := make([]perm.Code, 0, p.RingLen())
+	c := p.Cursor()
+	for {
+		v, ok := c.Next()
+		if !ok {
+			break
+		}
+		out = append(out, v)
+	}
+	// Unreachable from a fresh cursor on an unbroken plan: replay of a
+	// feasibility-proven block failed, which is an engine invariant
+	// violation, not a caller error.
+	mustf(c.Err() == nil, "core: Ring materialization: %v", c.Err())
+	return out
+}
+
+// mustf is the package's invariant helper: it panics with a formatted
+// message when cond is false. It guards engine invariants (a
+// feasibility-proven block must replay) that can only break through a
+// bug in this package, never through caller input; those paths return
+// errors instead.
+func mustf(cond bool, format string, args ...interface{}) {
+	if !cond {
+		panic(fmt.Sprintf(format, args...))
+	}
+}
+
+// segment returns block k's current path in ring order, re-deriving it
+// from the skeleton via the memoized canonical search (one-entry
+// cache). Only valid on streaming plans.
+func (p *Plan) segment(k int) []perm.Code {
+	if p.segBlock == k {
+		return p.seg
+	}
+	pb := p.blocks[k]
+	seg, ok := pb.block.PathAppend(p.seg[:0], pathsearch.PathSpec{
+		From: pb.entry, To: pb.exit,
+		AvoidV: pb.avoidV, AvoidE: pb.avoidE,
+		Target: pb.length,
+	})
+	mustf(ok, "core: block %d path vanished on replay", k)
+	p.seg, p.segBlock = seg, k
+	return seg
+}
+
+// ringSegment returns block k's segment of the current ring without
+// copying: a subslice in materialized mode, the replay cache in
+// streaming mode.
+func (p *Plan) ringSegment(k int) []perm.Code {
+	if p.res.Ring != nil {
+		return p.res.Ring[p.offsets[k]:p.offsets[k+1]]
+	}
+	return p.segment(k)
 }
 
 // Faulty reports whether v is a known-faulty vertex.
@@ -212,8 +308,9 @@ func (p *Plan) Faults() *faults.Set { return p.fs.Clone() }
 func (p *Plan) Blocks() int { return len(p.blocks) }
 
 // OnRing reports whether v currently sits on the ring. With a skeleton
-// this is an O(1) block lookup plus a scan of one <= 24-vertex segment;
-// without one (n <= 4) the whole <= 24-vertex ring is scanned.
+// this is an O(1) block lookup plus a scan of one <= 24-vertex segment
+// (re-derived from the skeleton in streaming mode); without one
+// (n <= 4) the whole <= 24-vertex ring is scanned.
 func (p *Plan) OnRing(v perm.Code) bool {
 	seg := p.res.Ring
 	if p.r4 != nil {
@@ -221,7 +318,7 @@ func (p *Plan) OnRing(v perm.Code) bool {
 		if !ok {
 			return false
 		}
-		seg = p.res.Ring[p.offsets[k]:p.offsets[k+1]]
+		seg = p.ringSegment(k)
 	}
 	for _, u := range seg {
 		if u == v {
@@ -320,7 +417,7 @@ func (p *Plan) Repair(v perm.Code) (RepairReport, error) {
 // for the contract). A nil op opens a fresh core.op.repair operation
 // owned by the call.
 func (p *Plan) RepairOp(op *obs.Op, v perm.Code) (RepairReport, error) {
-	rep := RepairReport{Block: -1, OldLen: len(p.res.Ring)}
+	rep := RepairReport{Block: -1, OldLen: p.res.Len()}
 	if p.broken {
 		return rep, ErrPlanBroken
 	}
@@ -376,7 +473,7 @@ func (p *Plan) RepairOp(op *obs.Op, v perm.Code) (RepairReport, error) {
 			rep.Block = k
 			rep.SegmentStart = p.offsets[k]
 			rep.SegmentOldLen = p.offsets[k+1] - p.offsets[k] + 2
-			rep.NewLen = len(p.res.Ring)
+			rep.NewLen = p.res.Len()
 			rep.BlocksRerouted = 1
 			p.logRepair(in, v, rep)
 			in.done(op, owned)
@@ -400,7 +497,7 @@ func (p *Plan) RepairOp(op *obs.Op, v perm.Code) (RepairReport, error) {
 	}
 	in.repair("rebuilds")
 	rep.Outcome = RepairRebuild
-	rep.NewLen = len(p.res.Ring)
+	rep.NewLen = p.res.Len()
 	rep.BlocksRerouted = p.res.Blocks
 	p.logRepair(in, v, rep)
 	in.done(op, owned)
@@ -493,7 +590,7 @@ func (p *Plan) splice(k int, v perm.Code) error {
 		return fmt.Errorf("core: repair splice self-check: %w", err)
 	}
 
-	p.spliceSegment(k, path)
+	p.applySplice(k, path)
 	pb.avoidV = append(pb.avoidV, v)
 	pb.length = target
 	p.res.FaultyBlocks++
@@ -503,13 +600,40 @@ func (p *Plan) splice(k int, v perm.Code) error {
 		if p.res.Guaranteed {
 			minLen = p.res.Guarantee
 		}
-		if err := check.Ring(p.e.g, p.res.Ring, p.fs, minLen); err != nil {
+		var err error
+		if p.res.Ring != nil {
+			err = check.Ring(p.e.g, p.res.Ring, p.fs, minLen)
+		} else {
+			_, err = check.RingStream(p.e.g, p.Cursor().Next, p.fs, minLen)
+		}
+		if err != nil {
 			// The splice is already applied; the rebuild fallback replaces
 			// the whole plan, so the inconsistent state cannot leak.
 			return fmt.Errorf("core: repair verification failed: %w", err)
 		}
 	}
 	return nil
+}
+
+// applySplice commits block k's replacement path to the plan's ring
+// representation and invalidates every derived view: materialized
+// plans rewrite the segment in place, streaming plans only shift the
+// downstream offsets (the path itself is implicit — the skeleton's
+// updated avoid/length tuple re-derives it on the next read). Either
+// way the generation counter advances, expiring open cursors, and the
+// one-entry segment cache is dropped.
+func (p *Plan) applySplice(k int, path []perm.Code) {
+	if p.res.Ring != nil {
+		p.spliceSegment(k, path)
+	} else {
+		delta := (p.offsets[k+1] - p.offsets[k]) - len(path)
+		for j := k + 1; j < len(p.offsets); j++ {
+			p.offsets[j] -= delta
+		}
+		p.res.Length -= delta
+	}
+	p.gen++
+	p.segBlock = -1
 }
 
 // spliceSegment overwrites block k's segment of the ring with the
@@ -527,6 +651,7 @@ func (p *Plan) spliceSegment(k int, path []perm.Code) {
 	copy(ring[start:], path)
 	copy(ring[start+len(path):], ring[oldEnd:])
 	p.res.Ring = ring[:len(ring)-delta]
+	p.res.Length = len(p.res.Ring)
 	for j := k + 1; j < len(p.offsets); j++ {
 		p.offsets[j] -= delta
 	}
@@ -542,6 +667,9 @@ func (p *Plan) rebuild(op *obs.Op) error {
 		p.broken = true
 		return err
 	}
+	// Carry the mutation counter forward so cursors opened on the old
+	// ring observe the rebuild as a generation change, not a fresh plan.
+	np.gen = p.gen + 1
 	*p = *np
 	return nil
 }

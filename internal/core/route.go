@@ -31,15 +31,24 @@ type junction struct {
 	u, w perm.Code
 }
 
-// routed is the materialized outcome of one RouteR4 run: the ring plus
-// the per-block state (entry/exit junctions, achieved lengths) and the
-// block-to-ring-segment offsets. Plan keeps it alive so Repair can
-// re-route a single block and splice its segment in place.
+// routed is the skeleton-level outcome of one RouteR4 run: the
+// per-block state (entry/exit junctions, achieved lengths) and the
+// block-to-ring-segment offsets. It deliberately does NOT hold the
+// ring: once every junction is fixed, each block's path is a
+// deterministic function of its (entry, exit, avoid, length) tuple —
+// the memoized canonical-S4 search replays it bit-identically — so the
+// cycle can be re-materialized block by block on demand. Plan keeps
+// the routed alive so Repair can re-route a single block and splice
+// its segment in place, and so RingCursor can stream the ring at
+// O(#blocks) memory. Callers that want the flat []perm.Code run
+// assemble over it.
 type routed struct {
-	ring    []perm.Code
 	plans   []*blockPlan
 	offsets []int // block k occupies ring[offsets[k]:offsets[k+1]]
 }
+
+// ringLen returns the total ring length implied by the block lengths.
+func (rt *routed) ringLen() int { return rt.offsets[len(rt.offsets)-1] }
 
 // RouteR4 is the executable Lemma 7: given an R4 with (P1)(P2)(P3), it
 // selects a healthy junction edge across every superedge and threads a
@@ -54,11 +63,13 @@ type routed struct {
 // routes its own R4 variants through the same engine; library users
 // should call Embed.
 func RouteR4(r4 *superring.Ring, fs *faults.Set, targetsFor func(int) []int, cfg Config) ([]perm.Code, error) {
-	rt, err := routeR4x(r4, fs, func(_, vf int) []int { return targetsFor(vf) }, nil, cfg, newInstr(cfg.Obs))
+	in := newInstr(cfg.Obs)
+	rt, err := routeR4x(r4, fs, func(_, vf int) []int { return targetsFor(vf) }, nil, cfg, in)
 	if err != nil {
 		return nil, err
 	}
-	return rt.ring, nil
+	ring, _, err := assemble(rt.plans, cfg, in)
+	return ring, err
 }
 
 // routeR4x is RouteR4 with two extra degrees of freedom used by the
@@ -113,11 +124,11 @@ func routeR4x(r4 *superring.Ring, fs *faults.Set, targetsFor func(blockIdx, vf i
 	if err != nil {
 		return nil, err
 	}
-	ring, offsets, err := assemble(plans, cfg, in)
-	if err != nil {
-		return nil, err
+	offsets := make([]int, m+1)
+	for k, p := range plans {
+		offsets[k+1] = offsets[k] + p.length
 	}
-	return &routed{ring: ring, plans: plans, offsets: offsets}, nil
+	return &routed{plans: plans, offsets: offsets}, nil
 }
 
 // chooseJunctions assigns one junction per superedge such that every
@@ -149,7 +160,13 @@ func chooseJunctions(plans []*blockPlan, cands [][]junction, in *instr) error {
 		return false
 	}
 
-	const maxSteps = 1 << 21
+	// The step bound guards against pathological backtracking; it must
+	// scale with the block count or the bound itself becomes the limit —
+	// n = 11 already has 1.66M blocks, more than the old fixed 2^21.
+	maxSteps := 1 << 21
+	if s := 32 * m; s > maxSteps {
+		maxSteps = s
+	}
 	steps := 0
 	k := 0
 	for k < m {

@@ -94,7 +94,10 @@ func TestRouteR4ParityFilter(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	ring := rt.ring
+	ring, _, err := assemble(rt.plans, Config{}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
 	if len(ring) != perm.Factorial(n) {
 		t.Fatalf("ring %d", len(ring))
 	}
@@ -256,8 +259,8 @@ func TestSuperRingReuseAcrossRouters(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if len(opp.ring) <= len(plain) {
-		t.Fatalf("opportunistic %d <= plain %d", len(opp.ring), len(plain))
+	if opp.ringLen() <= len(plain) {
+		t.Fatalf("opportunistic %d <= plain %d", opp.ringLen(), len(plain))
 	}
 	for i, p := range r4.Vertices() {
 		if p != snapshot[i] {

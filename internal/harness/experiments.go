@@ -10,9 +10,11 @@ import (
 	"repro/internal/core"
 	"repro/internal/faults"
 	"repro/internal/obs"
+	"repro/internal/obs/prof"
 	"repro/internal/pathsearch"
 	"repro/internal/perm"
 	"repro/internal/sim"
+	"repro/internal/star"
 	"repro/internal/substar"
 )
 
@@ -736,6 +738,67 @@ func F6(cfg SweepConfig) ([]*Table, error) {
 			t.AddRow(n, ke, budget, cfg.Seeds,
 				fmt.Sprintf("%d/%d", ham, cfg.Seeds), minLen, perm.Factorial(n))
 		}
+	}
+	return []*Table{t}, nil
+}
+
+// F8 measures the streaming pipeline the ring-cursor refactor enables:
+// Config.Streaming leaves the embedding in skeleton form (O(#blocks)
+// memory; the ring is re-derived block by block on demand) and
+// verification runs through check.RingStream one vertex at a time. The
+// table contrasts the bytes a materialized ring would occupy against
+// the live-heap growth observed across a streaming embed plus a full
+// stream verification — the gap is the memory the cursor saves.
+func F8(cfg SweepConfig) ([]*Table, error) {
+	t := &Table{
+		ID:    "F8",
+		Title: "Streaming scaling: skeleton-form embed + stream verify vs materialized ring size",
+		Caption: "Each row embeds with Config.Streaming (ring never materialized) and verifies " +
+			"through check.RingStream via a fresh block cursor. 'ring MiB' is what the " +
+			"materialized cycle would occupy (8 bytes/vertex); 'heap delta MiB' is live-heap " +
+			"growth across embed+verify measured by prof.HeapLiveBytes (GC noise makes it an " +
+			"estimate, so it is reported, not asserted). Larger dimensions (the n=10 run in " +
+			"EXPERIMENTS.md) go through `starring -n 10 -stream` with the runtime sampler.",
+		Headers: []string{"n", "|Fv|", "ring len", "blocks", "embed", "stream verify", "ring MiB", "heap delta MiB"},
+	}
+	clock := cfg.clock()
+	top := cfg.MaxN
+	if top > 9 {
+		top = 9 // n=10 belongs to the CLI-level scaling run, not the sweep
+	}
+	for n := 6; n <= top; n++ {
+		k := faults.MaxTolerated(n)
+		rng := rand.New(rand.NewSource(int64(n)))
+		fs := faults.RandomVertices(n, k, rng)
+		heap0 := prof.HeapLiveBytes()
+		start := clock.Now()
+		e, err := core.NewEmbedder(n, core.Config{Streaming: true, Obs: cfg.Obs})
+		if err != nil {
+			return nil, err
+		}
+		p, err := e.Embed(fs)
+		if err != nil {
+			return nil, fmt.Errorf("F8 n=%d: %w", n, err)
+		}
+		embedT := obs.Since(clock, start)
+		res := p.Result()
+		want := res.Guarantee
+		start = clock.Now()
+		count, err := check.RingStream(star.New(n), p.Cursor().Next, fs, want)
+		verifyT := obs.Since(clock, start)
+		if err != nil {
+			return nil, fmt.Errorf("F8 n=%d: stream verify: %w", n, err)
+		}
+		if count != res.Len() {
+			return nil, fmt.Errorf("F8 n=%d: cursor emitted %d vertices, skeleton declares %d", n, count, res.Len())
+		}
+		delta := prof.HeapLiveBytes() - heap0
+		if delta < 0 {
+			delta = 0 // a GC ran mid-measurement
+		}
+		t.AddRow(n, k, count, res.Blocks,
+			embedT.Round(10*time.Microsecond), verifyT.Round(10*time.Microsecond),
+			float64(count*8)/(1<<20), float64(delta)/(1<<20))
 	}
 	return []*Table{t}, nil
 }

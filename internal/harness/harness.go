@@ -1,11 +1,12 @@
 // Package harness drives the evaluation suite. The paper is a theory
 // paper without experimental tables, so the harness reproduces each of
 // its quantitative claims as a table or data series (experiments T1-T6,
-// F1-F7 and the A1 ablations, indexed in DESIGN.md): Theorem 1's length guarantee and its
+// F1-F8 and the A1 ablations, indexed in DESIGN.md): Theorem 1's length guarantee and its
 // worst-case optimality, the improvements over the Tseng-Chang-Sheu and
 // Latifi-Bagherzadeh baselines, the edge-fault and mixed-fault
-// extensions, the scaling of the construction itself, and the latency
-// of the incremental repair engine.
+// extensions, the scaling of the construction itself, the latency of
+// the incremental repair engine, and the memory profile of the
+// streaming (skeleton-form) pipeline.
 package harness
 
 import (
@@ -245,6 +246,7 @@ func All() []Experiment {
 		{"F5", "Operational campaign on the machine simulator", F5},
 		{"F6", "Empirical edge-fault tolerance beyond the budget", F6},
 		{"F7", "Repair latency: splice fast path vs full rebuild", F7},
+		{"F8", "Streaming scaling: skeleton-form embed + stream verify", F8},
 		{"A1", "Ablations: cache, branch ordering, greedy separation", A1},
 	}
 }

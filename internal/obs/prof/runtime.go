@@ -23,10 +23,16 @@ const (
 // RuntimeSampler publishes Go runtime health as registry gauges:
 //
 //	runtime.mem.heap_bytes        bytes of live heap objects
+//	runtime.mem.heap_peak_bytes   high-water mark of heap_bytes across samples
 //	runtime.gc.cycles             completed GC cycles
 //	runtime.gc.pause_p95_ns       p95 stop-the-world pause, ns
 //	runtime.sched.goroutines      live goroutines
 //	runtime.sched.latency_p95_ns  p95 goroutine scheduling latency, ns
+//
+// heap_peak_bytes is the sampler's own reduction — the largest live-heap
+// sample it has seen — so a bounded-memory claim (e.g. a streaming embed
+// that never materializes its ring) is checkable from a single final
+// snapshot instead of a full time series.
 //
 // Because they are ordinary gauges, the values flow unchanged into
 // every existing export path: the OpenMetrics /metrics endpoint (as
@@ -41,12 +47,14 @@ const (
 // Sample and Start are no-ops costing a pointer test.
 type RuntimeSampler struct {
 	heap       *obs.Gauge
+	heapPeak   *obs.Gauge
 	gcCycles   *obs.Gauge
 	gcPauseP95 *obs.Gauge
 	goroutines *obs.Gauge
 	schedP95   *obs.Gauge
 
 	mu      sync.Mutex
+	peak    int64
 	samples []metrics.Sample
 }
 
@@ -58,6 +66,7 @@ func NewRuntimeSampler(reg *obs.Registry) *RuntimeSampler {
 	}
 	return &RuntimeSampler{
 		heap:       reg.Gauge("runtime.mem.heap_bytes"),
+		heapPeak:   reg.Gauge("runtime.mem.heap_peak_bytes"),
 		gcCycles:   reg.Gauge("runtime.gc.cycles"),
 		gcPauseP95: reg.Gauge("runtime.gc.pause_p95_ns"),
 		goroutines: reg.Gauge("runtime.sched.goroutines"),
@@ -99,6 +108,10 @@ func (s *RuntimeSampler) Sample() {
 		switch s.samples[i].Name {
 		case sampleHeapBytes:
 			s.heap.Set(v)
+			if v > s.peak {
+				s.peak = v
+			}
+			s.heapPeak.Set(s.peak)
 		case sampleGCCycles:
 			s.gcCycles.Set(v)
 		case sampleGCPauses:
@@ -109,6 +122,24 @@ func (s *RuntimeSampler) Sample() {
 			s.schedP95.Set(v)
 		}
 	}
+}
+
+// HeapLiveBytes reads the live-heap size once, without a registry: the
+// one-shot form of the runtime.mem.heap_bytes gauge, for callers (the
+// harness's scaling experiment) that want a before/after measurement
+// rather than a sampling loop. prof is the sanctioned runtime/metrics
+// reader, so instrumented code does not import runtime directly.
+func HeapLiveBytes() int64 {
+	samples := []metrics.Sample{{Name: sampleHeapBytes}}
+	metrics.Read(samples)
+	if samples[0].Value.Kind() != metrics.KindUint64 {
+		return 0
+	}
+	u := samples[0].Value.Uint64()
+	if u > math.MaxInt64 {
+		u = math.MaxInt64
+	}
+	return int64(u)
 }
 
 // histQuantileNS reduces a runtime/metrics seconds histogram to the

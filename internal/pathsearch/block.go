@@ -101,13 +101,23 @@ type PathSpec struct {
 // Path solves the routing request, returning the path in ambient
 // coordinates (a fresh slice), or ok=false when no such path exists.
 func (b *Block) Path(spec PathSpec) ([]perm.Code, bool) {
+	return b.PathAppend(make([]perm.Code, 0, spec.Target), spec)
+}
+
+// PathAppend is Path writing into dst (appended and returned, like
+// append): with a dst of sufficient capacity the only allocations left
+// are the canonical search's own, which the memo cache absorbs after
+// the first solve of each symmetry class. The streaming ring cursor
+// leans on this to re-materialize one block segment at a time into a
+// single reusable buffer.
+func (b *Block) PathAppend(dst []perm.Code, spec PathSpec) ([]perm.Code, bool) {
 	from, ok := b.ToCanon(spec.From)
 	if !ok {
-		return nil, false
+		return dst, false
 	}
 	to, ok := b.ToCanon(spec.To)
 	if !ok {
-		return nil, false
+		return dst, false
 	}
 	var forbV uint32
 	for _, v := range spec.AvoidV {
@@ -125,13 +135,12 @@ func (b *Block) Path(spec PathSpec) ([]perm.Code, bool) {
 	}
 	path, ok := Canon.FindPath(Query{From: from, To: to, ForbidV: forbV, ForbidE: forbE, Target: spec.Target})
 	if !ok {
-		return nil, false
+		return dst, false
 	}
-	out := make([]perm.Code, len(path))
-	for i, idx := range path {
-		out[i] = b.FromCanon(idx)
+	for _, idx := range path {
+		dst = append(dst, b.FromCanon(idx))
 	}
-	return out, true
+	return dst, true
 }
 
 // MaxPathLen returns the number of vertices on the longest From-To path

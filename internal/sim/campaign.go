@@ -47,7 +47,7 @@ func RunCampaign(cfg CampaignConfig) (*CampaignReport, error) {
 		return nil, err
 	}
 	for f := 1; f <= cfg.Failures; f++ {
-		victim := m.Ring()[rng.Intn(m.RingLength())]
+		victim := m.RingAt(rng.Intn(m.RingLength()))
 		if err := m.FailVertex(victim); err != nil {
 			return nil, fmt.Errorf("failure %d: %w", f, err)
 		}

@@ -141,8 +141,14 @@ func (m *Machine) Stats() Stats { return m.stats }
 func (m *Machine) RingLength() int { return m.plan.RingLen() }
 
 // Ring returns a copy of the current embedded ring; mutating it cannot
-// affect the machine.
+// affect the machine. Under a streaming embed config this materializes
+// the whole cycle — prefer RingAt for spot reads.
 func (m *Machine) Ring() []perm.Code { return m.plan.Ring() }
+
+// RingAt returns the processor at the given ring position without
+// materializing the cycle (streaming plans serve it from the one-block
+// segment cache).
+func (m *Machine) RingAt(i int) perm.Code { return m.plan.RingAt(i) }
 
 // Plan exposes the machine's live embedding plan (read-only use; drive
 // faults through FailVertex so the accounting stays consistent).

@@ -4,9 +4,10 @@
 #
 # Writes into BENCH_OUT (default: repo root):
 #   BENCH_embed.txt    go test -bench output: BenchmarkEmbedTheorem1,
-#                      BenchmarkEmbedScaling, and the BenchmarkObs*
-#                      instrumentation-overhead suite (disabled path must
-#                      stay 0 allocs/op)
+#                      BenchmarkEmbedScaling, BenchmarkRingCursor (the
+#                      streaming emit path, vertices/s), and the
+#                      BenchmarkObs* instrumentation-overhead suite
+#                      (disabled path must stay 0 allocs/op)
 #   BENCH_embed.json   starsweep -quick -exp F2 -json: construction time
 #                      and output size vs n as {"experiments": [...]}
 #   BENCH_repair.txt   go test -bench output: BenchmarkRepair, the
@@ -38,7 +39,7 @@ mkdir -p "$BENCH_OUT"
 {
     go test -run '^$' -bench 'BenchmarkEmbedTheorem1|BenchmarkEmbedScaling' \
         -benchmem -benchtime "$BENCHTIME" .
-    go test -run '^$' -bench 'BenchmarkObs' \
+    go test -run '^$' -bench 'BenchmarkObs|BenchmarkRingCursor' \
         -benchmem -benchtime "$BENCHTIME" ./internal/core
     # The tracing hot paths: a child span off a live op (exemplar
     # reservoir included) and one structured event-log record.

@@ -16,15 +16,20 @@
 #                       auto-dump the flight-recorder bundle; starmon
 #                       validates all three artifacts, including the
 #                       events-to-trace causal cross-check
-#   9. bench smoke   -- scripts/bench.sh with -benchtime 1x
-#  10. starlint artifact -- starlint -json archived next to the bench
+#   9. stream smoke  -- starring -stream end to end: embed S_8 with
+#                       explicit faults at O(#blocks) memory, save the
+#                       chunked stream file, starverify -stream it, and
+#                       byte-compare the streamed -print output against
+#                       the materialized run's
+#  10. bench smoke   -- scripts/bench.sh with -benchtime 1x
+#  11. starlint artifact -- starlint -json archived next to the bench
 #                       record, so lint state diffs across revisions
-#  11. perf gate     -- starbench: validate the bench trajectory, then
+#  12. perf gate     -- starbench: validate the bench trajectory, then
 #                       compare the fresh record against the baseline
 #                       (STARBENCH_BASELINE; defaults to the fresh
 #                       record itself, i.e. pipeline-only smoke) at
 #                       STARBENCH_THRESHOLD (default 0.30)
-#  12. fuzz smoke    -- each fuzz target for a few seconds
+#  13. fuzz smoke    -- each fuzz target for a few seconds
 #
 # Runs from any directory; needs only the Go toolchain. Override the
 # fuzz budget with FUZZTIME (default 5s), e.g. FUZZTIME=30s scripts/ci.sh.
@@ -155,6 +160,35 @@ flight_smoke() {
 
 leg "flight smoke" flight_smoke || exit 1
 
+# Stream smoke: the ring-cursor pipeline end to end. One S_8 embedding
+# (40320 vertices) with explicit faults runs twice — streaming and
+# materialized — and must print byte-identical rings; the streamed save
+# must pass starverify -stream at the guaranteed minimum length.
+stream_smoke() {
+    local tmp fv minlen
+    tmp=$(mktemp -d)
+    go build -o "$tmp/starring" ./cmd/starring || return 1
+    go build -o "$tmp/starverify" ./cmd/starverify || return 1
+
+    fv="21345678,31245678,41235678"
+    minlen=$((40320 - 2 * 3)) # n! - 2|Fv|
+
+    "$tmp/starring" -n 8 -fv "$fv" -stream -save "$tmp/ring.srs" \
+        -print >"$tmp/stream.txt" || return 1
+    "$tmp/starring" -n 8 -fv "$fv" -print >"$tmp/materialized.txt" || return 1
+
+    # The summary and save lines differ by design (mode=stream, -save);
+    # the rings must not.
+    if ! cmp -s <(grep -v -e '^algorithm=' -e '^saved ' "$tmp/stream.txt") \
+                <(grep -v -e '^algorithm=' -e '^saved ' "$tmp/materialized.txt"); then
+        echo "streamed ring differs from materialized ring" >&2
+        return 1
+    fi
+    "$tmp/starverify" -ring "$tmp/ring.srs" -stream -fv "$fv" -minlen "$minlen" || return 1
+}
+
+leg "stream smoke" stream_smoke || exit 1
+
 # Bench smoke: one iteration of every benchmark plus the JSON sweep,
 # into a throwaway directory — proves the bench pipeline stays runnable.
 # The directory is kept for the perf gate below.
@@ -196,6 +230,7 @@ fuzz_smoke() {
 leg "fuzz perm/FuzzParse" fuzz_smoke ./internal/perm FuzzParse || exit 1
 leg "fuzz perm/FuzzCodeOps" fuzz_smoke ./internal/perm FuzzCodeOps || exit 1
 leg "fuzz ringio/FuzzReadBinary" fuzz_smoke ./internal/ringio FuzzReadBinary || exit 1
+leg "fuzz ringio/FuzzReadBinaryStream" fuzz_smoke ./internal/ringio FuzzReadBinaryStream || exit 1
 leg "fuzz ringio/FuzzReadText" fuzz_smoke ./internal/ringio FuzzReadText || exit 1
 leg "fuzz core/FuzzEmbedRing" fuzz_smoke ./internal/core FuzzEmbedRing || exit 1
 

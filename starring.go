@@ -26,6 +26,13 @@
 // and splicing it in place, orders of magnitude cheaper than a fresh
 // embedding.
 //
+// For dimensions whose rings no longer fit comfortably in memory
+// (n >= 10 is 3.6M vertices), set Options.Streaming: the embedding is
+// kept in skeleton form at O(#blocks) memory, Plan.Cursor streams the
+// ring vertex by vertex, VerifyRingStream checks it without
+// materializing, and SaveRingStream/LoadRingStream persist it in a
+// chunked format. See README.md "Scaling past memory".
+//
 // The heavy lifting lives in the internal packages (documented in
 // DESIGN.md): internal/core implements Lemmas 2, 3, 7 and Theorem 1;
 // internal/superring the supervertex rings; internal/pathsearch the
@@ -126,6 +133,16 @@ func NewEmbedder(n int, opts Options) (*Embedder, error) {
 	return core.NewEmbedder(n, opts)
 }
 
+// RingCursor streams a Plan's ring one vertex at a time at O(one
+// block) working memory (see core.RingCursor); obtain one with
+// Plan.Cursor. After a Repair, live cursors fail with ErrStaleCursor
+// at their next block boundary — take a fresh cursor to resume.
+type RingCursor = core.RingCursor
+
+// ErrStaleCursor reports that the plan was repaired or rebuilt while a
+// cursor was iterating it.
+var ErrStaleCursor = core.ErrStaleCursor
+
 // PathEmbedding is a verified longest-path embedding (see
 // core.PathResult).
 type PathEmbedding = core.PathResult
@@ -157,6 +174,14 @@ func VerifyRing(g Graph, cycle []Vertex, fs *FaultSet, minLen int) error {
 	return check.Ring(g, cycle, fs, minLen)
 }
 
+// VerifyRingStream is VerifyRing for rings too large to materialize:
+// next yields consecutive cycle vertices (false at the end — the shape
+// RingCursor.Next has), and the verdict is identical to VerifyRing's
+// on any materializable input. Returns the number of vertices checked.
+func VerifyRingStream(g Graph, next func() (Vertex, bool), fs *FaultSet, minLen int) (int, error) {
+	return check.RingStream(g, next, fs, minLen)
+}
+
 // RingUpperBound returns the bipartite ceiling on any healthy cycle
 // length for the given fault set; with all faults in one partite set it
 // equals the paper's n! - 2|Fv|, which is why Theorem 1 is optimal.
@@ -176,6 +201,25 @@ func SaveRing(w io.Writer, n int, ring []Vertex) error {
 // healthiness against a fault set.
 func LoadRing(r io.Reader) (n int, ring []Vertex, err error) {
 	return ringio.ReadBinary(r)
+}
+
+// SaveRingStream writes a ring delivered by an iterator (typically
+// Plan.Cursor().Next) in the chunked binary format, without ever
+// holding the cycle: length must declare the exact vertex count up
+// front (Plan.RingLen knows it from the skeleton).
+func SaveRingStream(w io.Writer, n int, length int, next func() (Vertex, bool)) error {
+	return ringio.WriteBinaryStream(w, n, length, next)
+}
+
+// RingReader decodes a saved ring one vertex at a time (see
+// ringio.StreamReader): Next until false, then Err for the verdict.
+type RingReader = ringio.StreamReader
+
+// LoadRingStream opens a constant-memory decoder for a ring written by
+// SaveRingStream or SaveRing. Feed RingReader.Next to VerifyRingStream
+// to re-verify without materializing.
+func LoadRingStream(r io.Reader) (*RingReader, error) {
+	return ringio.ReadBinaryStream(r)
 }
 
 // Factorial returns n!, the number of vertices of S_n.
