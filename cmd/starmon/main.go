@@ -16,6 +16,8 @@
 //	starmon -check-trace trace.json                # Perfetto trace_event
 //	starmon -check-events events.ndjson -trace trace.json
 //	starmon -postmortem flight/                    # render a flight bundle
+//	starmon -watch -attach localhost:6060 -rules slo.json -frames 10
+//	starmon -watch -series series.json -rules slo.json
 //
 // -attach retries transient scrape failures with bounded exponential
 // backoff (-retries, -retry-backoff) instead of dying on the first
@@ -64,9 +66,31 @@ func run(args []string, stdout, stderr io.Writer) int {
 		checkEvents  = fs.String("check-events", "", "validate an NDJSON event log file and exit (see -trace)")
 		traceFile    = fs.String("trace", "", "with -check-events: resolve every traced record against this trace_event JSON file")
 		postmortem   = fs.String("postmortem", "", "render a flight-recorder bundle (directory or tar) as per-trace timelines")
+		watch        = fs.Bool("watch", false, "evaluate -rules against -attach (live) or -series (replay); exit 0 ok, 1 SLO violated, 2 unreachable")
+		rules        = fs.String("rules", "", "with -watch: SLO policy file (JSON; see internal/obs/slo)")
+		series       = fs.String("series", "", "with -watch: replay a recorded series file instead of scraping")
+		wantLabel    = fs.String("want-label", "", "with -check-metrics: additionally require at least one sample carrying this label key")
 	)
 	if err := fs.Parse(args); err != nil {
 		return 2
+	}
+
+	if *watch {
+		for _, m := range []string{*replay, *checkMetrics, *checkTrace, *checkEvents, *postmortem} {
+			if m != "" {
+				fmt.Fprintln(stderr, "starmon: -watch does not combine with other modes")
+				return 2
+			}
+		}
+		return runWatch(stdout, stderr, watchOpts{
+			target:   *attach,
+			series:   *series,
+			rules:    *rules,
+			interval: *interval,
+			frames:   *frames,
+			retries:  *retries,
+			backoff:  *retryBackoff,
+		})
 	}
 
 	modes := 0
@@ -76,7 +100,7 @@ func run(args []string, stdout, stderr io.Writer) int {
 		}
 	}
 	if modes != 1 {
-		fmt.Fprintln(stderr, "starmon: need exactly one of -attach, -replay, -check-metrics, -check-trace, -check-events, -postmortem")
+		fmt.Fprintln(stderr, "starmon: need exactly one of -attach, -replay, -check-metrics, -check-trace, -check-events, -postmortem, -watch")
 		fs.Usage()
 		return 2
 	}
@@ -84,7 +108,7 @@ func run(args []string, stdout, stderr io.Writer) int {
 	var err error
 	switch {
 	case *checkMetrics != "":
-		err = runCheckMetrics(stdout, *checkMetrics)
+		err = runCheckMetrics(stdout, *checkMetrics, *wantLabel)
 	case *checkTrace != "":
 		err = runCheckTrace(stdout, *checkTrace)
 	case *checkEvents != "":
@@ -119,7 +143,7 @@ func fetch(src string) ([]byte, error) {
 	return os.ReadFile(src)
 }
 
-func runCheckMetrics(w io.Writer, src string) error {
+func runCheckMetrics(w io.Writer, src, wantLabel string) error {
 	data, err := fetch(src)
 	if err != nil {
 		return err
@@ -128,7 +152,24 @@ func runCheckMetrics(w io.Writer, src string) error {
 	if err != nil {
 		return fmt.Errorf("%s: %w", src, err)
 	}
-	fmt.Fprintf(w, "openmetrics ok: %d metric families, %d exemplars\n", families, exemplars)
+	labeled := 0
+	if wantLabel != "" {
+		samples, _, _ := parseExposition(data)
+		needle := wantLabel + `="`
+		for name := range samples {
+			if i := strings.IndexByte(name, '{'); i >= 0 && strings.Contains(name[i:], needle) {
+				labeled++
+			}
+		}
+		if labeled == 0 {
+			return fmt.Errorf("%s: no sample carries label %q", src, wantLabel)
+		}
+	}
+	fmt.Fprintf(w, "openmetrics ok: %d metric families, %d exemplars", families, exemplars)
+	if wantLabel != "" {
+		fmt.Fprintf(w, ", %d samples labeled %s", labeled, wantLabel)
+	}
+	fmt.Fprintln(w)
 	return nil
 }
 

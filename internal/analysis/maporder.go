@@ -319,7 +319,7 @@ func sinkDesc(pkg *Package, fn *types.Func) string {
 	case "Emit", "Log", "Record":
 		return "an emitted event"
 	}
-	if metricMethods[name] && isRegistryMetricMethod(&Pass{Pkg: pkg}, fn) {
+	if metricMethods[name] && obsReceiverName(&Pass{Pkg: pkg}, fn) == "Registry" {
 		return "an emitted metric"
 	}
 	return ""

@@ -20,6 +20,12 @@ import (
 // ending in "."; a literal that duplicates a package-level string
 // constant is flagged toward the constant, since two spellings of one
 // name drift apart.
+// It also guards the labeled-family surface: the CounterVec, GaugeVec
+// and HistogramVec constructors get the same name check plus label-key
+// validation, and the key positions of Registry.Child and the vec With
+// methods must be compile-time lower_snake strings — a dynamic key is a
+// cardinality accident waiting to happen (dynamic *values* are fine;
+// the runtime cap bounds those).
 var MetricName = &Analyzer{
 	Name: "metricname",
 	Doc:  "metric-name literals off the pkg.group.name convention",
@@ -34,13 +40,37 @@ var metricNameRE = regexp.MustCompile(`^[a-z][a-z0-9_]*(\.[a-z][a-z0-9_]*)+$`)
 // which may be a single segment ("sim." + kind).
 var metricPrefixRE = regexp.MustCompile(`^[a-z][a-z0-9_]*(\.[a-z][a-z0-9_]*)*$`)
 
+// labelKeyRE is the label-key convention: lower_snake, starting with a
+// letter, no dots (keys render inside OpenMetrics label clauses, where
+// dots are illegal).
+var labelKeyRE = regexp.MustCompile(`^[a-z][a-z0-9_]*$`)
+
 // metricMethods are the obs.Registry methods whose first argument is a
 // metric name.
 var metricMethods = map[string]bool{
-	"Counter":   true,
-	"Gauge":     true,
-	"Histogram": true,
-	"Span":      true,
+	"Counter":      true,
+	"Gauge":        true,
+	"Histogram":    true,
+	"Span":         true,
+	"CounterVec":   true,
+	"GaugeVec":     true,
+	"HistogramVec": true,
+}
+
+// vecMethods are the metricMethods that additionally declare label keys
+// in their trailing arguments.
+var vecMethods = map[string]bool{
+	"CounterVec":   true,
+	"GaugeVec":     true,
+	"HistogramVec": true,
+}
+
+// vecTypes are the labeled-family handle types whose With method takes
+// alternating key/value pairs.
+var vecTypes = map[string]bool{
+	"CounterVec":   true,
+	"GaugeVec":     true,
+	"HistogramVec": true,
 }
 
 func runMetricName(pass *Pass) {
@@ -58,10 +88,21 @@ func runMetricName(pass *Pass) {
 			return
 		}
 		fn, ok := pass.Pkg.Info.Uses[sel.Sel].(*types.Func)
-		if !ok || !isRegistryMetricMethod(pass, fn) {
+		if !ok {
 			return
 		}
-		checkMetricName(pass, fn.Name(), call.Args[0], consts)
+		recv := obsReceiverName(pass, fn)
+		switch {
+		case recv == "Registry" && metricMethods[fn.Name()]:
+			checkMetricName(pass, fn.Name(), call.Args[0], consts)
+			if vecMethods[fn.Name()] {
+				checkLabelKeys(pass, fn.Name(), call, call.Args[1:], false)
+			}
+		case recv == "Registry" && fn.Name() == "Child":
+			checkLabelKeys(pass, "Child", call, call.Args, true)
+		case vecTypes[recv] && fn.Name() == "With":
+			checkLabelKeys(pass, "With", call, call.Args, true)
+		}
 	})
 }
 
@@ -100,15 +141,14 @@ func packageStringConsts(pass *Pass) map[string]string {
 	return consts
 }
 
-// isRegistryMetricMethod reports whether fn is one of the metric
-// constructors on the module's *obs.Registry.
-func isRegistryMetricMethod(pass *Pass, fn *types.Func) bool {
-	if !metricMethods[fn.Name()] {
-		return false
-	}
+// obsReceiverName returns the name of fn's receiver type when that
+// type is declared in the module's internal/obs package, and ""
+// otherwise. It is how the analyzer recognizes Registry and the vec
+// handle types without importing obs itself.
+func obsReceiverName(pass *Pass, fn *types.Func) string {
 	sig, ok := fn.Type().(*types.Signature)
 	if !ok || sig.Recv() == nil {
-		return false
+		return ""
 	}
 	t := sig.Recv().Type()
 	if pt, ok := t.(*types.Pointer); ok {
@@ -116,11 +156,13 @@ func isRegistryMetricMethod(pass *Pass, fn *types.Func) bool {
 	}
 	named, ok := t.(*types.Named)
 	if !ok {
-		return false
+		return ""
 	}
 	obj := named.Obj()
-	return obj.Name() == "Registry" && obj.Pkg() != nil &&
-		obj.Pkg().Path() == pass.Pkg.Module+"/internal/obs"
+	if obj.Pkg() == nil || obj.Pkg().Path() != pass.Pkg.Module+"/internal/obs" {
+		return ""
+	}
+	return obj.Name()
 }
 
 // stringConstOf resolves e's compile-time string value, if it has one.
@@ -165,5 +207,43 @@ func checkMetricName(pass *Pass, method string, arg ast.Expr, consts map[string]
 		pass.Reportf(be.Pos(), symbol,
 			"%s(%q + ...): a dynamic metric name needs a lowercase dotted literal prefix ending in \".\"",
 			method, prefix)
+	}
+}
+
+// checkLabelKeys validates the label-key positions of a vec
+// constructor (every arg is a key) or a Child/With call (alternating
+// key/value pairs; even indices are keys). Keys must be compile-time
+// strings in lower_snake — a dynamic key turns user data into schema,
+// and a dotted or mixed-case key dies at the OpenMetrics boundary.
+// Values stay out of scope: dynamic values are the whole point of a
+// labeled family, and the runtime cardinality cap bounds them. Calls
+// that spread a slice (kv...) can't be checked statically and are
+// skipped.
+func checkLabelKeys(pass *Pass, method string, call *ast.CallExpr, args []ast.Expr, kvPairs bool) {
+	if call.Ellipsis.IsValid() {
+		return
+	}
+	_, symbol := pass.EnclosingFuncName(call.Pos())
+	if kvPairs && len(args)%2 != 0 {
+		pass.Reportf(call.Pos(), symbol,
+			"%s with %d label arguments: keys and values must come in pairs",
+			method, len(args))
+	}
+	for i, arg := range args {
+		if kvPairs && i%2 != 0 {
+			continue // value position
+		}
+		v, ok := stringConstOf(pass, arg)
+		if !ok {
+			pass.Reportf(arg.Pos(), symbol,
+				"%s: label keys must be compile-time constants (a dynamic key is unbounded cardinality); pass the variable as the value",
+				method)
+			continue
+		}
+		if !labelKeyRE.MatchString(v) {
+			pass.Reportf(arg.Pos(), symbol,
+				"%s(%q): label keys are lower_snake identifiers — no dots, no uppercase",
+				method, v)
+		}
 	}
 }

@@ -32,3 +32,25 @@ func Instrument(reg *obs.Registry, outcome string) {
 func Indirect(reg *obs.Registry, name string) {
 	reg.Counter(name)
 }
+
+// Labeled seeds the labeled-family violations: bad vec names, label
+// keys off the lower_snake convention, dynamic keys, and odd kv
+// counts. Dynamic values are fine everywhere.
+func Labeled(reg *obs.Registry, machine string, key string) {
+	reg.CounterVec("VecBad", "n")             // vec name off convention
+	reg.CounterVec("fixture.embeds", "N")     // uppercase label key
+	reg.GaugeVec("fixture.depth", "ring.len") // dotted label key
+	reg.HistogramVec("fixture.lat", key)      // dynamic label key
+	reg.Child(machine, "m0")                  // dynamic key in Child
+	reg.Child("Machine", "m0")                // uppercase key in Child
+	v := reg.CounterVec("fixture.embeds2", "n", "mode")
+	v.With("n", "6", "mode")               // odd kv count
+	v.With("n", "6", key, "x")             // dynamic key in With
+	v.With("n", "6", "Mode", "guaranteed") // uppercase key in With
+
+	clean := reg.CounterVec("fixture.repairs", "n", "outcome") // clean: names and keys in shape
+	clean.With("n", "6", "outcome", machine)                   // clean: dynamic value, literal keys
+	reg.Child("machine", machine)                              // clean: literal key, dynamic value
+	kv := []string{"n", "6"}
+	clean.With(kv...) // clean: slice spread is out of scope
+}

@@ -69,7 +69,7 @@ func (e *Embedder) EmbedOp(op *obs.Op, fs *faults.Set) (*Plan, error) {
 		}
 		fs = fs.Clone()
 	}
-	in := newInstr(e.cfg.Obs)
+	in := newInstr(e.cfg.Obs, n)
 	owned := op == nil
 	if owned {
 		op = e.cfg.Obs.StartOp("core.op.embed")
@@ -144,6 +144,7 @@ func (e *Embedder) EmbedOp(op *obs.Op, fs *faults.Set) (*Plan, error) {
 		in.fail(op, owned, "core.embed", err)
 		return nil, err
 	}
+	in.embedCompleted(res.Guaranteed)
 	if op.Enabled(obs.LevelInfo) {
 		op.Log(obs.LevelInfo, "core.embed",
 			obs.F("n", n), obs.F("vertex_faults", nv), obs.F("edge_faults", ne),
@@ -427,7 +428,7 @@ func (p *Plan) RepairOp(op *obs.Op, v perm.Code) (RepairReport, error) {
 		return rep, nil
 	}
 
-	in := newInstr(p.e.cfg.Obs)
+	in := newInstr(p.e.cfg.Obs, p.e.n)
 	owned := op == nil
 	if owned {
 		op = p.e.cfg.Obs.StartOp("core.op.repair")

@@ -1,6 +1,7 @@
 package core
 
 import (
+	"strconv"
 	"sync/atomic"
 	"time"
 
@@ -23,11 +24,19 @@ type instr struct {
 	workers    *obs.Gauge
 	utilPct    *obs.Gauge
 
+	// Labeled families: per-n degradation curves come out of snapshots
+	// as labeled series instead of one aggregate (ISSUE 9). nLabel is
+	// the run's star-graph dimension, rendered once.
+	nLabel  string
+	embeds  *obs.CounterVec // core.embed.completed{n,mode}
+	repairs *obs.CounterVec // core.repair.outcome{n,outcome}
+
 	hits0, misses0, bypasses0 int64
 }
 
-// newInstr resolves the registry's core metrics; nil in, nil out.
-func newInstr(r *obs.Registry) *instr {
+// newInstr resolves the registry's core metrics for one run on S_n;
+// nil in, nil out.
+func newInstr(r *obs.Registry, n int) *instr {
 	if r == nil {
 		return nil
 	}
@@ -38,6 +47,9 @@ func newInstr(r *obs.Registry) *instr {
 		workerBusy: r.Histogram("core.route.worker_busy"),
 		workers:    r.Gauge("core.route.workers"),
 		utilPct:    r.Gauge("core.route.utilization_pct"),
+		nLabel:     strconv.Itoa(n),
+		embeds:     r.CounterVec("core.embed.completed", "n", "mode"),
+		repairs:    r.CounterVec("core.repair.outcome", "n", "outcome"),
 	}
 	// Materialize the cache counters up front so every snapshot carries
 	// them, then baseline against the process-global canonical cache.
@@ -118,14 +130,32 @@ func (in *instr) eventLog() *obs.EventLog {
 }
 
 // repair bumps one of the repair-outcome counters
-// (core.repair.{splices,rebuilds,avoided}). Resolved lazily: repairs are
-// rare next to block routing, and plain embedding runs then never
+// (core.repair.{splices,rebuilds,avoided}) plus the labeled
+// core.repair.outcome family, which breaks the same tally down by
+// dimension n for fleet dashboards. Resolved lazily: repairs are rare
+// next to block routing, and plain embedding runs then never
 // materialize the repair counters in their snapshots.
 func (in *instr) repair(outcome string) {
 	if in == nil {
 		return
 	}
 	in.reg.Counter("core.repair." + outcome).Inc()
+	in.repairs.With("n", in.nLabel, "outcome", outcome).Inc()
+}
+
+// embedCompleted counts one successful embedding in the labeled
+// core.embed.completed family, split by dimension and by whether the
+// run stayed within the paper's fault budget (mode=guaranteed) or
+// degraded best-effort past it.
+func (in *instr) embedCompleted(guaranteed bool) {
+	if in == nil {
+		return
+	}
+	mode := "guaranteed"
+	if !guaranteed {
+		mode = "besteffort"
+	}
+	in.embeds.With("n", in.nLabel, "mode", mode).Inc()
 }
 
 // junctionBacktrack and blockRouted sit inside the routing loop, so

@@ -58,6 +58,43 @@ func TestEmbedMetrics(t *testing.T) {
 	if len(snap.Events) == 0 {
 		t.Error("no span events reached the sink")
 	}
+	// The labeled families materialize with the run's dimension: three
+	// vertex faults on S_6 is exactly the paper's budget, so the embed
+	// completes in guaranteed mode.
+	labeled := `core.embed.completed{mode="guaranteed",n="6"}`
+	if got := snap.Counters[labeled]; got != 1 {
+		t.Errorf("%s = %d, want 1; counters %+v", labeled, got, snap.Counters)
+	}
+}
+
+// TestRepairMetricsLabeled drives one splice repair and checks the
+// labeled outcome family materializes alongside the flat counter.
+func TestRepairMetricsLabeled(t *testing.T) {
+	reg := obs.NewRegistry()
+	e, err := NewEmbedder(6, Config{Obs: reg})
+	if err != nil {
+		t.Fatal(err)
+	}
+	p, err := e.Embed(faults.NewSet(6))
+	if err != nil {
+		t.Fatal(err)
+	}
+	rep, err := p.Repair(p.Ring()[0])
+	if err != nil {
+		t.Fatal(err)
+	}
+	snap := reg.Snapshot()
+	want := map[RepairOutcome]string{
+		RepairSplice:  `core.repair.outcome{n="6",outcome="splices"}`,
+		RepairRebuild: `core.repair.outcome{n="6",outcome="rebuilds"}`,
+		RepairAvoided: `core.repair.outcome{n="6",outcome="avoided"}`,
+	}[rep.Outcome]
+	if want == "" {
+		t.Fatalf("unexpected outcome %v", rep.Outcome)
+	}
+	if got := snap.Counters[want]; got != 1 {
+		t.Errorf("%s = %d, want 1; counters %+v", want, got, snap.Counters)
+	}
 }
 
 // TestEmbedMetricsConcurrent shares one registry between concurrent
@@ -90,9 +127,10 @@ func TestEmbedMetricsConcurrent(t *testing.T) {
 
 // TestObsDisabledAllocs proves the disabled instrumentation path on the
 // block-routing loop allocates nothing: with a nil instr every hook is
-// a nil test.
+// a nil test, and a nil CounterVec resolves label sets for free.
 func TestObsDisabledAllocs(t *testing.T) {
 	var in *instr
+	var vec *obs.CounterVec
 	var busy int64
 	if allocs := testing.AllocsPerRun(1000, func() {
 		start := in.now()
@@ -100,6 +138,9 @@ func TestObsDisabledAllocs(t *testing.T) {
 		in.junctionBacktrack()
 		in.workerDone(start, &busy)
 		in.span("core.phase.route").End()
+		in.repair("splices")
+		in.embedCompleted(true)
+		vec.With("n", "6", "mode", "guaranteed").Inc()
 	}); allocs != 0 {
 		t.Errorf("disabled hooks allocate %.1f times per block", allocs)
 	}
@@ -109,9 +150,12 @@ func TestObsDisabledAllocs(t *testing.T) {
 // instrumentation path — the exact hook sequence the assemble worker
 // loop executes per routed block, plus a disabled runtime sampler (the
 // state every uninstrumented run carries now that prof.RuntimeSampler
-// exists). Expect single-digit nanoseconds and 0 allocs/op.
+// exists) and a disabled labeled-family lookup (CounterVec.With on a
+// nil vec must not heap-allocate its key/value pairs). Expect
+// single-digit nanoseconds and 0 allocs/op.
 func BenchmarkObsDisabled(b *testing.B) {
 	var in *instr
+	var vec *obs.CounterVec
 	rt := prof.NewRuntimeSampler(nil)
 	var busy int64
 	b.ReportAllocs()
@@ -119,6 +163,7 @@ func BenchmarkObsDisabled(b *testing.B) {
 		start := in.now()
 		in.blockRouted()
 		in.workerDone(start, &busy)
+		vec.With("n", "6", "mode", "guaranteed").Inc()
 		rt.Sample()
 	}
 }
@@ -126,7 +171,7 @@ func BenchmarkObsDisabled(b *testing.B) {
 // BenchmarkObsEnabled is the same hook sequence against a live
 // registry, for comparison.
 func BenchmarkObsEnabled(b *testing.B) {
-	in := newInstr(obs.NewRegistry())
+	in := newInstr(obs.NewRegistry(), 6)
 	var busy int64
 	b.ReportAllocs()
 	for i := 0; i < b.N; i++ {

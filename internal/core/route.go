@@ -63,7 +63,7 @@ func (rt *routed) ringLen() int { return rt.offsets[len(rt.offsets)-1] }
 // routes its own R4 variants through the same engine; library users
 // should call Embed.
 func RouteR4(r4 *superring.Ring, fs *faults.Set, targetsFor func(int) []int, cfg Config) ([]perm.Code, error) {
-	in := newInstr(cfg.Obs)
+	in := newInstr(cfg.Obs, fs.N())
 	rt, err := routeR4x(r4, fs, func(_, vf int) []int { return targetsFor(vf) }, nil, cfg, in)
 	if err != nil {
 		return nil, err

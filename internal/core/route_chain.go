@@ -61,7 +61,7 @@ func routeChain(chain *superring.Chain, fs *faults.Set, s, t perm.Code, cfg Conf
 	}
 
 	needOdd := s.Parity(n) == t.Parity(n)
-	in := newInstr(cfg.Obs)
+	in := newInstr(cfg.Obs, n)
 	for _, odd := range oddBlockCandidates(plans, n, s, needOdd) {
 		for k, p := range plans {
 			p.targets = chainTargets(k == odd, len(p.avoidV), cfg.BestEffort)

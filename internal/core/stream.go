@@ -49,7 +49,7 @@ type RingCursor struct {
 // traversal is spanned as core.phase.stream_emit from open to
 // exhaustion when the embedder's registry is attached.
 func (p *Plan) Cursor() *RingCursor {
-	c := &RingCursor{p: p, gen: p.gen, span: newInstr(p.e.cfg.Obs).span("core.phase.stream_emit")}
+	c := &RingCursor{p: p, gen: p.gen, span: newInstr(p.e.cfg.Obs, p.e.n).span("core.phase.stream_emit")}
 	if p.res.Ring != nil {
 		c.seg = p.res.Ring
 	} else {

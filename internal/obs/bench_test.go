@@ -70,6 +70,42 @@ func BenchmarkSpanEnabledWithOp(b *testing.B) {
 	}
 }
 
+// BenchmarkFamilyWith prices a live labeled lookup: MakeLabels over the
+// variadic pairs, the canonical-key encode, and the slot-map hit. Hot
+// paths that care pre-resolve the handle once instead (see
+// BenchmarkFamilyWithHeld); bench.sh archives this next to the disabled
+// path so the With cost stays visible release over release.
+func BenchmarkFamilyWith(b *testing.B) {
+	r := NewRegistry()
+	v := r.CounterVec("bench.family", "n", "mode")
+	v.With("n", "6", "mode", "guaranteed").Inc() // materialize the slot
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		v.With("n", "6", "mode", "guaranteed").Inc()
+	}
+}
+
+// BenchmarkFamilyWithHeld is the pre-resolved pattern: With once, hold
+// the *Counter, pay only the atomic add per operation.
+func BenchmarkFamilyWithHeld(b *testing.B) {
+	r := NewRegistry()
+	c := r.CounterVec("bench.family", "n", "mode").With("n", "6", "mode", "guaranteed")
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		c.Inc()
+	}
+}
+
+// BenchmarkFamilyWithDisabled is the nil-vec fast path the enabled
+// numbers are read against; it must report 0 allocs/op.
+func BenchmarkFamilyWithDisabled(b *testing.B) {
+	var v *CounterVec
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		v.With("n", "6", "mode", "guaranteed").Inc()
+	}
+}
+
 // BenchmarkEventLogRecord prices one structured record through the
 // marshal-and-single-Write path (no flight recorder attached).
 func BenchmarkEventLogRecord(b *testing.B) {

@@ -83,11 +83,24 @@ type Record struct {
 // token moves) with Enabled to skip field construction too. Writes are
 // serialized by an internal mutex; timestamps come from the injected
 // Clock.
+//
+// With returns a derived log carrying bound fields — stamped into
+// every record it writes — that shares the parent's writer, mutex and
+// flight tee. Registry.Child uses it to stamp tenant identity
+// (machine="m3") into a shared NDJSON stream without interleaving.
 type EventLog struct {
+	core  *logCore
+	min   Level
+	clock Clock
+	bound []Field // stamped into every record; With-bound copies append here
+}
+
+// logCore is the shared write half of an EventLog: one writer, one
+// mutex, one flight tee, shared by the root log and every With-bound
+// copy so lines never interleave and the black box sees everything.
+type logCore struct {
 	mu     sync.Mutex
 	w      io.Writer
-	min    Level
-	clock  Clock
 	flight *FlightRecorder // tee: every written record also lands in the black box
 }
 
@@ -97,7 +110,22 @@ func NewEventLog(w io.Writer, min Level, clock Clock) *EventLog {
 	if clock == nil {
 		clock = Wall
 	}
-	return &EventLog{w: w, min: min, clock: clock}
+	return &EventLog{core: &logCore{w: w}, min: min, clock: clock}
+}
+
+// With returns a log that stamps the given fields into every record,
+// sharing the receiver's writer, level, clock and flight tee. Bound
+// fields are merged before per-call fields, so a call-site field wins
+// a key collision. With no fields it returns the receiver; on a nil
+// log it returns nil.
+func (l *EventLog) With(fields ...Field) *EventLog {
+	if l == nil || len(fields) == 0 {
+		return l
+	}
+	bound := make([]Field, 0, len(l.bound)+len(fields))
+	bound = append(bound, l.bound...)
+	bound = append(bound, fields...)
+	return &EventLog{core: l.core, min: l.min, clock: l.clock, bound: bound}
 }
 
 // Enabled reports whether an event at level would be written. Call
@@ -131,8 +159,11 @@ func (l *EventLog) log(trace TraceID, span SpanID, level Level, event string, fi
 		Trace: trace,
 		Span:  span,
 	}
-	if len(fields) > 0 {
-		rec.Fields = make(map[string]interface{}, len(fields))
+	if len(l.bound)+len(fields) > 0 {
+		rec.Fields = make(map[string]interface{}, len(l.bound)+len(fields))
+		for _, f := range l.bound {
+			rec.Fields[f.K] = f.V
+		}
 		for _, f := range fields {
 			rec.Fields[f.K] = f.V
 		}
@@ -143,24 +174,26 @@ func (l *EventLog) log(trace TraceID, span SpanID, level Level, event string, fi
 		line, _ = json.Marshal(rec)
 	}
 	line = append(line, '\n')
-	l.mu.Lock()
-	fl := l.flight
-	_, _ = l.w.Write(line)
-	l.mu.Unlock()
+	c := l.core
+	c.mu.Lock()
+	fl := c.flight
+	_, _ = c.w.Write(line)
+	c.mu.Unlock()
 	if fl != nil {
 		fl.noteRecord(rec)
 	}
 }
 
 // setFlight installs the black-box tee (Registry.SetFlight and
-// SetEventLog wire it; nil detaches).
+// SetEventLog wire it; nil detaches). The tee lives on the shared
+// core, so With-bound copies inherit it in both directions.
 func (l *EventLog) setFlight(f *FlightRecorder) {
 	if l == nil {
 		return
 	}
-	l.mu.Lock()
-	l.flight = f
-	l.mu.Unlock()
+	l.core.mu.Lock()
+	l.core.flight = f
+	l.core.mu.Unlock()
 }
 
 // ReadLog parses an NDJSON event stream back into records, skipping

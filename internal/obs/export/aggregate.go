@@ -1,0 +1,70 @@
+package export
+
+import (
+	"repro/internal/obs"
+)
+
+// Aggregate merges N registry snapshots — typically one per machine in
+// a sim fleet, taken from sibling child registries — into one fleet
+// view:
+//
+//   - counters sum (total embeds across the fleet),
+//   - gauges take the maximum (worst ring length deficit, peak
+//     workers), which is the useful fleet reading for the gauges this
+//     repo exports,
+//   - histograms merge bucket-wise via obs.MergeHistogramStats, so
+//     fleet quantiles come from the combined distribution rather than
+//     an average of per-machine quantiles,
+//   - Labels keep only the key/value pairs every input agrees on (the
+//     common ancestry); per-machine keys like machine="m3" drop out,
+//   - events are dropped — they remain per-machine evidence.
+//
+// Metric identities merge by their snapshot key, so inputs should be
+// snapshots taken at the same registry depth (e.g. each machine's own
+// child registry): their relative keys then line up exactly.
+func Aggregate(snaps ...obs.Snapshot) obs.Snapshot {
+	out := obs.Snapshot{
+		Counters:   map[string]int64{},
+		Gauges:     map[string]int64{},
+		Histograms: map[string]obs.HistogramStats{},
+	}
+	for i, s := range snaps {
+		for k, v := range s.Counters {
+			out.Counters[k] += v
+		}
+		for k, v := range s.Gauges {
+			if cur, ok := out.Gauges[k]; !ok || v > cur {
+				out.Gauges[k] = v
+			}
+		}
+		for k, st := range s.Histograms {
+			// Exemplars are per-machine trace evidence; the merged
+			// stats drop them rather than pretend a fleet histogram
+			// observed one machine's trace.
+			st.Exemplars = nil
+			if cur, ok := out.Histograms[k]; ok {
+				out.Histograms[k] = obs.MergeHistogramStats(cur, st)
+			} else {
+				out.Histograms[k] = st
+			}
+		}
+		if i == 0 {
+			for k, v := range s.Labels {
+				if out.Labels == nil {
+					out.Labels = map[string]string{}
+				}
+				out.Labels[k] = v
+			}
+			continue
+		}
+		for k, v := range out.Labels {
+			if sv, ok := s.Labels[k]; !ok || sv != v {
+				delete(out.Labels, k)
+			}
+		}
+	}
+	if len(out.Labels) == 0 {
+		out.Labels = nil
+	}
+	return out
+}

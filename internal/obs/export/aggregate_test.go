@@ -1,0 +1,102 @@
+package export
+
+import (
+	"testing"
+	"time"
+
+	"repro/internal/obs"
+)
+
+// fleetSnaps builds two machine snapshots from real registries so the
+// histogram merge runs over genuine bucket counts.
+func fleetSnaps(t *testing.T) (obs.Snapshot, obs.Snapshot) {
+	t.Helper()
+	mk := func(id string, embeds int64, ring int64, durs []time.Duration) obs.Snapshot {
+		r := obs.NewRegistry().Child("cluster", "c0").Child("machine", id)
+		r.Counter("sim.embeds").Add(embeds)
+		r.Gauge("sim.ring_length").Set(ring)
+		for _, d := range durs {
+			r.Histogram("sim.phase.repair").Observe(d)
+		}
+		return r.Snapshot()
+	}
+	a := mk("m0", 3, 100, []time.Duration{time.Millisecond, 2 * time.Millisecond})
+	b := mk("m1", 5, 120, []time.Duration{4 * time.Millisecond})
+	return a, b
+}
+
+func TestAggregate(t *testing.T) {
+	a, b := fleetSnaps(t)
+	fleet := Aggregate(a, b)
+
+	if got := fleet.Counters["sim.embeds"]; got != 8 {
+		t.Errorf("counters should sum: %d, want 8", got)
+	}
+	if got := fleet.Gauges["sim.ring_length"]; got != 120 {
+		t.Errorf("gauges should max: %d, want 120", got)
+	}
+	h := fleet.Histograms["sim.phase.repair"]
+	if h.Count != 3 {
+		t.Errorf("merged count = %d, want 3", h.Count)
+	}
+	if want := int64(7 * time.Millisecond); h.SumNS != want {
+		t.Errorf("merged sum = %d, want %d", h.SumNS, want)
+	}
+	if want := int64(4 * time.Millisecond); h.MaxNS != want {
+		t.Errorf("merged max = %d, want %d", h.MaxNS, want)
+	}
+	// Bucket-wise merge: the fleet p95 lands in the slowest machine's
+	// bucket, not at an average of per-machine quantiles.
+	if h.P95NS < int64(2*time.Millisecond) {
+		t.Errorf("merged p95 = %d, want >= the 4ms observation's bucket", h.P95NS)
+	}
+	if len(h.Exemplars) != 0 {
+		t.Errorf("fleet histogram kept exemplars: %v", h.Exemplars)
+	}
+
+	// Shared ancestry labels survive; per-machine identity drops out.
+	if got := fleet.Labels["cluster"]; got != "c0" {
+		t.Errorf("fleet labels = %v, want cluster=c0 kept", fleet.Labels)
+	}
+	if _, ok := fleet.Labels["machine"]; ok {
+		t.Errorf("fleet labels kept machine identity: %v", fleet.Labels)
+	}
+}
+
+func TestAggregateDegenerate(t *testing.T) {
+	empty := Aggregate()
+	if len(empty.Counters)+len(empty.Gauges)+len(empty.Histograms) != 0 || empty.Labels != nil {
+		t.Errorf("Aggregate() = %+v, want empty", empty)
+	}
+	a, _ := fleetSnaps(t)
+	one := Aggregate(a)
+	if one.Counters["sim.embeds"] != a.Counters["sim.embeds"] ||
+		one.Labels["machine"] != "m0" {
+		t.Errorf("single-input aggregate should be the identity: %+v", one)
+	}
+}
+
+// TestAggregateQuantilesWithoutBuckets covers snapshots predating
+// bucket capture (or hand-built ones): the merge must stay pessimistic
+// rather than invent a distribution.
+func TestAggregateQuantilesWithoutBuckets(t *testing.T) {
+	a := obs.Snapshot{
+		Counters: map[string]int64{}, Gauges: map[string]int64{},
+		Histograms: map[string]obs.HistogramStats{
+			"h": {Count: 2, SumNS: 30, P50NS: 10, P95NS: 20, MaxNS: 20},
+		},
+	}
+	b := obs.Snapshot{
+		Counters: map[string]int64{}, Gauges: map[string]int64{},
+		Histograms: map[string]obs.HistogramStats{
+			"h": {Count: 1, SumNS: 50, P50NS: 50, P95NS: 50, MaxNS: 50},
+		},
+	}
+	h := Aggregate(a, b).Histograms["h"]
+	if h.Count != 3 || h.SumNS != 80 || h.MaxNS != 50 {
+		t.Errorf("merged = %+v", h)
+	}
+	if h.P50NS != 50 || h.P95NS != 50 {
+		t.Errorf("bucketless merge should take pessimistic quantiles: %+v", h)
+	}
+}

@@ -47,59 +47,99 @@ func seconds(ns int64) string {
 	return strconv.FormatFloat(float64(ns)/1e9, 'g', -1, 64)
 }
 
+// omFamily accumulates one exposition family: its TYPE and the sample
+// lines belonging to it (rendered, unsorted).
+type omFamily struct {
+	typ   string
+	lines []string
+}
+
+// renderLabels renders a label set as an exposition label clause, ""
+// when empty.
+func renderLabels(ls obs.Labels) string {
+	if len(ls) == 0 {
+		return ""
+	}
+	return "{" + ls.String() + "}"
+}
+
 // WriteOpenMetrics renders one registry snapshot as OpenMetrics text,
 // deterministically ordered, terminated by the mandatory "# EOF".
+// Labeled metric identities (name{k="v"} snapshot keys) become label
+// sets on the sample lines, merged over the snapshot's own Labels, and
+// every label set of one family shares a single TYPE declaration.
 func WriteOpenMetrics(w io.Writer, snap obs.Snapshot) error {
-	bw := bufio.NewWriter(w)
-
-	names := make([]string, 0, len(snap.Counters))
-	for name := range snap.Counters {
-		names = append(names, name)
+	base := obs.LabelsFromMap(snap.Labels)
+	fams := map[string]*omFamily{}
+	add := func(fam, typ, line string) {
+		f := fams[fam]
+		if f == nil {
+			f = &omFamily{typ: typ}
+			fams[fam] = f
+		}
+		f.lines = append(f.lines, line)
 	}
-	sort.Strings(names)
-	for _, name := range names {
-		m := MetricName(name)
-		fmt.Fprintf(bw, "# TYPE %s counter\n", m)
-		fmt.Fprintf(bw, "%s_total %d\n", m, snap.Counters[name])
-	}
-
-	names = names[:0]
-	for name := range snap.Gauges {
-		names = append(names, name)
-	}
-	sort.Strings(names)
-	for _, name := range names {
-		m := MetricName(name)
-		fmt.Fprintf(bw, "# TYPE %s gauge\n", m)
-		fmt.Fprintf(bw, "%s %d\n", m, snap.Gauges[name])
+	split := func(encoded string) (string, obs.Labels, error) {
+		name, ls, err := obs.ParseName(encoded)
+		if err != nil {
+			return "", nil, err
+		}
+		return MetricName(name), base.Merge(ls), nil
 	}
 
-	names = names[:0]
-	for name := range snap.Histograms {
-		names = append(names, name)
+	for name, v := range snap.Counters {
+		m, ls, err := split(name)
+		if err != nil {
+			return err
+		}
+		add(m, "counter", fmt.Sprintf("%s_total%s %d", m, renderLabels(ls), v))
 	}
-	sort.Strings(names)
-	for _, name := range names {
-		st := snap.Histograms[name]
-		m := MetricName(name)
-		fmt.Fprintf(bw, "# TYPE %s summary\n", m)
-		fmt.Fprintf(bw, "%s{quantile=\"0.5\"} %s\n", m, seconds(st.P50NS))
+	for name, v := range snap.Gauges {
+		m, ls, err := split(name)
+		if err != nil {
+			return err
+		}
+		add(m, "gauge", fmt.Sprintf("%s%s %d", m, renderLabels(ls), v))
+	}
+	for name, st := range snap.Histograms {
+		m, ls, err := split(name)
+		if err != nil {
+			return err
+		}
+		q50 := ls.Merge(obs.Labels{{Key: "quantile", Value: "0.5"}})
+		q95 := ls.Merge(obs.Labels{{Key: "quantile", Value: "0.95"}})
+		add(m, "summary", fmt.Sprintf("%s%s %s", m, renderLabels(q50), seconds(st.P50NS)))
 		if len(st.Exemplars) > 0 {
 			// OpenMetrics exemplar syntax: the slowest traced
 			// observation rides the p95 line with its trace id, so a
 			// dashboard outlier links straight to its trace.
 			ex := st.Exemplars[0]
-			fmt.Fprintf(bw, "%s{quantile=\"0.95\"} %s # {trace_id=\"%s\"} %s\n",
-				m, seconds(st.P95NS), ex.Trace, seconds(ex.NS))
+			add(m, "summary", fmt.Sprintf("%s%s %s # {trace_id=\"%s\"} %s",
+				m, renderLabels(q95), seconds(st.P95NS), ex.Trace, seconds(ex.NS)))
 		} else {
-			fmt.Fprintf(bw, "%s{quantile=\"0.95\"} %s\n", m, seconds(st.P95NS))
+			add(m, "summary", fmt.Sprintf("%s%s %s", m, renderLabels(q95), seconds(st.P95NS)))
 		}
-		fmt.Fprintf(bw, "%s_sum %s\n", m, seconds(st.SumNS))
-		fmt.Fprintf(bw, "%s_count %d\n", m, st.Count)
-		fmt.Fprintf(bw, "# TYPE %s_max_seconds gauge\n", m)
-		fmt.Fprintf(bw, "%s_max_seconds %s\n", m, seconds(st.MaxNS))
+		add(m, "summary", fmt.Sprintf("%s_sum%s %s", m, renderLabels(ls), seconds(st.SumNS)))
+		add(m, "summary", fmt.Sprintf("%s_count%s %d", m, renderLabels(ls), st.Count))
+		add(m+"_max_seconds", "gauge",
+			fmt.Sprintf("%s_max_seconds%s %s", m, renderLabels(ls), seconds(st.MaxNS)))
 	}
 
+	names := make([]string, 0, len(fams))
+	for name := range fams {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+
+	bw := bufio.NewWriter(w)
+	for _, name := range names {
+		f := fams[name]
+		sort.Strings(f.lines)
+		fmt.Fprintf(bw, "# TYPE %s %s\n", name, f.typ)
+		for _, line := range f.lines {
+			fmt.Fprintln(bw, line)
+		}
+	}
 	fmt.Fprintln(bw, "# EOF")
 	return bw.Flush()
 }
@@ -193,6 +233,11 @@ func ValidateOpenMetricsDetail(data []byte) (families, exemplars int, err error)
 		if m == nil {
 			return 0, 0, fmt.Errorf("line %d: malformed sample line %q", lineno, line)
 		}
+		if m[2] != "" {
+			if err := validateLabelSet(m[2][1 : len(m[2])-1]); err != nil {
+				return 0, 0, fmt.Errorf("line %d: %v", lineno, err)
+			}
+		}
 		if _, err := strconv.ParseFloat(m[3], 64); err != nil {
 			return 0, 0, fmt.Errorf("line %d: sample value %q is not a float", lineno, m[3])
 		}
@@ -210,6 +255,66 @@ func ValidateOpenMetricsDetail(data []byte) (families, exemplars int, err error)
 		return 0, 0, fmt.Errorf("missing # EOF terminator")
 	}
 	return len(declared), exemplars, nil
+}
+
+// omLabelNameRE is the OpenMetrics label-name grammar.
+var omLabelNameRE = regexp.MustCompile(`^[a-zA-Z_][a-zA-Z0-9_]*$`)
+
+// validateLabelSet checks the interior of a sample's {...} clause:
+// name="value" pairs separated by commas, legal label names, properly
+// quoted values with only the \\, \" and \n escapes, and no duplicate
+// names. body is the clause without its braces.
+func validateLabelSet(body string) error {
+	seen := map[string]bool{}
+	for len(body) > 0 {
+		eq := strings.Index(body, `="`)
+		if eq < 0 {
+			return fmt.Errorf("malformed label pair near %q", body)
+		}
+		name := body[:eq]
+		if !omLabelNameRE.MatchString(name) {
+			return fmt.Errorf("illegal label name %q", name)
+		}
+		if seen[name] {
+			return fmt.Errorf("duplicate label name %q", name)
+		}
+		seen[name] = true
+		rest := body[eq+2:]
+		i := 0
+		for ; i < len(rest); i++ {
+			c := rest[i]
+			if c == '\\' {
+				if i+1 >= len(rest) {
+					return fmt.Errorf("dangling escape in label %q", name)
+				}
+				switch rest[i+1] {
+				case '\\', '"', 'n':
+					i++
+				default:
+					return fmt.Errorf("illegal escape \\%c in label %q", rest[i+1], name)
+				}
+				continue
+			}
+			if c == '"' {
+				break
+			}
+		}
+		if i >= len(rest) {
+			return fmt.Errorf("unterminated value for label %q", name)
+		}
+		body = rest[i+1:]
+		if body == "" {
+			return nil
+		}
+		if body[0] != ',' {
+			return fmt.Errorf("expected ',' after label %q", name)
+		}
+		body = body[1:]
+		if body == "" {
+			return fmt.Errorf("trailing comma in label set")
+		}
+	}
+	return nil
 }
 
 // familyOf resolves a sample name to its declared family, honoring the

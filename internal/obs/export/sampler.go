@@ -12,6 +12,7 @@ import (
 	"io"
 	"os"
 	"sort"
+	"strings"
 	"sync"
 	"time"
 
@@ -222,14 +223,25 @@ func (s *Sampler) Series() []Series {
 	}
 	for name, hr := range s.hists {
 		out = append(out,
-			Series{Name: name + ".count", Kind: "histogram", Samples: hr.count.snapshot()},
-			Series{Name: name + ".p50_ns", Kind: "histogram", Samples: hr.p50.snapshot()},
-			Series{Name: name + ".p95_ns", Kind: "histogram", Samples: hr.p95.snapshot()},
-			Series{Name: name + ".max_ns", Kind: "histogram", Samples: hr.max.snapshot()},
+			Series{Name: subSeries(name, ".count"), Kind: "histogram", Samples: hr.count.snapshot()},
+			Series{Name: subSeries(name, ".p50_ns"), Kind: "histogram", Samples: hr.p50.snapshot()},
+			Series{Name: subSeries(name, ".p95_ns"), Kind: "histogram", Samples: hr.p95.snapshot()},
+			Series{Name: subSeries(name, ".max_ns"), Kind: "histogram", Samples: hr.max.snapshot()},
 		)
 	}
 	sort.Slice(out, func(i, j int) bool { return out[i].Name < out[j].Name })
 	return out
+}
+
+// subSeries appends a histogram stat suffix to a series name, keeping
+// any encoded label set at the end: "h{m=\"0\"}" + ".count" becomes
+// "h.count{m=\"0\"}", so rules and dashboards address labeled stat
+// series the same way as unlabeled ones.
+func subSeries(name, suffix string) string {
+	if i := strings.IndexByte(name, '{'); i >= 0 {
+		return name[:i] + suffix + name[i:]
+	}
+	return name + suffix
 }
 
 // SeriesDump is the WriteJSON document shape.

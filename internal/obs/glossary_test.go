@@ -145,14 +145,18 @@ func expandBraces(pattern string) []string {
 }
 
 // metricMethods are the method names whose first argument is a metric
-// name — the Registry constructors, core's lowercase instr helper, and
-// StartOp (whose root span lands in the histogram of the same name).
+// name — the Registry constructors (scalar and labeled-family), core's
+// lowercase instr helper, and StartOp (whose root span lands in the
+// histogram of the same name).
 var metricMethods = map[string]bool{
-	"counter":   true,
-	"gauge":     true,
-	"histogram": true,
-	"span":      true,
-	"startop":   true,
+	"counter":      true,
+	"gauge":        true,
+	"histogram":    true,
+	"span":         true,
+	"startop":      true,
+	"countervec":   true,
+	"gaugevec":     true,
+	"histogramvec": true,
 }
 
 // scanMetricNames walks every non-test .go file under root (skipping

@@ -23,6 +23,7 @@ import (
 	"encoding/json"
 	"io"
 	"os"
+	"sort"
 	"sync"
 	"sync/atomic"
 )
@@ -91,6 +92,16 @@ type Registry struct {
 	counters map[string]*Counter
 	gauges   map[string]*Gauge
 	hists    map[string]*Histogram
+	cvecs    map[string]*CounterVec
+	gvecs    map[string]*GaugeVec
+	hvecs    map[string]*HistogramVec
+	fams     []*family // every family, in creation order (append-only)
+	children map[string]*Registry
+	kidList  []*Registry       // every child, in creation order (append-only)
+	encCache map[string]string // plain-metric name → EncodeName(name, labels)
+	labels   Labels            // full label set: ancestors' labels merged with own
+	own      Labels            // labels added relative to the parent registry
+	maxCard  int               // per-family label cardinality cap (0 = default)
 	clock    Clock
 	sink     Sink
 	events   *EventLog
@@ -100,8 +111,93 @@ type Registry struct {
 // NewRegistry returns an empty registry on the wall clock.
 func NewRegistry() *Registry { return &Registry{clock: Wall} }
 
-// SetClock replaces the registry's time source (nil restores Wall).
-// Spans started before the switch measure across both clocks.
+// Child returns the child registry carrying the given additional
+// labels (alternating key/value pairs), creating it on first use —
+// calls with the same label set return the same child, so fleet
+// aggregation can re-find a machine's registry by its identity. The
+// child inherits the parent's clock, sink, flight recorder and
+// cardinality cap; its event log is the parent's with the child labels
+// bound as fields, so NDJSON records are stamped with the tenant
+// identity. Child metrics surface through the parent's Visit and
+// Snapshot with the child labels applied.
+func (r *Registry) Child(kv ...string) *Registry {
+	if r == nil {
+		return nil
+	}
+	own := MakeLabels(kv...)
+	key := own.String()
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	c, ok := r.children[key]
+	if ok {
+		return c
+	}
+	c = &Registry{
+		labels:  r.labels.Merge(own),
+		own:     own,
+		maxCard: r.maxCard,
+		clock:   r.clock,
+		sink:    r.sink,
+		flight:  r.flight,
+		events:  r.events.With(labelFields(own)...),
+	}
+	if r.children == nil {
+		r.children = make(map[string]*Registry)
+	}
+	r.children[key] = c
+	r.kidList = append(r.kidList, c)
+	return c
+}
+
+// Children returns the live child registries, sorted by label set.
+func (r *Registry) Children() []*Registry {
+	if r == nil {
+		return nil
+	}
+	r.mu.Lock()
+	keys := make([]string, 0, len(r.children))
+	for k := range r.children {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	out := make([]*Registry, len(keys))
+	for i, k := range keys {
+		out[i] = r.children[k]
+	}
+	r.mu.Unlock()
+	return out
+}
+
+// Labels returns the registry's full label set (ancestors merged with
+// its own), nil for an unlabeled root.
+func (r *Registry) Labels() Labels {
+	if r == nil {
+		return nil
+	}
+	return r.labels
+}
+
+// labelFields converts a label set into event-log fields.
+func labelFields(ls Labels) []Field {
+	if len(ls) == 0 {
+		return nil
+	}
+	fs := make([]Field, len(ls))
+	for i, l := range ls {
+		fs[i] = Field{K: l.Key, V: l.Value}
+	}
+	return fs
+}
+
+// childrenLocked returns the append-only child list (the slice header
+// is safe to iterate after the lock drops); callers hold r.mu.
+func (r *Registry) childrenLocked() []*Registry {
+	return r.kidList
+}
+
+// SetClock replaces the registry's time source (nil restores Wall) and
+// propagates it to existing children. Spans started before the switch
+// measure across both clocks.
 func (r *Registry) SetClock(c Clock) {
 	if r == nil {
 		return
@@ -111,7 +207,11 @@ func (r *Registry) SetClock(c Clock) {
 	}
 	r.mu.Lock()
 	r.clock = c
+	kids := r.childrenLocked()
 	r.mu.Unlock()
+	for _, k := range kids {
+		k.SetClock(c)
+	}
 }
 
 // Clock returns the registry's time source; a nil registry reads Wall.
@@ -129,19 +229,25 @@ func (r *Registry) Clock() Clock {
 }
 
 // SetSink installs the event sink that completed spans are emitted to
-// (nil disables emission; histograms still record).
+// (nil disables emission; histograms still record). Existing children
+// inherit it.
 func (r *Registry) SetSink(s Sink) {
 	if r == nil {
 		return
 	}
 	r.mu.Lock()
 	r.sink = s
+	kids := r.childrenLocked()
 	r.mu.Unlock()
+	for _, k := range kids {
+		k.SetSink(s)
+	}
 }
 
 // SetEventLog attaches the structured event log that instrumented
 // subsystems reach through EventLog() (nil detaches it). An installed
-// flight recorder is teed into the new log automatically.
+// flight recorder is teed into the new log automatically; existing
+// children re-bind their label fields onto the new log.
 func (r *Registry) SetEventLog(l *EventLog) {
 	if r == nil {
 		return
@@ -149,15 +255,19 @@ func (r *Registry) SetEventLog(l *EventLog) {
 	r.mu.Lock()
 	r.events = l
 	fl := r.flight
+	kids := r.childrenLocked()
 	r.mu.Unlock()
 	if fl != nil {
 		l.setFlight(fl)
+	}
+	for _, k := range kids {
+		k.SetEventLog(l.With(labelFields(k.own)...))
 	}
 }
 
 // SetFlight installs the flight recorder fed by Span.End and teed into
 // the attached event log (nil detaches). NewFlightRecorder calls this;
-// most code never does directly.
+// most code never does directly. Existing children inherit it.
 func (r *Registry) SetFlight(f *FlightRecorder) {
 	if r == nil {
 		return
@@ -165,8 +275,12 @@ func (r *Registry) SetFlight(f *FlightRecorder) {
 	r.mu.Lock()
 	r.flight = f
 	l := r.events
+	kids := r.childrenLocked()
 	r.mu.Unlock()
 	l.setFlight(f)
+	for _, k := range kids {
+		k.SetFlight(f)
+	}
 }
 
 // Flight returns the installed flight recorder; nil (a no-op recorder)
@@ -247,46 +361,111 @@ func (r *Registry) Histogram(name string) *Histogram {
 
 // Visitor receives one callback per live metric from Registry.Visit.
 // Implementations read the metric through its atomic accessors; they
-// must not call back into the registry (Visit holds its lock).
+// must not call back into the registry (Visit holds its lock while
+// walking plain metrics). Labeled metrics — family slots and anything
+// under a child registry — arrive with the label set encoded into the
+// name, name{k="v",...} (see EncodeName); visitors that also implement
+// LabelVisitor receive the parts split instead.
 type Visitor interface {
 	VisitCounter(name string, c *Counter)
 	VisitGauge(name string, g *Gauge)
 	VisitHistogram(name string, h *Histogram)
 }
 
-// Visit enumerates every metric without allocating — the export
-// Sampler's steady-state path. Order is unspecified; visitors that need
-// determinism must sort on their side.
+// LabelVisitor is the label-aware extension of Visitor: when a visitor
+// implements it, Visit routes every metric — plain or labeled —
+// through the VisitLabeled callbacks with the base name and the
+// absolute label set (nil for unlabeled metrics in the root registry).
+type LabelVisitor interface {
+	Visitor
+	VisitLabeledCounter(name string, labels Labels, c *Counter)
+	VisitLabeledGauge(name string, labels Labels, g *Gauge)
+	VisitLabeledHistogram(name string, labels Labels, h *Histogram)
+}
+
+// Visit enumerates every metric, descending into child registries —
+// steady-state allocation-free (encoded names are cached on first
+// visit), the export Sampler's path. Order is unspecified; visitors
+// that need determinism must sort on their side.
 func (r *Registry) Visit(v Visitor) {
 	if r == nil {
 		return
 	}
+	lv, _ := v.(LabelVisitor)
 	r.mu.Lock()
-	defer r.mu.Unlock()
 	for name, c := range r.counters {
-		v.VisitCounter(name, c)
+		if lv != nil {
+			lv.VisitLabeledCounter(name, r.labels, c)
+		} else {
+			v.VisitCounter(r.encNameLocked(name), c)
+		}
 	}
 	for name, g := range r.gauges {
-		v.VisitGauge(name, g)
+		if lv != nil {
+			lv.VisitLabeledGauge(name, r.labels, g)
+		} else {
+			v.VisitGauge(r.encNameLocked(name), g)
+		}
 	}
 	for name, h := range r.hists {
-		v.VisitHistogram(name, h)
+		if lv != nil {
+			lv.VisitLabeledHistogram(name, r.labels, h)
+		} else {
+			v.VisitHistogram(r.encNameLocked(name), h)
+		}
 	}
+	fams := r.familiesLocked()
+	kids := r.childrenLocked()
+	r.mu.Unlock()
+	for _, f := range fams {
+		f.visit(v, lv)
+	}
+	for _, k := range kids {
+		k.Visit(v)
+	}
+}
+
+// encNameLocked returns EncodeName(name, r.labels), cached so repeat
+// visits allocate nothing; callers hold r.mu.
+func (r *Registry) encNameLocked(name string) string {
+	if len(r.labels) == 0 {
+		return name
+	}
+	enc, ok := r.encCache[name]
+	if !ok {
+		enc = EncodeName(name, r.labels)
+		if r.encCache == nil {
+			r.encCache = make(map[string]string)
+		}
+		r.encCache[name] = enc
+	}
+	return enc
+}
+
+// familiesLocked returns the append-only family list (the slice header
+// is safe to iterate after the lock drops); callers hold r.mu.
+func (r *Registry) familiesLocked() []*family {
+	return r.fams
 }
 
 // Snapshot is a point-in-time copy of a registry's metrics, shaped for
 // JSON serialization and expvar publication. Histogram entries carry
-// the per-phase duration statistics.
+// the per-phase duration statistics. Labels is the snapshotting
+// registry's own full label set (nil for an unlabeled root); map keys
+// are metric identities relative to it — plain names for its own
+// metrics, name{k="v",...} (see EncodeName) for family slots and
+// child-registry metrics.
 type Snapshot struct {
+	Labels     map[string]string         `json:"labels,omitempty"`
 	Counters   map[string]int64          `json:"counters"`
 	Gauges     map[string]int64          `json:"gauges"`
 	Histograms map[string]HistogramStats `json:"histograms"`
 	Events     []Event                   `json:"events,omitempty"`
 }
 
-// Snapshot captures every metric. When the installed sink records
-// events (implements Events() []Event, as Recorder does), they are
-// included.
+// Snapshot captures every metric, including labeled families and child
+// registries. When the installed sink records events (implements
+// Events() []Event, as Recorder does), they are included.
 func (r *Registry) Snapshot() Snapshot {
 	s := Snapshot{
 		Counters:   map[string]int64{},
@@ -296,6 +475,21 @@ func (r *Registry) Snapshot() Snapshot {
 	if r == nil {
 		return s
 	}
+	s.Labels = r.labels.Map()
+	r.snapshotInto(&s, nil)
+	r.mu.Lock()
+	sink := r.sink
+	r.mu.Unlock()
+	if ev, ok := sink.(interface{ Events() []Event }); ok {
+		s.Events = ev.Events()
+	}
+	return s
+}
+
+// snapshotInto copies this registry's metrics into s, keyed with rel —
+// the label path from the snapshotting ancestor down to this registry
+// — then recurses into children with their own labels appended.
+func (r *Registry) snapshotInto(s *Snapshot, rel Labels) {
 	r.mu.Lock()
 	counters := make(map[string]*Counter, len(r.counters))
 	for k, v := range r.counters {
@@ -309,24 +503,28 @@ func (r *Registry) Snapshot() Snapshot {
 	for k, v := range r.hists {
 		hists[k] = v
 	}
-	sink := r.sink
+	fams := r.familiesLocked()
+	kids := r.childrenLocked()
 	r.mu.Unlock()
 
 	for k, v := range counters {
-		s.Counters[k] = v.Value()
+		s.Counters[EncodeName(k, rel)] = v.Value()
 	}
 	for k, v := range gauges {
-		s.Gauges[k] = v.Value()
+		s.Gauges[EncodeName(k, rel)] = v.Value()
 	}
 	for k, v := range hists {
 		st := v.Stats()
 		st.Exemplars = v.Exemplars()
-		s.Histograms[k] = st
+		st.Buckets = v.BucketCounts()
+		s.Histograms[EncodeName(k, rel)] = st
 	}
-	if ev, ok := sink.(interface{ Events() []Event }); ok {
-		s.Events = ev.Events()
+	for _, f := range fams {
+		f.snapshotInto(s, rel)
 	}
-	return s
+	for _, k := range kids {
+		k.snapshotInto(s, rel.Merge(k.own))
+	}
 }
 
 // WriteJSON writes the current snapshot as indented JSON.

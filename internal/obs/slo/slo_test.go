@@ -1,0 +1,250 @@
+package slo
+
+import (
+	"strings"
+	"testing"
+	"time"
+)
+
+func fp(v float64) *float64 { return &v }
+
+func sec(s float64) int64 { return int64(s * float64(time.Second)) }
+
+func TestParseAndValidate(t *testing.T) {
+	good := `{"rules": [
+		{"name": "ring-floor", "kind": "threshold", "metric": "sim_ring_length",
+		 "window_s": 60, "min": 100},
+		{"name": "failure-rate", "kind": "rate", "metric": "sim_failures_total",
+		 "window_s": 30, "max_per_s": 0.5},
+		{"name": "embed-burn", "kind": "burn",
+		 "good_metric": "good_total", "total_metric": "all_total",
+		 "objective": 0.99, "burn_factor": 2, "short_window_s": 10, "long_window_s": 60}
+	]}`
+	p, err := Parse([]byte(good))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(p.Rules) != 3 {
+		t.Fatalf("rules = %d, want 3", len(p.Rules))
+	}
+
+	bad := map[string]string{
+		"not json":         `{`,
+		"no rules":         `{"rules": []}`,
+		"missing name":     `{"rules": [{"kind": "threshold", "metric": "m", "window_s": 1, "max": 1}]}`,
+		"duplicate name":   `{"rules": [{"name": "a", "kind": "threshold", "metric": "m", "window_s": 1, "max": 1}, {"name": "a", "kind": "threshold", "metric": "m", "window_s": 1, "max": 1}]}`,
+		"unknown kind":     `{"rules": [{"name": "a", "kind": "quota", "metric": "m"}]}`,
+		"no bound":         `{"rules": [{"name": "a", "kind": "threshold", "metric": "m", "window_s": 1}]}`,
+		"no window":        `{"rules": [{"name": "a", "kind": "threshold", "metric": "m", "max": 1}]}`,
+		"rate no bound":    `{"rules": [{"name": "a", "kind": "rate", "metric": "m", "window_s": 1}]}`,
+		"burn objective":   `{"rules": [{"name": "a", "kind": "burn", "good_metric": "g", "total_metric": "t", "objective": 1.5, "burn_factor": 2, "short_window_s": 1, "long_window_s": 2}]}`,
+		"burn windows":     `{"rules": [{"name": "a", "kind": "burn", "good_metric": "g", "total_metric": "t", "objective": 0.9, "burn_factor": 2, "short_window_s": 5, "long_window_s": 1}]}`,
+		"burn no metrics":  `{"rules": [{"name": "a", "kind": "burn", "objective": 0.9, "burn_factor": 2, "short_window_s": 1, "long_window_s": 2}]}`,
+		"burn zero factor": `{"rules": [{"name": "a", "kind": "burn", "good_metric": "g", "total_metric": "t", "objective": 0.9, "short_window_s": 1, "long_window_s": 2}]}`,
+	}
+	for label, doc := range bad {
+		if _, err := Parse([]byte(doc)); err == nil {
+			t.Errorf("%s: accepted %s", label, doc)
+		}
+	}
+}
+
+func TestThresholdRule(t *testing.T) {
+	p := Policy{Rules: []Rule{{
+		Name: "ring-floor", Kind: "threshold",
+		Metric: "ring", WindowS: 10, Min: fp(100), Max: fp(200),
+	}}}
+	if err := p.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	e := NewEngine(p)
+
+	// No data yet.
+	if v := e.Evaluate(sec(0))[0]; v.State != StateNoData {
+		t.Errorf("empty engine: %+v", v)
+	}
+	if e.EverFired() {
+		t.Error("no-data counted as fired")
+	}
+
+	e.Observe(sec(1), map[string]float64{"ring": 150, "ignored": 1})
+	if v := e.Evaluate(sec(1))[0]; v.State != StateOK {
+		t.Errorf("in-bounds: %+v", v)
+	}
+
+	// A dip below the floor fires, with the worst value reported.
+	e.Observe(sec(2), map[string]float64{"ring": 80})
+	v := e.Evaluate(sec(2))[0]
+	if v.State != StateFiring || v.Value != 80 {
+		t.Errorf("below floor: %+v", v)
+	}
+	if !strings.Contains(v.Detail, "floor") {
+		t.Errorf("detail %q", v.Detail)
+	}
+	if got := e.Firing(); len(got) != 1 || got[0] != "ring-floor" {
+		t.Errorf("Firing() = %v", got)
+	}
+
+	// The violation stays in the window until it slides out...
+	e.Observe(sec(5), map[string]float64{"ring": 150})
+	if v := e.Evaluate(sec(5))[0]; v.State != StateFiring {
+		t.Errorf("violation still in window: %+v", v)
+	}
+	// ...then the rule resolves, but EverFired stays sticky.
+	e.Observe(sec(13), map[string]float64{"ring": 150})
+	if v := e.Evaluate(sec(13))[0]; v.State != StateOK {
+		t.Errorf("after window slide: %+v", v)
+	}
+	if len(e.Firing()) != 0 {
+		t.Errorf("Firing() = %v after resolution", e.Firing())
+	}
+	if !e.EverFired() {
+		t.Error("EverFired lost the violation")
+	}
+
+	// Ceiling violations fire too.
+	e.Observe(sec(14), map[string]float64{"ring": 250})
+	if v := e.Evaluate(sec(14))[0]; v.State != StateFiring || !strings.Contains(v.Detail, "limit") {
+		t.Errorf("above ceiling: %+v", v)
+	}
+}
+
+func TestRateRule(t *testing.T) {
+	p := Policy{Rules: []Rule{{
+		Name: "failure-rate", Kind: "rate",
+		Metric: "fails", WindowS: 10, MaxPerS: fp(1),
+	}}}
+	e := NewEngine(p)
+
+	e.Observe(sec(0), map[string]float64{"fails": 0})
+	if v := e.Evaluate(sec(0))[0]; v.State != StateNoData {
+		t.Errorf("single point: %+v", v)
+	}
+	// 5 failures over 10s = 0.5/s: within bounds.
+	e.Observe(sec(10), map[string]float64{"fails": 5})
+	v := e.Evaluate(sec(10))[0]
+	if v.State != StateOK || v.Value != 0.5 {
+		t.Errorf("0.5/s: %+v", v)
+	}
+	// 25 more over the next 10s = 2.5/s: fires.
+	e.Observe(sec(20), map[string]float64{"fails": 30})
+	if v := e.Evaluate(sec(20))[0]; v.State != StateFiring || v.Value != 2.5 {
+		t.Errorf("2.5/s: %+v", v)
+	}
+
+	// A min rate catches a stalled counter.
+	stall := NewEngine(Policy{Rules: []Rule{{
+		Name: "progress", Kind: "rate",
+		Metric: "laps", WindowS: 10, MinPerS: fp(0.1),
+	}}})
+	stall.Observe(sec(0), map[string]float64{"laps": 7})
+	stall.Observe(sec(10), map[string]float64{"laps": 7})
+	if v := stall.Evaluate(sec(10))[0]; v.State != StateFiring || v.Value != 0 {
+		t.Errorf("stalled counter: %+v", v)
+	}
+}
+
+func TestBurnRule(t *testing.T) {
+	p := Policy{Rules: []Rule{{
+		Name: "embed-burn", Kind: "burn",
+		GoodMetric: "good", TotalMetric: "total",
+		Objective: 0.9, BurnFactor: 2,
+		ShortWindowS: 10, LongWindowS: 40,
+	}}}
+	e := NewEngine(p)
+
+	// Healthy phase: 100% good, burn 0.
+	e.Observe(sec(0), map[string]float64{"good": 0, "total": 0})
+	e.Observe(sec(10), map[string]float64{"good": 10, "total": 10})
+	e.Observe(sec(20), map[string]float64{"good": 20, "total": 20})
+	if v := e.Evaluate(sec(20))[0]; v.State != StateOK || v.Value != 0 {
+		t.Errorf("healthy burn: %+v", v)
+	}
+
+	// Sustained 50% bad: burn = 0.5/0.1 = 5x on both windows → fires.
+	e.Observe(sec(30), map[string]float64{"good": 25, "total": 30})
+	e.Observe(sec(40), map[string]float64{"good": 30, "total": 40})
+	v := e.Evaluate(sec(40))[0]
+	if v.State != StateFiring {
+		t.Errorf("sustained burn: %+v", v)
+	}
+
+	// Recovery: the short window goes clean while the long window still
+	// remembers the incident — multi-window means it must NOT fire.
+	e.Observe(sec(50), map[string]float64{"good": 40, "total": 50})
+	e.Observe(sec(60), map[string]float64{"good": 50, "total": 60})
+	if v := e.Evaluate(sec(60))[0]; v.State != StateFiring {
+		// long window: from t=20 (good 20, total 20) to t=60: Δgood=30,
+		// Δtotal=40 → bad 0.25 → burn 2.5x still > 2; short window
+		// (t=50..60): Δgood=10, Δtotal=10 → burn 0. Short being clean
+		// holds the alert back.
+		if v.State != StateOK {
+			t.Errorf("recovery: %+v", v)
+		}
+	} else {
+		t.Errorf("short-window recovery did not hold the alert back: %+v", v)
+	}
+	if !e.EverFired() {
+		t.Error("EverFired lost the burn incident")
+	}
+}
+
+// TestLabeledFamilyRules pins the bare-family matching semantics: a
+// rule naming sim_embeds_total covers every sim_embeds_total{...}
+// series — thresholds must hold on each label set, rates sum the
+// per-series deltas — while a rule pinning a label clause stays scoped
+// to that one series.
+func TestLabeledFamilyRules(t *testing.T) {
+	p := Policy{Rules: []Rule{
+		{Name: "ring-floor", Kind: "threshold",
+			Metric: "ring", WindowS: 10, Min: fp(100)},
+		{Name: "fleet-rate", Kind: "rate",
+			Metric: "embeds", WindowS: 10, MaxPerS: fp(1)},
+		{Name: "m1-only", Kind: "threshold",
+			Metric: `ring{machine="m1"}`, WindowS: 10, Min: fp(100)},
+	}}
+	if err := p.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	e := NewEngine(p)
+
+	e.Observe(sec(0), map[string]float64{
+		`ring{machine="m0"}`: 120, `ring{machine="m1"}`: 118,
+		`embeds{machine="m0"}`: 0, `embeds{machine="m1"}`: 0,
+	})
+	e.Observe(sec(10), map[string]float64{
+		`ring{machine="m0"}`: 80, `ring{machine="m1"}`: 118,
+		`embeds{machine="m0"}`: 4, `embeds{machine="m1"}`: 8,
+	})
+
+	vs := e.Evaluate(sec(10))
+	// m0's dip violates the family floor...
+	if vs[0].State != StateFiring || vs[0].Value != 80 {
+		t.Errorf("family floor: %+v", vs[0])
+	}
+	// ...and the family rate is the per-series sum: (4+8)/10s = 1.2/s.
+	if vs[1].State != StateFiring || vs[1].Value != 1.2 {
+		t.Errorf("family rate: %+v", vs[1])
+	}
+	// The pinned-series rule only sees m1, which stayed healthy.
+	if vs[2].State != StateOK {
+		t.Errorf("pinned series: %+v", vs[2])
+	}
+}
+
+func TestObservePrunes(t *testing.T) {
+	p := Policy{Rules: []Rule{{
+		Name: "w", Kind: "threshold", Metric: "m", WindowS: 10, Max: fp(1),
+	}}}
+	e := NewEngine(p)
+	for i := 0; i < 100; i++ {
+		e.Observe(sec(float64(i)), map[string]float64{"m": 0})
+	}
+	// Horizon is 10s; one pre-horizon point is kept for delta baselines.
+	if n := len(e.hist["m"]); n > 13 {
+		t.Errorf("history grew to %d points despite a 10s window", n)
+	}
+	if v := e.Evaluate(sec(99))[0]; v.State != StateOK {
+		t.Errorf("pruned engine: %+v", v)
+	}
+}

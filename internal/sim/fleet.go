@@ -1,0 +1,76 @@
+package sim
+
+import (
+	"fmt"
+	"sync"
+
+	"repro/internal/obs"
+	"repro/internal/obs/export"
+)
+
+// FleetConfig scripts the same campaign across a fleet of machines
+// sharing one parent registry. Machine i is named "m<i>", runs with
+// seed Campaign.Seed+i, and records into Obs.Child("machine", "m<i>"),
+// so the parent sees every series labeled by machine while each child
+// stays a clean per-machine view.
+type FleetConfig struct {
+	// Machines is the fleet size (>= 1).
+	Machines int
+	// Campaign is the per-machine scenario. Machine.ID and Machine.Obs
+	// are overwritten per machine; Seed is the base seed.
+	Campaign CampaignConfig
+	// Obs is the shared parent registry. May be nil (telemetry off).
+	Obs *obs.Registry
+}
+
+// FleetReport aggregates a finished fleet run. Index i of every slice
+// is machine IDs[i].
+type FleetReport struct {
+	IDs       []string
+	Reports   []*CampaignReport
+	Snapshots []obs.Snapshot // per-machine child snapshots (self-relative keys)
+	// Fleet merges the per-machine snapshots into one fleet-wide view:
+	// counters summed, gauges maxed, histograms merged bucket-wise.
+	Fleet obs.Snapshot
+}
+
+// RunFleet runs the campaign on every machine concurrently (each
+// machine is deterministic in its own seed, so the fleet outcome is
+// order-independent) and reports per-machine and aggregated views.
+func RunFleet(cfg FleetConfig) (*FleetReport, error) {
+	if cfg.Machines < 1 {
+		cfg.Machines = 1
+	}
+	rep := &FleetReport{
+		IDs:       make([]string, cfg.Machines),
+		Reports:   make([]*CampaignReport, cfg.Machines),
+		Snapshots: make([]obs.Snapshot, cfg.Machines),
+	}
+	errs := make([]error, cfg.Machines)
+	var wg sync.WaitGroup
+	for i := 0; i < cfg.Machines; i++ {
+		rep.IDs[i] = fmt.Sprintf("m%d", i)
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			cc := cfg.Campaign
+			cc.Machine.ID = rep.IDs[i]
+			cc.Machine.Obs = cfg.Obs
+			cc.Seed = cfg.Campaign.Seed + int64(i)
+			rep.Reports[i], errs[i] = RunCampaign(cc)
+		}(i)
+	}
+	wg.Wait()
+	for i, err := range errs {
+		if err != nil {
+			return nil, fmt.Errorf("sim: fleet machine %s: %w", rep.IDs[i], err)
+		}
+	}
+	// Child is idempotent per label set, so this re-finds each
+	// machine's registry rather than creating empty ones.
+	for i, id := range rep.IDs {
+		rep.Snapshots[i] = cfg.Obs.Child("machine", id).Snapshot()
+	}
+	rep.Fleet = export.Aggregate(rep.Snapshots...)
+	return rep, nil
+}

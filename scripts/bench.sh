@@ -5,9 +5,11 @@
 # Writes into BENCH_OUT (default: repo root):
 #   BENCH_embed.txt    go test -bench output: BenchmarkEmbedTheorem1,
 #                      BenchmarkEmbedScaling, BenchmarkRingCursor (the
-#                      streaming emit path, vertices/s), and the
+#                      streaming emit path, vertices/s), the
 #                      BenchmarkObs* instrumentation-overhead suite
-#                      (disabled path must stay 0 allocs/op)
+#                      (disabled path must stay 0 allocs/op), and the
+#                      BenchmarkFamilyWith* labeled-lookup suite next
+#                      to the BENCH_obs.json registry dump
 #   BENCH_embed.json   starsweep -quick -exp F2 -json: construction time
 #                      and output size vs n as {"experiments": [...]}
 #   BENCH_repair.txt   go test -bench output: BenchmarkRepair, the
@@ -42,8 +44,10 @@ mkdir -p "$BENCH_OUT"
     go test -run '^$' -bench 'BenchmarkObs|BenchmarkRingCursor' \
         -benchmem -benchtime "$BENCHTIME" ./internal/core
     # The tracing hot paths: a child span off a live op (exemplar
-    # reservoir included) and one structured event-log record.
-    go test -run '^$' -bench 'BenchmarkSpanEnabledWithOp|BenchmarkEventLogRecord' \
+    # reservoir included) and one structured event-log record; plus the
+    # labeled-family lookup suite (live With, pre-resolved handle, and
+    # the disabled path, which must stay 0 allocs/op).
+    go test -run '^$' -bench 'BenchmarkSpanEnabledWithOp|BenchmarkEventLogRecord|BenchmarkFamilyWith' \
         -benchmem -benchtime "$BENCHTIME" ./internal/obs
 } | tee "$BENCH_OUT/BENCH_embed.txt"
 

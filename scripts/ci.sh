@@ -10,8 +10,12 @@
 #   6. starlint      -- the project's own analyzers (see cmd/starlint),
 #                       strict: stale suppressions/config entries fail
 #   7. obs smoke     -- starring -debug-addr end to end: scrape /metrics
-#                       (OpenMetrics parse), validate the Perfetto trace
-#                       and the NDJSON event log via starmon
+#                       (OpenMetrics parse, plus the exposition must
+#                       carry labeled series), validate the Perfetto
+#                       trace and the NDJSON event log via starmon
+#   7b. slo smoke    -- starmon -watch over a replayed series: a rule
+#                       engineered to fire must exit 1, a passing
+#                       policy must exit 0 (the CI gate contract)
 #   8. flight smoke  -- starring past the fault budget must fail AND
 #                       auto-dump the flight-recorder bundle; starmon
 #                       validates all three artifacts, including the
@@ -115,7 +119,10 @@ obs_smoke() {
         return 1
     fi
 
-    if ! "$tmp/starmon" -check-metrics "http://$addr/metrics"; then
+    # The exposition must be dimensional: a completed embedding leaves
+    # core_embed_completed_total{mode=...,n=...} behind, so -want-label
+    # fails the leg if the labeled pipeline ever stops exporting.
+    if ! "$tmp/starmon" -check-metrics "http://$addr/metrics" -want-label mode; then
         kill "$pid" 2>/dev/null
         return 1
     fi
@@ -127,6 +134,56 @@ obs_smoke() {
 }
 
 leg "obs smoke" obs_smoke || exit 1
+
+# SLO smoke: the starmon -watch exit-code contract over a replayed
+# series. The ring dips to 80 mid-series: a floor of 100 must fire
+# (exit 1, sticky even though the curve recovers), a floor of 50 plus a
+# generous failure-rate rule must hold (exit 0).
+slo_smoke() {
+    local tmp
+    tmp=$(mktemp -d)
+    go build -o "$tmp/starmon" ./cmd/starmon || return 1
+
+    cat >"$tmp/series.ndjson" <<'EOF'
+{"t_unix_ns":1000000000,"samples":{"sim.ring_length":120,"sim.failures":0}}
+{"t_unix_ns":2000000000,"samples":{"sim.ring_length":118,"sim.failures":1}}
+{"t_unix_ns":3000000000,"samples":{"sim.ring_length":80,"sim.failures":2}}
+{"t_unix_ns":4000000000,"samples":{"sim.ring_length":116,"sim.failures":2}}
+EOF
+    cat >"$tmp/firing.json" <<'EOF'
+{"rules": [
+  {"name": "ring-floor", "kind": "threshold",
+   "metric": "sim.ring_length", "window_s": 2, "min": 100}
+]}
+EOF
+    cat >"$tmp/passing.json" <<'EOF'
+{"rules": [
+  {"name": "ring-floor", "kind": "threshold",
+   "metric": "sim.ring_length", "window_s": 2, "min": 50},
+  {"name": "failure-rate", "kind": "rate",
+   "metric": "sim.failures", "window_s": 4, "max_per_s": 5}
+]}
+EOF
+
+    "$tmp/starmon" -watch -series "$tmp/series.ndjson" -rules "$tmp/firing.json" >"$tmp/firing.log"
+    if [ "$?" -ne 1 ]; then
+        echo "firing policy should exit 1:" >&2
+        cat "$tmp/firing.log" >&2
+        return 1
+    fi
+    grep -q 'FIRING   ring-floor' "$tmp/firing.log" || {
+        echo "watch never reported the FIRING transition:" >&2
+        cat "$tmp/firing.log" >&2
+        return 1
+    }
+    "$tmp/starmon" -watch -series "$tmp/series.ndjson" -rules "$tmp/passing.json" >"$tmp/passing.log" || {
+        echo "passing policy should exit 0:" >&2
+        cat "$tmp/passing.log" >&2
+        return 1
+    }
+}
+
+leg "slo smoke" slo_smoke || exit 1
 
 # Flight smoke: drive an embed past the paper's fault budget
 # (n=5 tolerates n-3=2 vertex faults; 3 must fail), so the flight
