@@ -510,42 +510,29 @@ func parseExposition(data []byte) (samples map[string]float64, kinds, exemplars 
 // renderFrame prints one monitor frame. Counter families get a
 // per-second rate once a previous frame exists; everything else shows
 // its current value, summary quantiles with the trace id of their
-// slowest-observation exemplar when the exposition carries one. The
-// prof.RuntimeSampler gauges (runtime_* families) render as their own
-// section with human units, separating process health from algorithm
+// slowest-observation exemplar when the exposition carries one. Two
+// families render as their own sections: the prof.RuntimeSampler
+// gauges (runtime_*) with human units, and the starserve RED families
+// (serve_*) — per-route request/error rates and latency quantiles —
+// so service health reads at a glance, separate from the algorithm
 // metrics.
 func renderFrame(w io.Writer, frame int, interval time.Duration, cur, prev map[string]float64, kinds, exemplars map[string]string) {
 	fmt.Fprintf(w, "frame %d (%d samples)\n", frame, len(cur))
-	var runtimeNames []string
+	var serveNames, runtimeNames []string
 	for _, name := range sortedKeys(cur) {
-		if strings.HasPrefix(name, "runtime_") {
+		switch {
+		case strings.HasPrefix(name, "runtime_"):
 			runtimeNames = append(runtimeNames, name)
-			continue
-		}
-		family := name
-		if i := strings.IndexByte(name, '{'); i >= 0 {
-			family = name[:i]
-		}
-		kind := kinds[strings.TrimSuffix(family, "_total")]
-		if kind == "" {
-			kind = kinds[family]
-		}
-		switch kind {
-		case "counter":
-			line := fmt.Sprintf("  %-44s %12.0f", name, cur[name])
-			if prev != nil {
-				rate := (cur[name] - prev[name]) / interval.Seconds()
-				line += fmt.Sprintf("  %+.1f/s", rate)
-			}
-			fmt.Fprintln(w, line)
-		case "summary":
-			line := fmt.Sprintf("  %-44s %12g", name, cur[name])
-			if tr := exemplars[name]; tr != "" {
-				line += "  trace=" + tr
-			}
-			fmt.Fprintln(w, line)
+		case strings.HasPrefix(name, "serve_"):
+			serveNames = append(serveNames, name)
 		default:
-			fmt.Fprintf(w, "  %-44s %12.0f\n", name, cur[name])
+			renderSample(w, "  ", 44, name, interval, cur, prev, kinds, exemplars)
+		}
+	}
+	if len(serveNames) > 0 {
+		fmt.Fprintln(w, "  serve:")
+		for _, name := range serveNames {
+			renderSample(w, "    ", 54, name, interval, cur, prev, kinds, exemplars)
 		}
 	}
 	if len(runtimeNames) > 0 {
@@ -553,6 +540,38 @@ func renderFrame(w io.Writer, frame int, interval time.Duration, cur, prev map[s
 		for _, name := range runtimeNames {
 			fmt.Fprintf(w, "    %-42s %12s\n", name, formatRuntimeValue(name, cur[name]))
 		}
+	}
+}
+
+// renderSample prints one sample line: counters with their value and
+// (after the first frame) a per-second rate, summary quantiles with
+// their exemplar trace id, everything else as a plain value. width
+// sizes the name column (labeled serve_* names run long).
+func renderSample(w io.Writer, indent string, width int, name string, interval time.Duration, cur, prev map[string]float64, kinds, exemplars map[string]string) {
+	family := name
+	if i := strings.IndexByte(name, '{'); i >= 0 {
+		family = name[:i]
+	}
+	kind := kinds[strings.TrimSuffix(family, "_total")]
+	if kind == "" {
+		kind = kinds[family]
+	}
+	switch kind {
+	case "counter":
+		line := fmt.Sprintf("%s%-*s %12.0f", indent, width, name, cur[name])
+		if prev != nil {
+			rate := (cur[name] - prev[name]) / interval.Seconds()
+			line += fmt.Sprintf("  %+.1f/s", rate)
+		}
+		fmt.Fprintln(w, line)
+	case "summary":
+		line := fmt.Sprintf("%s%-*s %12g", indent, width, name, cur[name])
+		if tr := exemplars[name]; tr != "" {
+			line += "  trace=" + tr
+		}
+		fmt.Fprintln(w, line)
+	default:
+		fmt.Fprintf(w, "%s%-*s %12.0f\n", indent, width, name, cur[name])
 	}
 }
 

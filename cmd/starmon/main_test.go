@@ -5,6 +5,7 @@ import (
 	"net/http/httptest"
 	"os"
 	"path/filepath"
+	"strconv"
 	"strings"
 	"sync"
 	"testing"
@@ -151,6 +152,110 @@ func TestRunAttachFrames(t *testing.T) {
 	}
 	if !strings.Contains(text, "/s") {
 		t.Errorf("second frame should show a rate:\n%s", text)
+	}
+}
+
+// serveScrape builds a canned starserve /metrics page: the labeled RED
+// families with an exemplar on the p95 quantile, the admission gauges,
+// and one algorithm counter that must stay in the main listing. The
+// counters scale with step so consecutive frames see positive deltas.
+func serveScrape(step int) string {
+	return strings.Join([]string{
+		"# TYPE serve_requests counter",
+		`serve_requests_total{code="200",n="6",route="embed"} ` + itoa(40*step),
+		`serve_requests_total{code="429",n="0",route="embed"} ` + itoa(10*step),
+		"# TYPE serve_errors counter",
+		`serve_errors_total{code="429",route="embed"} ` + itoa(10*step),
+		"# TYPE serve_good counter",
+		`serve_good_total{route="embed"} ` + itoa(40*step),
+		"# TYPE serve_latency summary",
+		`serve_latency{quantile="0.5",route="embed"} 0.002`,
+		`serve_latency{quantile="0.95",route="embed"} 0.009 # {trace_id="00000000deadbeef"} 0.011`,
+		`serve_latency_sum{route="embed"} 0.08`,
+		`serve_latency_count{route="embed"} ` + itoa(50*step),
+		"# TYPE serve_inflight gauge",
+		"serve_inflight 1",
+		"# TYPE serve_shed counter",
+		"serve_shed_total " + itoa(10*step),
+		"# TYPE core_embed_ok counter",
+		"core_embed_ok_total " + itoa(40*step),
+		"# EOF",
+		"",
+	}, "\n")
+}
+
+func itoa(v int) string { return strconv.Itoa(v) }
+
+// TestRunAttachServeSection drives -attach over two frames of a canned
+// starserve scrape and checks the serve_* RED families render as their
+// own section: every labeled series indented under the "serve:" header,
+// counter lines carrying a per-second rate on the second frame, the
+// latency quantile carrying its slowest-request exemplar trace — and
+// the algorithm counter staying out in the main listing.
+func TestRunAttachServeSection(t *testing.T) {
+	var mu sync.Mutex
+	step := 0
+	srv := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		mu.Lock()
+		step++
+		page := serveScrape(step)
+		mu.Unlock()
+		w.Header().Set("Content-Type", "application/openmetrics-text")
+		w.Write([]byte(page))
+	}))
+	defer srv.Close()
+
+	var out, errOut strings.Builder
+	code := run([]string{"-attach", srv.URL, "-frames", "2", "-interval", "1ms"}, &out, &errOut)
+	if code != 0 {
+		t.Fatalf("exit %d, stderr: %s", code, errOut.String())
+	}
+	text := out.String()
+	if !strings.Contains(text, "serve:") {
+		t.Fatalf("missing serve section:\n%s", text)
+	}
+	for _, want := range []string{
+		`serve_requests_total{code="200",n="6",route="embed"}`,
+		`serve_requests_total{code="429",n="0",route="embed"}`,
+		`serve_errors_total{code="429",route="embed"}`,
+		`serve_latency{quantile="0.95",route="embed"}`,
+		"serve_inflight",
+		"serve_shed_total",
+	} {
+		if !strings.Contains(text, want) {
+			t.Errorf("serve section missing %s:\n%s", want, text)
+		}
+	}
+	// The p95 quantile line carries the exemplar's trace id, so a slow
+	// request seen on the dashboard hands starmon -postmortem its key.
+	if !strings.Contains(text, "trace=00000000deadbeef") {
+		t.Errorf("latency exemplar not rendered:\n%s", text)
+	}
+	// Every serve_* line lives inside the section (4-space indent), and
+	// counters there show a rate once a previous frame exists.
+	frames := strings.Split(text, "frame 2")
+	if len(frames) != 2 {
+		t.Fatalf("expected two frames:\n%s", text)
+	}
+	var sawRate bool
+	for _, line := range strings.Split(text, "\n") {
+		if strings.Contains(line, "serve_") && !strings.HasPrefix(line, "    ") {
+			t.Errorf("serve family outside the serve section: %q", line)
+		}
+	}
+	for _, line := range strings.Split(frames[1], "\n") {
+		if strings.Contains(line, "serve_requests_total") && strings.Contains(line, "/s") {
+			sawRate = true
+		}
+	}
+	if !sawRate {
+		t.Errorf("frame 2 serve counters missing per-second rates:\n%s", frames[1])
+	}
+	// The algorithm counter stays in the main listing at its own indent.
+	for _, line := range strings.Split(text, "\n") {
+		if strings.Contains(line, "core_embed_ok_total") && strings.HasPrefix(line, "    ") {
+			t.Errorf("algorithm counter swallowed by a section: %q", line)
+		}
 	}
 }
 

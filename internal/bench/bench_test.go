@@ -87,6 +87,49 @@ func TestIngestSnapshotJSON(t *testing.T) {
 	}
 }
 
+const serveLoadDoc = `{
+  "serve_load": {
+    "target": "http://127.0.0.1:43627",
+    "n": 6,
+    "requests": 160,
+    "concurrency": 4,
+    "seed": 1,
+    "routes": {
+      "embed": {"count": 20, "errors": 0, "shed": 0, "p50_ns": 800000, "p95_ns": 1500000, "max_ns": 2000000},
+      "repair": {"count": 118, "errors": 0, "shed": 0, "p50_ns": 400000, "p95_ns": 1100000, "max_ns": 1800000},
+      "ring": {"count": 22, "errors": 0, "shed": 0, "p50_ns": 900000, "p95_ns": 1600000, "max_ns": 2100000},
+      "chaos": {"count": 0, "errors": 0, "shed": 0, "p50_ns": 0, "p95_ns": 0, "max_ns": 0}
+    }
+  }
+}`
+
+func TestIngestServeLoad(t *testing.T) {
+	rec := NewRecord("test")
+	if err := Ingest(rec, "BENCH_serve.json", []byte(serveLoadDoc)); err != nil {
+		t.Fatal(err)
+	}
+	if m := rec.Metrics["serve/repair/p95_ns"]; m.Value != 1100000 || m.Unit != "ns" {
+		t.Errorf("serve/repair/p95_ns = %+v", m)
+	}
+	if m := rec.Metrics["serve/embed/p50_ns"]; m.Value != 800000 {
+		t.Errorf("serve/embed/p50_ns = %+v", m)
+	}
+	// Routes that saw no traffic are skipped, like empty histograms.
+	if _, ok := rec.Metrics["serve/chaos/p50_ns"]; ok {
+		t.Error("zero-count route ingested")
+	}
+	if len(rec.Sources) != 1 || rec.Sources[0] != "BENCH_serve.json" {
+		t.Errorf("sources = %v", rec.Sources)
+	}
+}
+
+func TestIngestServeLoadRejectsEmpty(t *testing.T) {
+	rec := NewRecord("test")
+	if err := Ingest(rec, "bad", []byte(`{"serve_load": {"routes": {}}}`)); err == nil {
+		t.Error("ingest accepted a serve_load document with no traffic")
+	}
+}
+
 func TestIngestGoBench(t *testing.T) {
 	rec := NewRecord("test")
 	if err := Ingest(rec, "BENCH_embed.txt", []byte(goBenchDoc)); err != nil {

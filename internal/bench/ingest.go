@@ -16,6 +16,8 @@ import (
 //     BENCH_embed.json and BENCH_repair.json
 //   - obs registry snapshots ({"counters": ..., "histograms": ...}),
 //     the shape of BENCH_obs.json
+//   - starserve -load results ({"serve_load": {...}}), the shape of
+//     BENCH_serve.json
 //   - go test -bench text (Benchmark... lines), the shape of
 //     BENCH_embed.txt and BENCH_repair.txt
 func Ingest(rec *Record, name string, data []byte) error {
@@ -27,6 +29,8 @@ func Ingest(rec *Record, name string, data []byte) error {
 	switch {
 	case trimmed[0] == '{' && bytes.Contains(trimmed, []byte(`"experiments"`)):
 		err = IngestSweepJSON(rec, trimmed)
+	case trimmed[0] == '{' && bytes.Contains(trimmed, []byte(`"serve_load"`)):
+		err = IngestServeLoad(rec, trimmed)
 	case trimmed[0] == '{':
 		err = IngestSnapshotJSON(rec, trimmed)
 	default:
@@ -111,6 +115,40 @@ func IngestSnapshotJSON(rec *Record, data []byte) error {
 		}
 		rec.Add("obs/"+name+"/p50_ns", Metric{Value: float64(h.P50NS), Unit: "ns"})
 		rec.Add("obs/"+name+"/p95_ns", Metric{Value: float64(h.P95NS), Unit: "ns"})
+	}
+	return nil
+}
+
+// IngestServeLoad extracts the per-route latency quantiles of a
+// starserve -load result (BENCH_serve.json): each route with traffic
+// contributes "serve/<route>/p50_ns" and "serve/<route>/p95_ns"
+// nanosecond metrics, joining the regression gate alongside the embed
+// and repair artifacts. Counts, errors and shed totals are workload
+// shape, not performance, so they are not compared.
+func IngestServeLoad(rec *Record, data []byte) error {
+	var doc struct {
+		ServeLoad struct {
+			Routes map[string]struct {
+				Count int64 `json:"count"`
+				P50NS int64 `json:"p50_ns"`
+				P95NS int64 `json:"p95_ns"`
+			} `json:"routes"`
+		} `json:"serve_load"`
+	}
+	if err := json.Unmarshal(data, &doc); err != nil {
+		return err
+	}
+	found := 0
+	for route, st := range doc.ServeLoad.Routes {
+		if st.Count == 0 {
+			continue
+		}
+		found++
+		rec.Add("serve/"+route+"/p50_ns", Metric{Value: float64(st.P50NS), Unit: "ns"})
+		rec.Add("serve/"+route+"/p95_ns", Metric{Value: float64(st.P95NS), Unit: "ns"})
+	}
+	if found == 0 {
+		return fmt.Errorf("no served routes in serve_load document")
 	}
 	return nil
 }

@@ -42,6 +42,28 @@ func (e *Embedder) N() int { return e.n }
 // Graph returns the underlying star graph.
 func (e *Embedder) Graph() star.Graph { return e.g }
 
+// Config returns the engine's configuration.
+func (e *Embedder) Config() Config { return e.cfg }
+
+// Reuse returns an engine for the same dimension under a different
+// configuration, sharing the immutable substrate (the graph). Pools
+// that keep one warmed Embedder per dimension use it to serve the
+// occasional request with divergent options (best-effort, streaming)
+// without paying NewEmbedder validation or holding a second pool.
+func (e *Embedder) Reuse(cfg Config) *Embedder {
+	return &Embedder{n: e.n, g: e.g, cfg: cfg}
+}
+
+// Warm runs one fault-free embedding and discards the plan, forcing
+// the lazily built shared caches (the canonical S4 block cache behind
+// internal/pathsearch) hot before the engine serves traffic. Pools
+// call it at startup so the first real request does not pay the
+// cold-cache cost.
+func (e *Embedder) Warm() error {
+	_, err := e.Embed(nil)
+	return err
+}
+
 // Embed constructs a healthy ring in S_n avoiding the given faults and
 // returns it as a live Plan. The Plan owns a private clone of fs, so the
 // caller may keep mutating its set; new faults reach the Plan through

@@ -154,6 +154,7 @@ var metricMethods = map[string]bool{
 	"histogram":    true,
 	"span":         true,
 	"startop":      true,
+	"startoptrace": true,
 	"countervec":   true,
 	"gaugevec":     true,
 	"histogramvec": true,

@@ -47,6 +47,18 @@ func idFromHex(data []byte) (uint64, error) {
 	return v, nil
 }
 
+// ParseTraceID parses the 16-hex-digit wire form of a trace id (the
+// X-Star-Trace header, NDJSON records, exposition exemplars). An empty
+// string parses to the zero (untraced) id; malformed input returns an
+// error and the zero id, so callers can fall back to a fresh trace.
+func ParseTraceID(s string) (TraceID, error) {
+	v, err := idFromHex([]byte(s))
+	if err != nil {
+		return 0, err
+	}
+	return TraceID(v), nil
+}
+
 // MarshalJSON writes the id as a quoted hex string, so NDJSON consumers
 // never lose precision to float64 rounding.
 func (t TraceID) MarshalJSON() ([]byte, error) {
@@ -112,11 +124,25 @@ type Op struct {
 // like any span). The caller must end it with Done or Fail. On a nil
 // registry StartOp returns nil, the disabled operation.
 func (r *Registry) StartOp(name string) *Op {
+	return r.StartOpTrace(name, 0)
+}
+
+// StartOpTrace is StartOp under a caller-supplied trace identity — the
+// continuation of a trace that began outside this process, such as an
+// X-Star-Trace request header or a parent job id. Every span and
+// event-log record of the operation carries the given trace id, so a
+// client-reported id reconstructs the server-side timeline end to end.
+// A zero trace falls back to a fresh id, making StartOpTrace(name, 0)
+// identical to StartOp(name).
+func (r *Registry) StartOpTrace(name string, trace TraceID) *Op {
 	if r == nil {
 		return nil
 	}
+	if trace == 0 {
+		trace = TraceID(nextID())
+	}
 	op := &Op{r: r}
-	op.root = r.span(name, TraceID(nextID()), SpanID(nextID()), 0)
+	op.root = r.span(name, trace, SpanID(nextID()), 0)
 	return op
 }
 

@@ -248,3 +248,56 @@ func TestHistogramExemplars(t *testing.T) {
 		t.Errorf("snapshot exemplars = %+v, want 1", ex)
 	}
 }
+
+// StartOpTrace continues a caller-supplied trace identity — the header
+// round-trip behind starserve's X-Star-Trace — and falls back to a
+// fresh id on a zero trace.
+func TestStartOpTrace(t *testing.T) {
+	reg := NewRegistry()
+	rec := NewRecorder(16)
+	reg.SetSink(rec)
+
+	want := TraceID(0xdeadbeefcafe1234)
+	op := reg.StartOpTrace("t.op.cont", want)
+	if op.Trace() != want {
+		t.Fatalf("op trace = %v, want %v", op.Trace(), want)
+	}
+	child := op.Span("t.phase.a")
+	child.End()
+	op.Done()
+	for _, e := range rec.Events() {
+		if e.Trace != want {
+			t.Errorf("%s trace = %v, want the supplied id %v", e.Name, e.Trace, want)
+		}
+	}
+
+	fresh := reg.StartOpTrace("t.op.fresh", 0)
+	if fresh.Trace() == 0 {
+		t.Error("zero supplied trace did not fall back to a fresh id")
+	}
+	fresh.Done()
+
+	var nilReg *Registry
+	if nilReg.StartOpTrace("t.op.nil", want) != nil {
+		t.Error("nil registry should return the nil op")
+	}
+}
+
+func TestParseTraceID(t *testing.T) {
+	id, err := ParseTraceID("deadbeefcafe1234")
+	if err != nil || id != 0xdeadbeefcafe1234 {
+		t.Errorf("ParseTraceID hex: %v err=%v", id, err)
+	}
+	if id, err = ParseTraceID(""); err != nil || id != 0 {
+		t.Errorf("empty string: %v err=%v", id, err)
+	}
+	if _, err = ParseTraceID("not-hex"); err == nil {
+		t.Error("malformed id accepted")
+	}
+	// String() output must round-trip.
+	want := TraceID(42)
+	got, err := ParseTraceID(want.String())
+	if err != nil || got != want {
+		t.Errorf("round trip: %v err=%v", got, err)
+	}
+}

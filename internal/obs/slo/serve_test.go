@@ -1,0 +1,170 @@
+package slo
+
+import (
+	"strings"
+	"testing"
+)
+
+// These tests pin the SLO semantics the committed serve policy
+// (scripts/slo-serve.json) relies on: rules naming a bare serve.*
+// family must cover every {route=...} labeled series the server
+// exports — thresholds on each series, rates and burn ratios over the
+// per-series sums — without matching the _sum/_count companions, and
+// the 429 load-shed path must move both the error-rate and the
+// availability-burn rules.
+
+// TestServeLatencyThresholdAcrossRoutes: a bare serve_latency rule
+// watches every {quantile,route} series of the exported summary; one
+// route's p95 spike fires the family rule, and the summary's _sum
+// companion (a monotonically huge counter) must not be mistaken for a
+// member of the family.
+func TestServeLatencyThresholdAcrossRoutes(t *testing.T) {
+	p := Policy{Rules: []Rule{{
+		Name: "latency-p95", Kind: "threshold",
+		Metric: "serve_latency", WindowS: 60, Max: fp(5.0),
+	}}}
+	if err := p.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	e := NewEngine(p)
+
+	healthy := map[string]float64{
+		`serve_latency{quantile="0.5",route="embed"}`:  0.002,
+		`serve_latency{quantile="0.95",route="embed"}`: 0.008,
+		`serve_latency{quantile="0.5",route="repair"}`: 0.001,
+		`serve_latency{quantile="0.95",route="ring"}`:  0.004,
+		// The summary companions ride the same exposition; seconds summed
+		// over the run dwarf any per-request quantile.
+		`serve_latency_sum{route="embed"}`:   940.0,
+		`serve_latency_count{route="embed"}`: 12000,
+	}
+	e.Observe(sec(0), healthy)
+	if v := e.Evaluate(sec(0))[0]; v.State != StateOK {
+		t.Fatalf("healthy quantiles (with huge _sum present): %+v", v)
+	}
+
+	// One route degrades past the 5s ceiling.
+	spiked := map[string]float64{}
+	for k, v := range healthy {
+		spiked[k] = v
+	}
+	spiked[`serve_latency{quantile="0.95",route="repair"}`] = 7.5
+	e.Observe(sec(10), spiked)
+	v := e.Evaluate(sec(10))[0]
+	if v.State != StateFiring || v.Value != 7.5 {
+		t.Fatalf("spiked repair p95: %+v", v)
+	}
+	if !strings.Contains(v.Detail, "limit") {
+		t.Errorf("detail %q", v.Detail)
+	}
+}
+
+// TestServeShedRateRule: the shed path produces 429-coded
+// serve_errors_total series; a bare-family rate rule sums them with
+// the 5xx series, while a rule pinning the 429 clause isolates
+// shedding from real failures.
+func TestServeShedRateRule(t *testing.T) {
+	p := Policy{Rules: []Rule{
+		{Name: "error-rate", Kind: "rate",
+			Metric: "serve_errors_total", WindowS: 10, MaxPerS: fp(5)},
+		{Name: "shed-rate", Kind: "rate",
+			Metric: `serve_errors_total{code="429",route="embed"}`, WindowS: 10, MaxPerS: fp(3)},
+	}}
+	if err := p.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	e := NewEngine(p)
+
+	e.Observe(sec(0), map[string]float64{
+		`serve_errors_total{code="429",route="embed"}`:  0,
+		`serve_errors_total{code="429",route="repair"}`: 0,
+		`serve_errors_total{code="500",route="chaos"}`:  0,
+	})
+	// Gentle traffic: 20 errors over 10s across all series = 2/s.
+	e.Observe(sec(10), map[string]float64{
+		`serve_errors_total{code="429",route="embed"}`:  10,
+		`serve_errors_total{code="429",route="repair"}`: 5,
+		`serve_errors_total{code="500",route="chaos"}`:  5,
+	})
+	vs := e.Evaluate(sec(10))
+	if vs[0].State != StateOK || vs[0].Value != 2.0 {
+		t.Fatalf("family rate sums per-series deltas: %+v", vs[0])
+	}
+	if vs[1].State != StateOK || vs[1].Value != 1.0 {
+		t.Fatalf("pinned 429 clause: %+v", vs[1])
+	}
+
+	// An overload storm: the admission limit trips and /embed sheds
+	// 60 requests in 10s.
+	e.Observe(sec(20), map[string]float64{
+		`serve_errors_total{code="429",route="embed"}`:  70,
+		`serve_errors_total{code="429",route="repair"}`: 5,
+		`serve_errors_total{code="500",route="chaos"}`:  6,
+	})
+	vs = e.Evaluate(sec(20))
+	if vs[0].State != StateFiring || vs[0].Value != 6.1 {
+		t.Fatalf("storm family rate: %+v", vs[0])
+	}
+	if vs[1].State != StateFiring || vs[1].Value != 6.0 {
+		t.Fatalf("storm pinned 429 rate: %+v", vs[1])
+	}
+	if !e.EverFired() {
+		t.Error("storm not sticky")
+	}
+}
+
+// TestServeAvailabilityBurnUnderShed: shed requests count into
+// serve_requests_total but never into serve_good_total, so a 429
+// storm burns the availability budget. Both burn windows must see the
+// storm before the rule fires, and the per-route label sets must be
+// summed on both sides of the ratio.
+func TestServeAvailabilityBurnUnderShed(t *testing.T) {
+	p := Policy{Rules: []Rule{{
+		Name: "availability-burn", Kind: "burn",
+		GoodMetric: "serve_good_total", TotalMetric: "serve_requests_total",
+		Objective: 0.9, BurnFactor: 2,
+		ShortWindowS: 10, LongWindowS: 40,
+	}}}
+	if err := p.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	e := NewEngine(p)
+
+	obsAt := func(s float64, goodEmbed, goodRepair, reqEmbed, reqRepair float64) {
+		e.Observe(sec(s), map[string]float64{
+			`serve_good_total{route="embed"}`:                       goodEmbed,
+			`serve_good_total{route="repair"}`:                      goodRepair,
+			`serve_requests_total{code="200",n="6",route="embed"}`:  goodEmbed,
+			`serve_requests_total{code="429",n="0",route="embed"}`:  reqEmbed - goodEmbed,
+			`serve_requests_total{code="200",n="6",route="repair"}`: goodRepair,
+			`serve_requests_total{code="429",n="0",route="repair"}`: reqRepair - goodRepair,
+		})
+	}
+
+	// Healthy: everything admitted, burn 0.
+	obsAt(0, 0, 0, 0, 0)
+	obsAt(10, 20, 40, 20, 40)
+	obsAt(20, 40, 80, 40, 80)
+	if v := e.Evaluate(sec(20))[0]; v.State != StateOK || v.Value != 0 {
+		t.Fatalf("healthy burn: %+v", v)
+	}
+
+	// Overload: from t=20 on, ~87% of requests shed (the drill's
+	// max-inflight=1 regime). Bad ratio 0.875 over objective slack 0.1
+	// is an 8.75x burn on both windows — far over factor 2.
+	obsAt(30, 45, 90, 80, 160)
+	obsAt(40, 50, 100, 120, 240)
+	v := e.Evaluate(sec(40))[0]
+	if v.State != StateFiring {
+		t.Fatalf("shed storm burn: %+v", v)
+	}
+	if v.Value < 2 {
+		t.Fatalf("burn value %v, want > factor 2", v.Value)
+	}
+
+	// NoData (a scrape gap) must not fire the burn rule.
+	gap := NewEngine(p)
+	if v := gap.Evaluate(sec(0))[0]; v.State != StateNoData {
+		t.Fatalf("empty burn engine: %+v", v)
+	}
+}

@@ -1,0 +1,72 @@
+package serve
+
+import (
+	"net/url"
+	"strings"
+	"testing"
+
+	"repro/internal/perm"
+)
+
+// FuzzServeRequest throws arbitrary query strings at the HTTP request
+// decoder — the server's outermost attacker-controlled surface — and
+// checks its invariants: no panic, and every accepted request is
+// internally consistent (dimension in range, every parsed fault valid
+// for that dimension, fault counts within the decoder caps, the
+// repair vertex well-formed). This is the target the scripts/ci.sh
+// fuzz smoke leg exercises.
+func FuzzServeRequest(f *testing.F) {
+	for _, seed := range []string{
+		"n=6",
+		"n=5&fv=21345,31245&fe=12345-21345&v=41235&best_effort=1",
+		"n=4&fv=2134",
+		"n=16&fv=" + strings.Repeat("2134567898abcdefg,", 3),
+		"n=3&v=213&best_effort=true",
+		"n=-1",
+		"n=999999999999999999999",
+		"fv=21345",
+		"n=6&fe=--",
+		"n=6&fe=123456-123456",
+		"n=6&best_effort=yes",
+		"n=6&fv=%2C%2C",
+		"n=6&fv=" + strings.Repeat("213456,", 80),
+	} {
+		f.Add(seed)
+	}
+	f.Fuzz(func(t *testing.T, raw string) {
+		q, err := url.ParseQuery(raw)
+		if err != nil {
+			return // not this decoder's input space
+		}
+		req, err := ParseRequest(q)
+		if err != nil {
+			if req != nil {
+				t.Fatalf("ParseRequest(%q) returned both a request and %v", raw, err)
+			}
+			return
+		}
+		if req.N < 3 || req.N > perm.MaxN {
+			t.Fatalf("accepted out-of-range n=%d from %q", req.N, raw)
+		}
+		if req.Faults.N() != req.N {
+			t.Fatalf("fault set dimension %d != n=%d from %q", req.Faults.N(), req.N, raw)
+		}
+		if nv := req.Faults.NumVertices(); nv > MaxRequestVertexFaults {
+			t.Fatalf("accepted %d vertex faults (cap %d) from %q", nv, MaxRequestVertexFaults, raw)
+		}
+		if ne := req.Faults.NumEdges(); ne > MaxRequestEdgeFaults {
+			t.Fatalf("accepted %d edge faults (cap %d) from %q", ne, MaxRequestEdgeFaults, raw)
+		}
+		for _, v := range req.Faults.Vertices() {
+			if !v.Valid(req.N) {
+				t.Fatalf("accepted invalid faulty vertex %#v for S_%d from %q", v, req.N, raw)
+			}
+		}
+		if req.HasV && !req.V.Valid(req.N) {
+			t.Fatalf("accepted invalid repair vertex %#v for S_%d from %q", req.V, req.N, raw)
+		}
+		if !req.HasV && req.V != 0 {
+			t.Fatalf("HasV=false but V=%#v from %q", req.V, raw)
+		}
+	})
+}

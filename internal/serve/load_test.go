@@ -1,0 +1,130 @@
+package serve
+
+import (
+	"bytes"
+	"encoding/json"
+	"net/http/httptest"
+	"testing"
+)
+
+func TestRunLoadFaultChurn(t *testing.T) {
+	s, _, _ := testServer(t, Config{MinN: 4, MaxN: 4, PoolSize: 2, Chaos: true})
+	ts := httptest.NewServer(s.Handler())
+	defer ts.Close()
+
+	res, err := RunLoad(LoadConfig{
+		Target:      ts.URL,
+		N:           4,
+		Requests:    40,
+		Concurrency: 2,
+		Seed:        1,
+		RingEvery:   7,
+		ChaosEvery:  10,
+		Client:      ts.Client(),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	var total int64
+	for route, st := range res.Routes {
+		total += st.Count
+		if st.Count > 0 && st.MaxNS == 0 {
+			t.Errorf("route %s: %d requests but MaxNS=0 (latency not measured)", route, st.Count)
+		}
+		if st.P95NS < st.P50NS || st.MaxNS < st.P95NS {
+			t.Errorf("route %s: quantiles out of order: %+v", route, st)
+		}
+	}
+	if total != 40 {
+		t.Fatalf("tallied %d requests, want 40", total)
+	}
+	for _, route := range []string{"embed", "repair", "ring", "chaos"} {
+		if res.Routes[route] == nil {
+			t.Errorf("churn never hit /%s: %+v", route, res.Routes)
+		}
+	}
+	// The chaos injections are client-visible errors...
+	if ch := res.Routes["chaos"]; ch != nil && ch.Errors != ch.Count {
+		t.Errorf("chaos: %d errors of %d requests, want all", ch.Errors, ch.Count)
+	}
+	// ...and the healthy routes are clean.
+	for _, route := range []string{"embed", "repair", "ring"} {
+		if st := res.Routes[route]; st != nil && (st.Errors != 0 || st.Shed != 0) {
+			t.Errorf("route %s: errors=%d shed=%d, want clean", route, st.Errors, st.Shed)
+		}
+	}
+
+	// Server-side RED agrees on the totals: every client request landed
+	// in exactly one serve.requests series.
+	var served int64
+	for ri := range routeNames {
+		for ci := range redCodes {
+			for n := 0; n < len(s.red.requests[ri][ci]); n++ {
+				served += s.red.requests[ri][ci][n].Value()
+			}
+		}
+	}
+	if served != total {
+		t.Errorf("server RED counted %d requests, client sent %d", served, total)
+	}
+
+	// The artifact round-trips through the bench ingester's sniffer
+	// shape: {"serve_load": {...}}.
+	var buf bytes.Buffer
+	if err := res.BenchJSON(&buf); err != nil {
+		t.Fatal(err)
+	}
+	var doc map[string]*LoadResult
+	if err := json.Unmarshal(buf.Bytes(), &doc); err != nil {
+		t.Fatal(err)
+	}
+	if doc["serve_load"] == nil || doc["serve_load"].Routes["repair"] == nil {
+		t.Fatalf("BenchJSON artifact malformed: %s", buf.String())
+	}
+}
+
+func TestRunLoadShedTally(t *testing.T) {
+	// An overloaded server, deterministically: the single admission slot
+	// is pre-occupied, so every load request is shed with 429 — and the
+	// client-side tally must agree with the server's serve.shed counter.
+	s, _, _ := testServer(t, Config{MinN: 4, MaxN: 4, PoolSize: 1, MaxInflight: 1})
+	s.inflight.Add(1)
+	defer s.inflight.Add(-1)
+	ts := httptest.NewServer(s.Handler())
+	defer ts.Close()
+
+	res, err := RunLoad(LoadConfig{
+		Target:      ts.URL,
+		N:           4,
+		Requests:    30,
+		Concurrency: 3,
+		Seed:        2,
+		Client:      ts.Client(),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var shed int64
+	for _, st := range res.Routes {
+		shed += st.Shed
+		if st.Errors != 0 {
+			t.Errorf("429s must tally as Shed, not Errors: %+v", st)
+		}
+	}
+	if shed != 30 {
+		t.Fatalf("fully overloaded server shed %d of 30", shed)
+	}
+	if got := s.shed.Value(); got != shed {
+		t.Errorf("server serve.shed=%d, client tallied %d", got, shed)
+	}
+}
+
+func TestRunLoadValidation(t *testing.T) {
+	if _, err := RunLoad(LoadConfig{}); err == nil {
+		t.Error("RunLoad without Target should fail")
+	}
+	if _, err := RunLoad(LoadConfig{Target: "http://x", N: 99}); err == nil {
+		t.Error("RunLoad with absurd N should fail")
+	}
+}

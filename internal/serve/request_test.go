@@ -1,0 +1,66 @@
+package serve
+
+import (
+	"net/url"
+	"strings"
+	"testing"
+)
+
+func TestParseRequest(t *testing.T) {
+	parse := func(raw string) (*Request, error) {
+		t.Helper()
+		q, err := url.ParseQuery(raw)
+		if err != nil {
+			t.Fatalf("ParseQuery(%q): %v", raw, err)
+		}
+		return ParseRequest(q)
+	}
+
+	req, err := parse("n=5&fv=21345,31245&fe=12345-21345&v=41235&best_effort=1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if req.N != 5 || req.Faults.NumVertices() != 2 || req.Faults.NumEdges() != 1 ||
+		!req.HasV || !req.BestEffort {
+		t.Fatalf("full request parsed wrong: %+v (fv=%d fe=%d)",
+			req, req.Faults.NumVertices(), req.Faults.NumEdges())
+	}
+
+	req, err = parse("n=4")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if req.N != 4 || req.Faults.NumVertices() != 0 || req.HasV || req.BestEffort {
+		t.Fatalf("minimal request parsed wrong: %+v", req)
+	}
+
+	for _, bad := range []string{
+		"",                      // missing n
+		"n=abc",                 // non-numeric n
+		"n=2",                   // below the smallest star graph
+		"n=17",                  // above perm.MaxN
+		"n=5&fv=2134",           // wrong dimension
+		"n=5&fv=21345,notaperm", // junk vertex
+		"n=5&fv=11345",          // repeated symbol
+		"n=5&fe=12345",          // edge missing the dash
+		"n=5&fe=12345-21354",    // not adjacent (not one first-symbol swap apart)
+		"n=5&v=2134",            // repair vertex wrong dimension
+		"n=5&best_effort=maybe", // unknown flag value
+		"n=5&fv=" + strings.Repeat("21345,", MaxRequestVertexFaults) + "21345", // over cap
+	} {
+		if _, err := parse(bad); err == nil {
+			t.Errorf("ParseRequest(%q) accepted, want error", bad)
+		}
+	}
+}
+
+func TestParseRequestDuplicateFaultIdempotent(t *testing.T) {
+	q, _ := url.ParseQuery("n=5&fv=21345,21345")
+	req, err := ParseRequest(q)
+	if err != nil {
+		t.Fatalf("duplicate vertex fault should be tolerated by the set: %v", err)
+	}
+	if got := req.Faults.NumVertices(); got != 1 {
+		t.Fatalf("duplicate fault counted twice: %d", got)
+	}
+}

@@ -1,0 +1,417 @@
+package serve
+
+import (
+	"bytes"
+	"encoding/json"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"os"
+	"path/filepath"
+	"runtime"
+	"strings"
+	"sync"
+	"testing"
+
+	"repro/internal/obs"
+	"repro/internal/obs/export"
+)
+
+// syncBuffer lets the event log write from handler goroutines while
+// the test reads it back after the server drains.
+type syncBuffer struct {
+	mu sync.Mutex
+	b  bytes.Buffer
+}
+
+func (s *syncBuffer) Write(p []byte) (int, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.b.Write(p)
+}
+
+func (s *syncBuffer) Bytes() []byte {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return append([]byte(nil), s.b.Bytes()...)
+}
+
+// testServer builds a fully instrumented server (recorder sink, event
+// log, flight recorder) over a small dimension range.
+func testServer(t *testing.T, cfg Config) (*Server, *obs.Recorder, *syncBuffer) {
+	t.Helper()
+	reg := obs.NewRegistry()
+	rec := obs.NewRecorder(1024)
+	reg.SetSink(rec)
+	logBuf := &syncBuffer{}
+	reg.SetEventLog(obs.NewEventLog(logBuf, obs.LevelDebug, reg.Clock()))
+	obs.NewFlightRecorder(reg, 128)
+	cfg.Obs = reg
+	s, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return s, rec, logBuf
+}
+
+func TestTraceRoundTrip(t *testing.T) {
+	s, rec, logBuf := testServer(t, Config{MinN: 4, MaxN: 4, PoolSize: 1})
+	ts := httptest.NewServer(s.Handler())
+
+	const wantHex = "00000000deadbeef"
+	want, err := obs.ParseTraceID(wantHex)
+	if err != nil || want == 0 {
+		t.Fatalf("ParseTraceID(%q) = %v, %v", wantHex, want, err)
+	}
+
+	req, err := http.NewRequest(http.MethodGet, ts.URL+"/embed?n=4&fv=2134", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	req.Header.Set(TraceHeader, wantHex)
+	resp, err := ts.Client().Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	body, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("/embed: %d: %s", resp.StatusCode, body)
+	}
+	if got := resp.Header.Get(TraceHeader); got != wantHex {
+		t.Fatalf("echoed %s = %q, want %q", TraceHeader, got, wantHex)
+	}
+	// Close waits for the in-flight handler (and its middleware tail) to
+	// finish, so spans and log records are complete below.
+	ts.Close()
+
+	// The client trace id must be on the request op's spans — the root
+	// serve.op.request span and the engine's phase spans under it.
+	var sawRoot, sawPhase bool
+	for _, e := range rec.Events() {
+		if e.Trace != want {
+			continue
+		}
+		switch e.Name {
+		case "serve.op.request":
+			sawRoot = true
+		case "core.phase.total":
+			sawPhase = true
+		}
+	}
+	if !sawRoot || !sawPhase {
+		t.Errorf("spans under trace %s: root=%v phase=%v, want both", wantHex, sawRoot, sawPhase)
+	}
+
+	// ... and on the event-log records, both the middleware's
+	// serve.request summary and the engine's core.embed narrative.
+	recs, err := obs.ReadLog(bytes.NewReader(logBuf.Bytes()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var sawServe, sawEmbed bool
+	for _, r := range recs {
+		if r.Trace != want {
+			continue
+		}
+		switch r.Event {
+		case "serve.request":
+			sawServe = true
+			if r.Fields["route"] != "embed" {
+				t.Errorf("serve.request route = %v, want embed", r.Fields["route"])
+			}
+		case "core.embed":
+			sawEmbed = true
+		}
+	}
+	if !sawServe || !sawEmbed {
+		t.Errorf("records under trace %s: serve.request=%v core.embed=%v, want both", wantHex, sawServe, sawEmbed)
+	}
+}
+
+func TestFreshTraceWhenHeaderAbsentOrMalformed(t *testing.T) {
+	s, _, _ := testServer(t, Config{MinN: 4, MaxN: 4, PoolSize: 1})
+	ts := httptest.NewServer(s.Handler())
+	defer ts.Close()
+
+	for _, hdr := range []string{"", "not-hex!"} {
+		req, _ := http.NewRequest(http.MethodGet, ts.URL+"/embed?n=4", nil)
+		if hdr != "" {
+			req.Header.Set(TraceHeader, hdr)
+		}
+		resp, err := ts.Client().Do(req)
+		if err != nil {
+			t.Fatal(err)
+		}
+		io.Copy(io.Discard, resp.Body)
+		resp.Body.Close()
+		echo := resp.Header.Get(TraceHeader)
+		if id, err := obs.ParseTraceID(echo); err != nil || id == 0 {
+			t.Errorf("header %q: echoed trace %q is not a fresh id (%v, %v)", hdr, echo, id, err)
+		}
+	}
+}
+
+func TestEmbedAndRepairHandlers(t *testing.T) {
+	s, _, _ := testServer(t, Config{MinN: 5, MaxN: 5, PoolSize: 1})
+	ts := httptest.NewServer(s.Handler())
+	defer ts.Close()
+
+	get := func(path string, wantCode int) []byte {
+		t.Helper()
+		resp, err := ts.Client().Get(ts.URL + path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		body, _ := io.ReadAll(resp.Body)
+		resp.Body.Close()
+		if resp.StatusCode != wantCode {
+			t.Fatalf("GET %s: %d, want %d: %s", path, resp.StatusCode, wantCode, body)
+		}
+		return body
+	}
+
+	var em embedResponse
+	if err := json.Unmarshal(get("/embed?n=5&fv=21345", http.StatusOK), &em); err != nil {
+		t.Fatal(err)
+	}
+	if em.N != 5 || em.VertexFaults != 1 || em.Length < em.Guarantee || !em.Guaranteed {
+		t.Fatalf("embed response: %+v", em)
+	}
+
+	var rp embedResponse
+	if err := json.Unmarshal(get("/repair?n=5&fv=21345&v=31245", http.StatusOK), &rp); err != nil {
+		t.Fatal(err)
+	}
+	if rp.VertexFaults != 2 || rp.Repair == "" || rp.OldLength == 0 {
+		t.Fatalf("repair response: %+v", rp)
+	}
+	if rp.Repair == "splice" && rp.Length != rp.OldLength-2 {
+		t.Fatalf("splice shrank %d -> %d, want exactly 2 shorter", rp.OldLength, rp.Length)
+	}
+
+	ring := get("/ring?n=5&fv=21345", http.StatusOK)
+	lines := strings.Count(strings.TrimSpace(string(ring)), "\n") + 1
+	if lines != em.Length {
+		t.Fatalf("/ring returned %d vertices, /embed reported length %d", lines, em.Length)
+	}
+
+	// Error mapping: bad syntax and unserved dimensions are 400s, as is
+	// a fault set beyond the budget without best_effort.
+	get("/embed?n=bogus", http.StatusBadRequest)
+	get("/embed?n=7", http.StatusBadRequest)
+	get("/repair?n=5&fv=21345", http.StatusBadRequest) // missing v
+	get("/embed?n=5&fv=21345,31245,41235", http.StatusBadRequest)
+	get("/embed?n=5&fv=21345,31245,41235&best_effort=1", http.StatusOK)
+}
+
+func TestInflightShed(t *testing.T) {
+	s, _, _ := testServer(t, Config{MinN: 4, MaxN: 4, MaxInflight: 1})
+	ts := httptest.NewServer(s.Handler())
+	defer ts.Close()
+
+	// Occupy the admission slot synthetically; the next request must be
+	// shed before it touches a pool.
+	s.inflight.Add(1)
+	resp, err := ts.Client().Get(ts.URL + "/embed?n=4")
+	if err != nil {
+		t.Fatal(err)
+	}
+	io.Copy(io.Discard, resp.Body)
+	resp.Body.Close()
+	s.inflight.Add(-1)
+	if resp.StatusCode != http.StatusTooManyRequests {
+		t.Fatalf("overloaded /embed: %d, want 429", resp.StatusCode)
+	}
+	if resp.Header.Get(TraceHeader) == "" {
+		t.Error("shed response lost the trace echo")
+	}
+	if got := s.shed.Value(); got != 1 {
+		t.Errorf("serve.shed = %d, want 1", got)
+	}
+	// The shed request still lands in the RED tables, under the
+	// catch-all n=0 slot.
+	if got := s.red.requests[routeEmbed][codeIndex(429)][0].Value(); got != 1 {
+		t.Errorf("serve.requests{route=embed,code=429,n=0} = %d, want 1", got)
+	}
+}
+
+func TestQueueShed(t *testing.T) {
+	s, _, _ := testServer(t, Config{MinN: 4, MaxN: 4, PoolSize: 1, MaxQueue: 1})
+	ts := httptest.NewServer(s.Handler())
+	defer ts.Close()
+
+	p := s.pools[4]
+	eng, ok := p.acquire()
+	if !ok {
+		t.Fatal("test could not borrow the only engine")
+	}
+
+	// First request queues behind the borrowed engine...
+	done := make(chan int, 1)
+	go func() {
+		resp, err := ts.Client().Get(ts.URL + "/embed?n=4")
+		if err != nil {
+			done <- -1
+			return
+		}
+		io.Copy(io.Discard, resp.Body)
+		resp.Body.Close()
+		done <- resp.StatusCode
+	}()
+	for p.queued.Load() == 0 {
+		runtime.Gosched()
+	}
+
+	// ... so the second exceeds MaxQueue and sheds.
+	resp, err := ts.Client().Get(ts.URL + "/embed?n=4")
+	if err != nil {
+		t.Fatal(err)
+	}
+	io.Copy(io.Discard, resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusTooManyRequests {
+		t.Fatalf("queued-out /embed: %d, want 429", resp.StatusCode)
+	}
+
+	p.release(eng)
+	if code := <-done; code != http.StatusOK {
+		t.Fatalf("queued /embed finished with %d, want 200", code)
+	}
+}
+
+func TestHealthAndReadiness(t *testing.T) {
+	s, _, _ := testServer(t, Config{MinN: 4, MaxN: 4, PoolSize: 1})
+	ts := httptest.NewServer(s.Handler())
+	defer ts.Close()
+
+	status := func(path string) int {
+		t.Helper()
+		resp, err := ts.Client().Get(ts.URL + path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		io.Copy(io.Discard, resp.Body)
+		resp.Body.Close()
+		return resp.StatusCode
+	}
+
+	if got := status("/healthz"); got != http.StatusOK {
+		t.Fatalf("/healthz = %d", got)
+	}
+	if got := status("/readyz"); got != http.StatusOK {
+		t.Fatalf("idle /readyz = %d", got)
+	}
+
+	s.warming.Set(1)
+	if got := status("/readyz"); got != http.StatusServiceUnavailable {
+		t.Fatalf("warming /readyz = %d, want 503", got)
+	}
+	s.warming.Set(0)
+
+	eng, _ := s.pools[4].acquire()
+	if got := status("/readyz"); got != http.StatusServiceUnavailable {
+		t.Fatalf("saturated /readyz = %d, want 503", got)
+	}
+	if got := status("/healthz"); got != http.StatusOK {
+		t.Fatalf("saturated /healthz = %d, want 200 (still alive)", got)
+	}
+	s.pools[4].release(eng)
+	if got := status("/readyz"); got != http.StatusOK {
+		t.Fatalf("recovered /readyz = %d", got)
+	}
+}
+
+func TestChaosFlightAutoDump(t *testing.T) {
+	s, _, _ := testServer(t, Config{MinN: 4, MaxN: 4, Chaos: true})
+	dir := filepath.Join(t.TempDir(), "flight")
+	f := s.Registry().Flight()
+	f.SetAutoDump(dir, export.FlightBundleWriter(f))
+	ts := httptest.NewServer(s.Handler())
+
+	resp, err := ts.Client().Get(ts.URL + "/chaos?anything=ignored")
+	if err != nil {
+		t.Fatal(err)
+	}
+	io.Copy(io.Discard, resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusInternalServerError {
+		t.Fatalf("/chaos = %d, want 500", resp.StatusCode)
+	}
+	trace := resp.Header.Get(TraceHeader)
+	ts.Close()
+
+	if got := s.Registry().Counter("obs.flight.errors").Value(); got != 1 {
+		t.Errorf("obs.flight.errors = %d, want 1", got)
+	}
+	data, err := os.ReadFile(filepath.Join(dir, "flight-events.ndjson"))
+	if err != nil {
+		t.Fatalf("auto-dumped bundle missing: %v", err)
+	}
+	for _, want := range []string{"obs.flight.error", "serve.chaos", trace} {
+		if !strings.Contains(string(data), want) {
+			t.Errorf("flight-events.ndjson missing %q", want)
+		}
+	}
+	// The RED error family saw the 5xx too.
+	if got := s.red.errors[routeChaos][codeIndex(500)].Value(); got != 1 {
+		t.Errorf("serve.errors{route=chaos,code=500} = %d, want 1", got)
+	}
+}
+
+func TestChaosRouteAbsentByDefault(t *testing.T) {
+	s, _, _ := testServer(t, Config{MinN: 4, MaxN: 4})
+	ts := httptest.NewServer(s.Handler())
+	defer ts.Close()
+	resp, err := ts.Client().Get(ts.URL + "/chaos")
+	if err != nil {
+		t.Fatal(err)
+	}
+	io.Copy(io.Discard, resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusNotFound {
+		t.Fatalf("/chaos without Config.Chaos = %d, want 404", resp.StatusCode)
+	}
+}
+
+func TestMetricsEndpointExposesLabeledFamilies(t *testing.T) {
+	s, _, _ := testServer(t, Config{MinN: 4, MaxN: 4, PoolSize: 1})
+	ts := httptest.NewServer(s.Handler())
+	defer ts.Close()
+
+	resp, err := ts.Client().Get(ts.URL + "/embed?n=4")
+	if err != nil {
+		t.Fatal(err)
+	}
+	io.Copy(io.Discard, resp.Body)
+	resp.Body.Close()
+
+	resp, err = ts.Client().Get(ts.URL + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	scrape, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if _, err := export.ValidateOpenMetrics(scrape); err != nil {
+		t.Fatalf("invalid exposition: %v", err)
+	}
+	for _, want := range []string{
+		`serve_requests_total{code="200",n="4",route="embed"} 1`,
+		`serve_latency{quantile=`,
+		`serve_inflight 0`,
+	} {
+		if !strings.Contains(string(scrape), want) {
+			t.Errorf("scrape missing %q", want)
+		}
+	}
+}
+
+func TestWarm(t *testing.T) {
+	s, _, _ := testServer(t, Config{MinN: 3, MaxN: 4, PoolSize: 1})
+	if err := s.Warm(); err != nil {
+		t.Fatal(err)
+	}
+	if s.warming.Value() != 0 {
+		t.Error("warming gauge stuck after Warm")
+	}
+}

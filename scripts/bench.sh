@@ -21,6 +21,9 @@
 #   BENCH_obs.json     the F2 sweep's registry dump (phase histograms,
 #                      cache counters, worker utilization), for
 #                      run-over-run comparison of instrumentation data
+#   BENCH_serve.json   starserve -load against a self-hosted server:
+#                      per-route (embed/repair/ring) client-observed
+#                      p50/p95 latency under the fault-churn workload
 #   BENCH_record.json  all of the above normalized into one starbench
 #                      record (the input to `starbench -compare`)
 #   BENCH_trajectory.ndjson  append-only history: one record line per
@@ -61,6 +64,13 @@ go run ./cmd/starsweep -quick -exp F2 -json \
 # caps the sweep at n=7) and trims the seed count instead.
 go run ./cmd/starsweep -exp F7 -maxn 8 -seeds 3 -json > "$BENCH_OUT/BENCH_repair.json"
 
+# Service latency under fault churn: starserve boots a private server
+# and replays degrading-instance lifecycles against it. Deterministic
+# seed, fixed request count — the p50/p95 numbers land in the record
+# as serve/<route> metrics.
+go run ./cmd/starserve -load -load-n 6 -requests 120 -concurrency 4 \
+    -ring-every 9 -seed 1 -out "$BENCH_OUT/BENCH_serve.json" >/dev/null
+
 # Normalize every artifact into one starbench record and append it to
 # the run-over-run trajectory, then validate the whole history.
 go run ./cmd/starbench -record "$BENCH_OUT/BENCH_record.json" \
@@ -68,7 +78,7 @@ go run ./cmd/starbench -record "$BENCH_OUT/BENCH_record.json" \
     -append "$BENCH_OUT/BENCH_trajectory.ndjson" \
     "$BENCH_OUT/BENCH_embed.txt" "$BENCH_OUT/BENCH_embed.json" \
     "$BENCH_OUT/BENCH_repair.txt" "$BENCH_OUT/BENCH_repair.json" \
-    "$BENCH_OUT/BENCH_obs.json"
+    "$BENCH_OUT/BENCH_obs.json" "$BENCH_OUT/BENCH_serve.json"
 go run ./cmd/starbench -check "$BENCH_OUT/BENCH_trajectory.ndjson"
 
-echo "bench artifacts written to $BENCH_OUT/BENCH_embed.{txt,json}, $BENCH_OUT/BENCH_repair.{txt,json}, $BENCH_OUT/BENCH_obs.json and $BENCH_OUT/BENCH_record.json (trajectory: $BENCH_OUT/BENCH_trajectory.ndjson)"
+echo "bench artifacts written to $BENCH_OUT/BENCH_embed.{txt,json}, $BENCH_OUT/BENCH_repair.{txt,json}, $BENCH_OUT/BENCH_obs.json, $BENCH_OUT/BENCH_serve.json and $BENCH_OUT/BENCH_record.json (trajectory: $BENCH_OUT/BENCH_trajectory.ndjson)"

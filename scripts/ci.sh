@@ -25,6 +25,15 @@
 #                       chunked stream file, starverify -stream it, and
 #                       byte-compare the streamed -print output against
 #                       the materialized run's
+#   9b. serve smoke  -- starserve end to end: boot the service, drive
+#                       the fault-churn load generator against it,
+#                       starmon -watch live against the committed SLO
+#                       policy (scripts/slo-serve.json) must exit 0;
+#                       then a deliberately overloaded server (admission
+#                       limit 1) under the same policy must make watch
+#                       exit 1, and an injected /chaos 500 must
+#                       auto-dump a flight bundle whose -postmortem
+#                       render reconstructs the failed request's trace
 #  10. bench smoke   -- scripts/bench.sh with -benchtime 1x
 #  11. starlint artifact -- starlint -json archived next to the bench
 #                       record, so lint state diffs across revisions
@@ -246,6 +255,149 @@ stream_smoke() {
 
 leg "stream smoke" stream_smoke || exit 1
 
+# Serve smoke: the embedding service end to end, both halves of the
+# SLO contract. A healthy server under the fault-churn load must hold
+# the committed policy (watch exit 0); a server strangled to one
+# admitted request must shed hard enough to fire it (watch exit 1),
+# and an injected /chaos 500 must leave a flight bundle in which
+# -postmortem reconstructs that request's trace by its client-supplied
+# X-Star-Trace id.
+serve_smoke() {
+    local tmp pid addr i code
+    tmp=$(mktemp -d)
+    go build -o "$tmp/starserve" ./cmd/starserve || return 1
+    go build -o "$tmp/starmon" ./cmd/starmon || return 1
+
+    # --- Healthy half -------------------------------------------------
+    "$tmp/starserve" -addr 127.0.0.1:0 -min-n 4 -max-n 6 \
+        >"$tmp/serve.log" 2>&1 &
+    pid=$!
+    addr=""
+    for i in $(seq 1 300); do
+        addr=$(sed -n 's#^starserve listening on http://\([^ ]*\)$#\1#p' "$tmp/serve.log")
+        if [ -n "$addr" ] && grep -q '^pools warm' "$tmp/serve.log"; then
+            break
+        fi
+        addr=""
+        sleep 0.1
+    done
+    if [ -z "$addr" ]; then
+        echo "starserve never warmed up:" >&2
+        cat "$tmp/serve.log" >&2
+        kill "$pid" 2>/dev/null
+        return 1
+    fi
+
+    # Warm pools must report ready, and the exposition must carry the
+    # labeled RED families.
+    curl -fsS "http://$addr/readyz" >/dev/null || { kill "$pid"; return 1; }
+    "$tmp/starserve" -load -target "http://$addr" -load-n 6 -requests 120 \
+        -concurrency 4 -ring-every 9 -seed 1 -out "$tmp/BENCH_serve.json" \
+        >/dev/null || { kill "$pid"; return 1; }
+    if ! "$tmp/starmon" -check-metrics "http://$addr/metrics" -want-label route; then
+        kill "$pid" 2>/dev/null
+        return 1
+    fi
+
+    # Watch the live server against the committed policy while more
+    # churn (repairs in flight) runs in the background: must stay clean.
+    local load_pid
+    "$tmp/starserve" -load -target "http://$addr" -load-n 6 -requests 400 \
+        -concurrency 2 -ring-every 9 -seed 2 >/dev/null 2>&1 &
+    load_pid=$!
+    "$tmp/starmon" -watch -attach "$addr" -rules scripts/slo-serve.json \
+        -interval 1s -frames 4 >"$tmp/watch-ok.log"
+    code=$?
+    wait "$load_pid" 2>/dev/null
+    kill "$pid" 2>/dev/null
+    wait "$pid" 2>/dev/null
+    if [ "$code" -ne 0 ]; then
+        echo "healthy server violated the SLO policy (exit $code):" >&2
+        cat "$tmp/watch-ok.log" >&2
+        return 1
+    fi
+
+    # --- Overload half ------------------------------------------------
+    "$tmp/starserve" -addr 127.0.0.1:0 -min-n 4 -max-n 4 \
+        -max-inflight 1 -max-queue 0 -chaos -flight-dump "$tmp/flight" \
+        >"$tmp/serve2.log" 2>&1 &
+    pid=$!
+    addr=""
+    for i in $(seq 1 300); do
+        addr=$(sed -n 's#^starserve listening on http://\([^ ]*\)$#\1#p' "$tmp/serve2.log")
+        if [ -n "$addr" ] && grep -q '^pools warm' "$tmp/serve2.log"; then
+            break
+        fi
+        addr=""
+        sleep 0.1
+    done
+    if [ -z "$addr" ]; then
+        echo "overload starserve never warmed up:" >&2
+        cat "$tmp/serve2.log" >&2
+        kill "$pid" 2>/dev/null
+        return 1
+    fi
+
+    # Start the watch first and wait for its first scrape, so the shed
+    # storm's counter deltas land between two frames it sees.
+    local watch_pid
+    "$tmp/starmon" -watch -attach "$addr" -rules scripts/slo-serve.json \
+        -interval 1s -frames 5 >"$tmp/watch-fire.log" &
+    watch_pid=$!
+    for i in $(seq 1 100); do
+        [ -s "$tmp/watch-fire.log" ] && break
+        sleep 0.1
+    done
+
+    # 8 workers against one admitted slot: a 429 shed storm, plus
+    # injected /chaos 500s riding along.
+    "$tmp/starserve" -load -target "http://$addr" -load-n 4 -requests 400 \
+        -concurrency 8 -chaos-every 10 -seed 3 >/dev/null 2>&1
+    # A directly injected failure with a known trace id: admitted for
+    # sure (the storm is over), 500s for sure, and gives -postmortem a
+    # specific request to reconstruct.
+    curl -sS -H 'X-Star-Trace: 00000000deadbeef' "http://$addr/chaos" >/dev/null
+
+    wait "$watch_pid"
+    code=$?
+    kill "$pid" 2>/dev/null
+    wait "$pid" 2>/dev/null
+    if [ "$code" -ne 1 ]; then
+        echo "overloaded server should fire the SLO policy (exit $code):" >&2
+        cat "$tmp/watch-fire.log" >&2
+        return 1
+    fi
+    grep -q 'FIRING' "$tmp/watch-fire.log" || {
+        echo "watch never reported a FIRING transition:" >&2
+        cat "$tmp/watch-fire.log" >&2
+        return 1
+    }
+
+    # The 5xx auto-dump left a readable bundle; the post-mortem render
+    # must reconstruct the injected request under its client trace id.
+    # (No -trace causal cross-check here: under a 400-request storm the
+    # bundle's event and span rings evict independently, so full causal
+    # closure only holds for the bounded flight_smoke scenario above.)
+    if [ ! -f "$tmp/flight/flight-events.ndjson" ]; then
+        echo "5xx never auto-dumped a flight bundle" >&2
+        return 1
+    fi
+    "$tmp/starmon" -check-events "$tmp/flight/flight-events.ndjson" || return 1
+    "$tmp/starmon" -postmortem "$tmp/flight" >"$tmp/postmortem.log" || return 1
+    grep -q '00000000deadbeef' "$tmp/postmortem.log" || {
+        echo "postmortem lost the injected request's trace:" >&2
+        cat "$tmp/postmortem.log" >&2
+        return 1
+    }
+    grep -q 'serve.op.request' "$tmp/postmortem.log" || {
+        echo "postmortem carries no serve.op.request span:" >&2
+        cat "$tmp/postmortem.log" >&2
+        return 1
+    }
+}
+
+leg "serve smoke" serve_smoke || exit 1
+
 # Bench smoke: one iteration of every benchmark plus the JSON sweep,
 # into a throwaway directory — proves the bench pipeline stays runnable.
 # The directory is kept for the perf gate below.
@@ -290,5 +442,6 @@ leg "fuzz ringio/FuzzReadBinary" fuzz_smoke ./internal/ringio FuzzReadBinary || 
 leg "fuzz ringio/FuzzReadBinaryStream" fuzz_smoke ./internal/ringio FuzzReadBinaryStream || exit 1
 leg "fuzz ringio/FuzzReadText" fuzz_smoke ./internal/ringio FuzzReadText || exit 1
 leg "fuzz core/FuzzEmbedRing" fuzz_smoke ./internal/core FuzzEmbedRing || exit 1
+leg "fuzz serve/FuzzServeRequest" fuzz_smoke ./internal/serve FuzzServeRequest || exit 1
 
 echo "==> ci.sh: all legs passed"
